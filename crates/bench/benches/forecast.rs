@@ -1,0 +1,71 @@
+//! Criterion benches for the Section IV machinery: Leemis estimation
+//! (ingest + query), Poisson quantiles, and NHPP sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvmp_forecast::leemis::LeemisEstimator;
+use dvmp_forecast::nhpp::PiecewiseRate;
+use dvmp_forecast::poisson;
+use dvmp_simcore::rng::{stream_rng, Stream};
+use dvmp_simcore::{SimDuration, SimTime};
+
+/// An estimator warmed with `days` days of ~650 arrivals each.
+fn warmed(days: u64) -> LeemisEstimator {
+    let mut e = LeemisEstimator::new(SimDuration::DAY);
+    let per_day = 650u64;
+    for d in 0..days {
+        let step = 86_400 / per_day;
+        for i in 0..per_day {
+            e.record_arrival(SimTime::from_secs(d * 86_400 + i * step));
+        }
+    }
+    e.roll_to(SimTime::from_days(days));
+    e
+}
+
+fn bench_leemis_ingest(c: &mut Criterion) {
+    c.bench_function("leemis_ingest_one_week", |b| {
+        b.iter(|| warmed(7).observed_events());
+    });
+}
+
+fn bench_leemis_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leemis_expected_in");
+    for &days in &[1u64, 7, 30] {
+        let e = warmed(days);
+        group.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, &d| {
+            let now = SimTime::from_days(d) + SimDuration::from_hours(13);
+            b.iter(|| e.expected_in(now, SimDuration::HOUR));
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_upper_quantile");
+    for &lambda in &[5.0f64, 41.0, 300.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lambda as u64),
+            &lambda,
+            |b, &l| b.iter(|| poisson::upper_quantile(l, 0.05)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_nhpp_sampling(c: &mut Criterion) {
+    let daily: Vec<f64> = (0..24).map(|h| 25.0 + (h as f64) * 1.5).collect();
+    let rate = PiecewiseRate::hourly(&daily);
+    c.bench_function("nhpp_sample_exact_day", |b| {
+        let mut rng = stream_rng(1, Stream::Custom(0));
+        b.iter(|| rate.sample_exact(&mut rng).len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_leemis_ingest,
+    bench_leemis_query,
+    bench_poisson_quantile,
+    bench_nhpp_sampling
+);
+criterion_main!(benches);

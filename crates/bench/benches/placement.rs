@@ -1,0 +1,140 @@
+//! Criterion benches for the placement hot paths: probability-matrix
+//! construction (full M×N build), the incremental row update Algorithm 1
+//! relies on, a complete planning pass, and per-request placement latency
+//! for the dynamic scheme vs the static baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvmp_cluster::datacenter::{paper_fleet, Datacenter};
+use dvmp_cluster::pm::PmId;
+use dvmp_cluster::resources::ResourceVector;
+use dvmp_cluster::vm::{Vm, VmId, VmSpec, VmState};
+use dvmp_placement::plan::PlanState;
+use dvmp_placement::factors::EvalContext;
+use dvmp_placement::{
+    BestFit, DynamicConfig, DynamicPlacement, FirstFit, PlacementPolicy, PlacementView,
+    ProbabilityMatrix,
+};
+use dvmp_simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// A paper-scale fixture: the Table II fleet, all on, hosting `n` VMs
+/// spread round-robin (a fragmented state with consolidation headroom).
+fn fixture(n: u32) -> (Datacenter, BTreeMap<VmId, Vm>) {
+    let mut dc = paper_fleet();
+    for id in dc.pm_ids().collect::<Vec<_>>() {
+        dc.pm_mut(id).state = dvmp_cluster::pm::PmState::On;
+    }
+    let mut vms = BTreeMap::new();
+    let m = dc.len() as u32;
+    let mut placed = 0u32;
+    let mut i = 0u32;
+    while placed < n {
+        let pm = PmId(i % m);
+        i += 1;
+        let spec = VmSpec::exact(
+            VmId(placed + 1),
+            SimTime::ZERO,
+            ResourceVector::cpu_mem(1, 512),
+            SimDuration::from_secs(50_000 + placed as u64),
+        );
+        if dc.pm(pm).can_host(&spec.resources) {
+            dc.place(spec.id, pm, spec.resources).unwrap();
+            let mut vm = Vm::new(spec);
+            vm.state = VmState::Running { pm };
+            vm.started_at = Some(SimTime::ZERO);
+            vms.insert(vm.spec.id, vm);
+            placed += 1;
+        }
+    }
+    (dc, vms)
+}
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_build");
+    for &n in &[100u32, 300, 500] {
+        let (dc, vms) = fixture(n);
+        let cfg = DynamicConfig::default();
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::from_secs(1_000),
+        };
+        let plan = PlanState::from_view(&view, &cfg.min_vm);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_row(c: &mut Criterion) {
+    let (dc, vms) = fixture(300);
+    let cfg = DynamicConfig::default();
+    let view = PlacementView {
+        dc: &dc,
+        vms: &vms,
+        now: SimTime::from_secs(1_000),
+    };
+    let plan = PlanState::from_view(&view, &cfg.min_vm);
+    let mut matrix = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+    c.bench_function("matrix_recompute_row_300vms", |b| {
+        b.iter(|| matrix.recompute_row(&plan, &EvalContext::new(&cfg), 17));
+    });
+}
+
+fn bench_plan_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_migrations");
+    group.sample_size(20);
+    for &n in &[100u32, 300] {
+        let (dc, vms) = fixture(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut policy = DynamicPlacement::paper_default();
+                policy.plan_migrations(&PlacementView {
+                    dc: &dc,
+                    vms: &vms,
+                    now: SimTime::from_secs(1_000),
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_place_latency(c: &mut Criterion) {
+    let (dc, vms) = fixture(300);
+    let view = PlacementView {
+        dc: &dc,
+        vms: &vms,
+        now: SimTime::from_secs(1_000),
+    };
+    let spec = VmSpec::exact(
+        VmId(9_999),
+        SimTime::from_secs(1_000),
+        ResourceVector::cpu_mem(1, 512),
+        SimDuration::from_secs(40_000),
+    );
+    let mut group = c.benchmark_group("place_latency_300vms");
+    group.bench_function("dynamic", |b| {
+        let mut p = DynamicPlacement::paper_default();
+        b.iter(|| p.place(&view, &spec));
+    });
+    group.bench_function("first_fit", |b| {
+        let mut p = FirstFit;
+        b.iter(|| p.place(&view, &spec));
+    });
+    group.bench_function("best_fit", |b| {
+        let mut p = BestFit;
+        b.iter(|| p.place(&view, &spec));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matrix_build,
+    bench_incremental_row,
+    bench_plan_pass,
+    bench_place_latency
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Substrate micro-benches: event-queue throughput (the simulator's inner
+//! loop) and step-series integration (the energy meter's hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvmp_simcore::series::StepSeries;
+use dvmp_simcore::{EventQueue, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Deterministic pseudo-shuffled times.
+            for i in 0u64..10_000 {
+                q.schedule(SimTime::from_secs((i * 7_919) % 100_000), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some(e) = q.pop() {
+                debug_assert!(e.time >= last);
+                last = e.time;
+            }
+            last
+        })
+    });
+
+    c.bench_function("event_queue_cancel_half", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0u64..10_000)
+                .map(|i| q.schedule(SimTime::from_secs(i), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+fn bench_step_series(c: &mut Criterion) {
+    let mut s = StepSeries::new(0.0);
+    for i in 0u64..50_000 {
+        s.record(SimTime::from_secs(i * 12), (i % 100) as f64);
+    }
+    c.bench_function("step_series_week_integral", |b| {
+        b.iter(|| s.integral(SimTime::ZERO, SimTime::from_days(7)))
+    });
+    c.bench_function("step_series_hourly_buckets", |b| {
+        b.iter(|| s.bucket_integrals(SimDuration::HOUR, SimTime::from_days(7)).len())
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_step_series);
+criterion_main!(benches);

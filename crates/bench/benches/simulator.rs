@@ -1,0 +1,38 @@
+//! End-to-end simulation throughput: one synthetic day over the Table II
+//! fleet under each policy. This is the number that says how long the
+//! full figure regeneration takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvmp::prelude::*;
+
+fn bench_one_day(c: &mut Criterion) {
+    let scenario = Scenario::from_profile("bench-day", LpcProfile::light(), 42).with_days(1);
+    let mut group = c.benchmark_group("simulate_one_light_day");
+    group.sample_size(10);
+    group.bench_function("dynamic", |b| {
+        b.iter(|| scenario.run(Box::new(DynamicPlacement::paper_default())))
+    });
+    group.bench_function("first_fit", |b| {
+        b.iter(|| scenario.run(Box::new(FirstFit)))
+    });
+    group.bench_function("best_fit", |b| {
+        b.iter(|| scenario.run(Box::new(BestFit)))
+    });
+    group.finish();
+}
+
+fn bench_paper_day(c: &mut Criterion) {
+    let scenario = Scenario::paper(42).with_days(1);
+    let mut group = c.benchmark_group("simulate_one_paper_day");
+    group.sample_size(10);
+    group.bench_function("dynamic", |b| {
+        b.iter(|| scenario.run(Box::new(DynamicPlacement::paper_default())))
+    });
+    group.bench_function("first_fit", |b| {
+        b.iter(|| scenario.run(Box::new(FirstFit)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_day, bench_paper_day);
+criterion_main!(benches);

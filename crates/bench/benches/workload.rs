@@ -1,0 +1,46 @@
+//! Workload-subsystem throughput: synthetic week generation, SWF
+//! parse/render round trips, and the VM-request normalization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvmp_workload::{swf, LpcProfile, SyntheticGenerator, Trace, WorkloadStats};
+
+fn bench_generate_week(c: &mut Criterion) {
+    c.bench_function("generate_synthetic_week", |b| {
+        b.iter(|| SyntheticGenerator::new(LpcProfile::paper_calibrated(), 42).generate().len())
+    });
+}
+
+fn bench_swf_round_trip(c: &mut Criterion) {
+    let trace = SyntheticGenerator::new(LpcProfile::paper_calibrated(), 42).generate();
+    let text = swf::to_swf_string(trace.jobs(), "bench");
+    c.bench_function("swf_render_week", |b| {
+        b.iter(|| swf::to_swf_string(trace.jobs(), "bench").len())
+    });
+    c.bench_function("swf_parse_week", |b| {
+        b.iter(|| swf::parse_swf(&text).unwrap().len())
+    });
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let trace = SyntheticGenerator::new(LpcProfile::hpc_mixed(), 42).generate();
+    c.bench_function("to_vm_requests_mixed_week", |b| {
+        b.iter(|| trace.to_vm_requests(1).len())
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let trace = SyntheticGenerator::new(LpcProfile::paper_calibrated(), 42).generate();
+    c.bench_function("workload_stats_week", |b| {
+        b.iter(|| WorkloadStats::from_trace(&trace, 7).total_jobs)
+    });
+    let _ = Trace::default();
+}
+
+criterion_group!(
+    benches,
+    bench_generate_week,
+    bench_swf_round_trip,
+    bench_normalization,
+    bench_stats
+);
+criterion_main!(benches);

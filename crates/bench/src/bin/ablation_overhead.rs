@@ -1,0 +1,41 @@
+//! Ablation — Eq. 3 overhead accounting (DESIGN.md I2).
+//!
+//! The paper's Eq. 3 charges *both* `T_cre` and `T_mig` against a
+//! candidate move, even though a live migration never re-creates the VM.
+//! `Split` mode charges only the physically incurred overhead. The
+//! comparison quantifies how much the paper's stricter (more conservative)
+//! charge suppresses borderline migrations.
+
+use dvmp::prelude::*;
+use dvmp_bench::FigureArgs;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let scenario = args.scenario();
+    println!(
+        "# Ablation — overhead mode ({} requests, {} days, seed {})\n",
+        scenario.requests().len(),
+        args.days,
+        args.seed
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>10}",
+        "mode", "energy kWh", "mean active", "migrations", "waited %"
+    );
+    for (name, mode) in [
+        ("paper-joint", OverheadMode::PaperJoint),
+        ("split", OverheadMode::Split),
+    ] {
+        let mut cfg = DynamicConfig::default();
+        cfg.overhead_mode = mode;
+        let report = scenario.run(Box::new(DynamicPlacement::new(cfg)));
+        println!(
+            "{:>12} {:>12.1} {:>12.1} {:>12} {:>10.2}",
+            name,
+            report.total_energy_kwh,
+            report.mean_active_servers(),
+            report.total_migrations,
+            report.qos.waited_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation — spare-server control on/off.
+//!
+//! With the Section IV controller disabled every PM stays powered for the
+//! whole run (classic static provisioning). The gap between the two rows
+//! is the energy the paper's workload-prediction component is worth, on
+//! top of what consolidation alone delivers.
+
+use dvmp::prelude::*;
+use dvmp_bench::FigureArgs;
+
+fn main() {
+    let args = FigureArgs::parse();
+    println!("# Ablation — spare-server control (seed {})\n", args.seed);
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "spare control", "policy", "energy kWh", "mean active", "migrations", "waited %"
+    );
+    for (label, enabled) in [("enabled", true), ("disabled", false)] {
+        let mut scenario = args.scenario();
+        if !enabled {
+            let mut sim = scenario.sim.clone();
+            sim.spare = None;
+            scenario = scenario.with_sim(sim);
+        }
+        for policy in ["dynamic", "first-fit"] {
+            let boxed: Box<dyn PlacementPolicy> = match policy {
+                "dynamic" => Box::new(DynamicPlacement::paper_default()),
+                _ => Box::new(FirstFit),
+            };
+            let report = scenario.run(boxed);
+            println!(
+                "{label:>14} {:>12} {:>12.1} {:>12.1} {:>12} {:>10.2}",
+                report.policy,
+                report.total_energy_kwh,
+                report.mean_active_servers(),
+                report.total_migrations,
+                report.qos.waited_fraction * 100.0
+            );
+        }
+    }
+}

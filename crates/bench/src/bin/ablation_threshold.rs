@@ -1,0 +1,38 @@
+//! Ablation — `MIG_threshold` sweep.
+//!
+//! The paper restricts migrations to normalized improvements above
+//! `MIG_threshold` (its example: 1.05). Sweeping the threshold shows the
+//! trade-off: a low bar migrates aggressively (more consolidation, more
+//! overhead), a high bar degenerates toward static behaviour.
+
+use dvmp::prelude::*;
+use dvmp_bench::FigureArgs;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let scenario = args.scenario();
+    println!(
+        "# Ablation — MIG_threshold sweep ({} requests, {} days, seed {})\n",
+        scenario.requests().len(),
+        args.days,
+        args.seed
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "threshold", "energy kWh", "mean active", "migrations", "skipped", "waited %"
+    );
+    for threshold in [1.0, 1.01, 1.05, 1.10, 1.25, 1.50, 2.0, 5.0] {
+        let mut cfg = DynamicConfig::default();
+        cfg.mig_threshold = threshold;
+        let report = scenario.run(Box::new(DynamicPlacement::new(cfg)));
+        println!(
+            "{:>10.2} {:>12.1} {:>12.1} {:>12} {:>10} {:>10.2}",
+            threshold,
+            report.total_energy_kwh,
+            report.mean_active_servers(),
+            report.total_migrations,
+            report.skipped_migrations,
+            report.qos.waited_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Hardware-class energy breakdown (extension figure).
+//!
+//! Splits each policy's energy between the fast and slow node classes.
+//! The dynamic scheme's `eff_j` preference shows up directly: it loads
+//! the efficient fast nodes first, while first-fit's id order does the
+//! same by accident and best-fit inverts it (the D2 observation in
+//! EXPERIMENTS.md).
+
+use dvmp::prelude::*;
+use dvmp_bench::FigureArgs;
+use dvmp_metrics::PowerGroups;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let mut scenario = args.scenario();
+    let groups = PowerGroups::by_class(scenario.fleet());
+    let mut sim = scenario.sim.clone();
+    sim.power_groups = Some(groups);
+    scenario = scenario.with_sim(sim);
+
+    println!(
+        "# Energy by hardware class ({} requests, {} days, seed {})\n",
+        scenario.requests().len(),
+        args.days,
+        args.seed
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>10}",
+        "policy", "fast kWh", "slow kWh", "total kWh", "fast %"
+    );
+    for factory in PolicyFactory::paper_trio() {
+        let report = scenario.run(factory.build());
+        let fast: f64 = report.group_hourly_kwh[0].iter().sum();
+        let slow: f64 = report.group_hourly_kwh[1].iter().sum();
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>14.1} {:>9.1}%",
+            report.policy,
+            fast,
+            slow,
+            report.total_energy_kwh,
+            100.0 * fast / report.total_energy_kwh.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Extension experiment — the related-work threshold baseline.
+//!
+//! Section II claims watermark-based consolidation (its discussion of
+//! Goiri et al. \[21\]) "will not lead to the most energy savings" because
+//! the active-server count follows utilization thresholds rather than the
+//! mapping itself. This experiment runs a watermark sweep of that scheme
+//! against the paper's probability-matrix scheme on identical inputs.
+
+use dvmp::prelude::*;
+use dvmp_bench::FigureArgs;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let scenario = args.scenario();
+    println!(
+        "# Extension — threshold baseline vs probability matrix ({} requests, {} days, seed {})\n",
+        scenario.requests().len(),
+        args.days,
+        args.seed
+    );
+    println!(
+        "{:>26} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "energy kWh", "mean active", "migrations", "waited %"
+    );
+
+    let dynamic = scenario.run(Box::new(DynamicPlacement::paper_default()));
+    println!(
+        "{:>26} {:>12.1} {:>12.1} {:>12} {:>10.2}",
+        "dynamic (paper)",
+        dynamic.total_energy_kwh,
+        dynamic.mean_active_servers(),
+        dynamic.total_migrations,
+        dynamic.qos.waited_fraction * 100.0
+    );
+
+    for (low, high) in [(0.05, 0.85), (0.10, 0.85), (0.20, 0.85), (0.30, 0.70)] {
+        let policy = ThresholdPolicy::new(ThresholdConfig {
+            low_watermark: low,
+            high_watermark: high,
+            max_moves: 20,
+        });
+        let report = scenario.run(Box::new(policy));
+        println!(
+            "{:>26} {:>12.1} {:>12.1} {:>12} {:>10.2}",
+            format!("threshold {low:.2}/{high:.2}"),
+            report.total_energy_kwh,
+            report.mean_active_servers(),
+            report.total_migrations,
+            report.qos.waited_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Extension figure — packing quality.
+//!
+//! Hourly core utilization of the *powered* fleet for the three schemes.
+//! This is the mechanism behind Figs. 3–5: the dynamic scheme keeps the
+//! machines it pays for nearly full, while the static schemes pay for
+//! fragmented, half-empty servers.
+
+use dvmp_bench::{run_trio, series_of, FigureArgs};
+use dvmp_metrics::report::{render_ascii_chart, render_csv};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let (_, reports) = run_trio(&args, "Extension — powered-fleet core utilization");
+    let hours = (args.days * 24) as usize;
+    let series = series_of(&reports, |r| r.hourly_core_utilization.as_slice());
+    println!(
+        "{}",
+        render_ascii_chart(
+            "powered-fleet core utilization (1.0 = every powered core busy)",
+            &series,
+            16,
+            84
+        )
+    );
+    println!("## CSV\n{}", render_csv("hour", hours, &series));
+    for r in &reports {
+        let mean: f64 = r.hourly_core_utilization.iter().sum::<f64>()
+            / r.hourly_core_utilization.len().max(1) as f64;
+        println!("{:>12}: mean powered-core utilization {:.1}%", r.policy, mean * 100.0);
+    }
+}

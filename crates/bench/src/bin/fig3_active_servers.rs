@@ -1,0 +1,26 @@
+//! Figure 3 — hourly active-server counts over the week.
+//!
+//! Runs the paper's three schemes (dynamic, first-fit, best-fit) on one
+//! identical synthetic week over the Table II fleet and prints the
+//! time-weighted mean number of *powered* servers per hour — the series
+//! Fig. 3 plots. Expected shape: dynamic < best-fit ≤ first-fit.
+
+use dvmp_bench::{print_summary, run_trio, series_of, FigureArgs};
+use dvmp_metrics::report::{render_ascii_chart, render_csv, render_table};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let (_, reports) = run_trio(&args, "Figure 3 — hourly active servers");
+    let hours = (args.days * 24) as usize;
+    let series = series_of(&reports, |r| r.hourly_active_servers.as_slice());
+    println!(
+        "{}",
+        render_ascii_chart("Figure 3 — active servers per hour", &series, 18, 84)
+    );
+    println!(
+        "{}",
+        render_table("Figure 3 — active servers per hour", "hour", hours, &series, 1)
+    );
+    println!("## CSV\n{}", render_csv("hour", hours, &series));
+    print_summary(&reports);
+}

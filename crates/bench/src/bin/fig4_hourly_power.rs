@@ -1,0 +1,32 @@
+//! Figure 4 — hourly power consumption over the week.
+//!
+//! Same three-scheme comparison as Fig. 3, reporting each hour's energy in
+//! kWh (numerically the hour's mean power in kW). Expected shape: the
+//! dynamic scheme sits below both static schemes in every load regime,
+//! with the gap widest at low load.
+
+use dvmp_bench::{print_summary, run_trio, series_of, FigureArgs};
+use dvmp_metrics::report::{render_ascii_chart, render_csv, render_table};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let (_, reports) = run_trio(&args, "Figure 4 — hourly power consumption");
+    let hours = (args.days * 24) as usize;
+    let series = series_of(&reports, |r| r.hourly_power_kwh.as_slice());
+    println!(
+        "{}",
+        render_ascii_chart("Figure 4 — hourly power (kWh)", &series, 18, 84)
+    );
+    println!(
+        "{}",
+        render_table(
+            "Figure 4 — power consumption per hour (kWh)",
+            "hour",
+            hours,
+            &series,
+            2
+        )
+    );
+    println!("## CSV\n{}", render_csv("hour", hours, &series));
+    print_summary(&reports);
+}

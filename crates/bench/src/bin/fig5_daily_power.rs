@@ -1,0 +1,29 @@
+//! Figure 5 — daily power consumption over the week.
+//!
+//! Same three-scheme comparison as Figs. 3–4, rolled up to kWh per day.
+
+use dvmp_bench::{print_summary, run_trio, series_of, FigureArgs};
+use dvmp_metrics::report::{render_ascii_chart, render_csv, render_table};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let (_, reports) = run_trio(&args, "Figure 5 — daily power consumption");
+    let days = args.days as usize;
+    let series = series_of(&reports, |r| r.daily_power_kwh.as_slice());
+    println!(
+        "{}",
+        render_ascii_chart("Figure 5 — daily power (kWh)", &series, 12, 42)
+    );
+    println!(
+        "{}",
+        render_table(
+            "Figure 5 — power consumption per day (kWh)",
+            "day",
+            days,
+            &series,
+            1
+        )
+    );
+    println!("## CSV\n{}", render_csv("day", days, &series));
+    print_summary(&reports);
+}

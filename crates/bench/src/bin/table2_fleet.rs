@@ -1,0 +1,68 @@
+//! Table II — datacenter parameter settings.
+//!
+//! Prints the fleet configuration the simulations use, row-for-row against
+//! the paper's Table II.
+
+use dvmp::prelude::*;
+
+fn main() {
+    let dc = paper_fleet();
+    println!("# Table II — data center parameter settings\n");
+    println!("{:<32} {:>10} {:>10}", "Nodes", "Fast", "Slow");
+    let fast = &dc.classes()[0];
+    let slow = &dc.classes()[1];
+    let count = |name: &str| dc.pms().iter().filter(|p| p.class.name == name).count();
+    let rows: Vec<(&str, String, String)> = vec![
+        (
+            "Number",
+            count("fast").to_string(),
+            count("slow").to_string(),
+        ),
+        (
+            "VM creation time (seconds)",
+            fast.creation_time.as_secs().to_string(),
+            slow.creation_time.as_secs().to_string(),
+        ),
+        (
+            "VM migration time (seconds)",
+            fast.migration_time.as_secs().to_string(),
+            slow.migration_time.as_secs().to_string(),
+        ),
+        (
+            "ON/OFF overhead (seconds)",
+            fast.on_off_time.as_secs().to_string(),
+            slow.on_off_time.as_secs().to_string(),
+        ),
+        (
+            "Total cores (2 proc x N)",
+            fast.capacity.get(0).to_string(),
+            slow.capacity.get(0).to_string(),
+        ),
+        (
+            "Memory (MiB)",
+            fast.capacity.get(1).to_string(),
+            slow.capacity.get(1).to_string(),
+        ),
+        (
+            "Active power consumption (W)",
+            format!("{:.0}", fast.active_power_w),
+            format!("{:.0}", slow.active_power_w),
+        ),
+        (
+            "Idle power consumption (W)",
+            format!("{:.0}", fast.idle_power_w),
+            format!("{:.0}", slow.idle_power_w),
+        ),
+    ];
+    for (label, f, s) in rows {
+        println!("{label:<32} {f:>10} {s:>10}");
+    }
+    println!(
+        "\nFleet total: {} PMs, {} single-core VM slots",
+        dc.len(),
+        dc.pms()
+            .iter()
+            .map(|p| p.capacity().get(0))
+            .sum::<u64>()
+    );
+}

@@ -1,0 +1,29 @@
+//! Quick wall-clock probe for the full paper scenario (not a figure).
+
+use dvmp::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let scenario = Scenario::paper(42);
+    println!(
+        "requests: {}, offered load: {:.0} slots",
+        scenario.requests().len(),
+        scenario.mean_offered_concurrency()
+    );
+    for (name, policy) in [
+        ("first-fit", Box::new(FirstFit) as Box<dyn PlacementPolicy>),
+        ("dynamic", Box::new(DynamicPlacement::paper_default())),
+    ] {
+        let t0 = Instant::now();
+        let report = scenario.run(policy);
+        println!(
+            "{name:>10}: {:.2?}  energy {:.0} kWh  mean active {:.1}  migrations {}  waited {:.2}%  skipped {}",
+            t0.elapsed(),
+            report.total_energy_kwh,
+            report.mean_active_servers(),
+            report.total_migrations,
+            report.qos.waited_fraction * 100.0,
+            report.skipped_migrations,
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! The CLI's commands, as functions from parsed arguments to output text.
+
+use crate::spec::ScenarioSpec;
+use dvmp::prelude::*;
+use dvmp_metrics::report::render_summary;
+use std::fmt::Write as _;
+
+/// `run <spec.json>` — run the spec's policy and summarize.
+pub fn run(spec_text: &str, json_output: bool) -> Result<String, String> {
+    let spec = ScenarioSpec::from_json(spec_text)?;
+    let scenario = spec.build()?;
+    let policy = spec.policy.build(spec.seed)?;
+    let report = scenario.run(policy);
+    if json_output {
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+    } else {
+        Ok(render_summary(&[&report]))
+    }
+}
+
+/// `compare <spec.json>` — run the paper trio on the spec's scenario.
+pub fn compare(spec_text: &str, json_output: bool) -> Result<String, String> {
+    let spec = ScenarioSpec::from_json(spec_text)?;
+    let scenario = spec.build()?;
+    let reports = compare_policies(&scenario, &PolicyFactory::paper_trio());
+    if json_output {
+        serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())
+    } else {
+        let refs: Vec<&RunReport> = reports.iter().collect();
+        Ok(render_summary(&refs))
+    }
+}
+
+/// `workload <profile> [seed]` — characterise a synthetic profile
+/// (Fig. 2's numbers).
+pub fn workload(profile: &str, seed: u64) -> Result<String, String> {
+    let p = match profile {
+        "paper_calibrated" => LpcProfile::paper_calibrated(),
+        "paper_strict" => LpcProfile::paper_strict(),
+        "light" => LpcProfile::light(),
+        "hpc_mixed" => LpcProfile::hpc_mixed(),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let days = p.days();
+    let trace = SyntheticGenerator::new(p, seed).generate();
+    let stats = WorkloadStats::from_trace(&trace, days);
+    let mut out = String::new();
+    let _ = writeln!(out, "profile: {profile} (seed {seed})");
+    let _ = writeln!(out, "jobs: {}", stats.total_jobs);
+    if let Some((d, c)) = stats.peak_day() {
+        let _ = writeln!(out, "peak: day {d} with {c} arrivals");
+    }
+    let _ = writeln!(
+        out,
+        "under one day: {} ({:.1}%)",
+        stats.jobs_under_one_day,
+        100.0 * stats.jobs_under_one_day as f64 / stats.total_jobs.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "memory < 1 GiB: {:.1}%",
+        stats.fraction_memory_below_1gib() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "mean offered concurrency: {:.0} VM slots",
+        stats.mean_offered_concurrency(days as f64 * 86_400.0)
+    );
+    Ok(out)
+}
+
+/// `export-swf <profile> <seed>` — render a synthetic trace as SWF text.
+pub fn export_swf(profile: &str, seed: u64) -> Result<String, String> {
+    let p = match profile {
+        "paper_calibrated" => LpcProfile::paper_calibrated(),
+        "paper_strict" => LpcProfile::paper_strict(),
+        "light" => LpcProfile::light(),
+        "hpc_mixed" => LpcProfile::hpc_mixed(),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let trace = SyntheticGenerator::new(p, seed).generate();
+    Ok(dvmp_workload::swf::to_swf_string(
+        trace.jobs(),
+        &format!("dvmp synthetic workload: profile {profile}, seed {seed}"),
+    ))
+}
+
+/// The `help` text.
+pub fn help() -> String {
+    "\
+dvmp-cli — dynamic VM placement experiments (ICPP 2014 reproduction)
+
+USAGE:
+  dvmp-cli run <spec.json> [--json]      run the spec's policy, print summary
+  dvmp-cli compare <spec.json> [--json]  run dynamic/first-fit/best-fit
+  dvmp-cli workload <profile> [seed]     characterise a synthetic profile
+  dvmp-cli export-swf <profile> [seed]   print a synthetic trace as SWF
+  dvmp-cli help                          this text
+
+PROFILES: paper_calibrated | paper_strict | light | hpc_mixed
+SPEC: see crates/cli/src/spec.rs for the JSON schema
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "name": "cli-test",
+        "workload": { "profile": "light", "days": 1 },
+        "policy": { "kind": "first-fit" },
+        "seed": 42
+    }"#;
+
+    #[test]
+    fn run_produces_summary() {
+        let out = run(SPEC, false).unwrap();
+        assert!(out.contains("first-fit"), "{out}");
+        assert!(out.contains("energy"), "{out}");
+    }
+
+    #[test]
+    fn run_json_is_parseable() {
+        let out = run(SPEC, true).unwrap();
+        let report: dvmp_metrics::RunReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.policy, "first-fit");
+        assert!(report.total_energy_kwh > 0.0);
+    }
+
+    #[test]
+    fn compare_runs_the_trio() {
+        let out = compare(SPEC, false).unwrap();
+        for name in ["dynamic", "first-fit", "best-fit"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn workload_reports_stats() {
+        let out = workload("light", 42).unwrap();
+        assert!(out.contains("jobs:"));
+        assert!(workload("nope", 42).is_err());
+    }
+
+    #[test]
+    fn export_swf_parses_back() {
+        let text = export_swf("light", 42).unwrap();
+        let jobs = dvmp_workload::swf::parse_swf(&text).unwrap();
+        assert!(!jobs.is_empty());
+    }
+
+    #[test]
+    fn bad_spec_errors_cleanly() {
+        assert!(run("{", false).is_err());
+        assert!(compare("not json", true).is_err());
+    }
+
+    #[test]
+    fn help_mentions_every_command() {
+        let h = help();
+        for cmd in ["run", "compare", "workload", "export-swf"] {
+            assert!(h.contains(cmd));
+        }
+    }
+}

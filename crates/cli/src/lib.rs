@@ -1,0 +1,11 @@
+//! # dvmp-cli
+//!
+//! Library backing the `dvmp-cli` binary: declarative JSON scenario
+//! [`spec`]s and the [`commands`] the binary dispatches to. Splitting the
+//! logic into a library keeps every command unit-testable without
+//! spawning processes.
+
+pub mod commands;
+pub mod spec;
+
+pub use spec::{PolicySpec, ScenarioSpec, WorkloadSpec};

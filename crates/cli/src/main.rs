@@ -1,0 +1,51 @@
+//! `dvmp-cli` — thin argv dispatcher over [`dvmp_cli::commands`].
+
+use dvmp_cli::commands;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let positional: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let result = match positional.as_slice() {
+        ["run", path, ..] => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| commands::run(&text, json)),
+        ["compare", path, ..] => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| commands::compare(&text, json)),
+        ["workload", profile, rest @ ..] => {
+            let seed = rest.first().and_then(|s| s.parse().ok()).unwrap_or(42);
+            commands::workload(profile, seed)
+        }
+        ["export-swf", profile, rest @ ..] => {
+            let seed = rest.first().and_then(|s| s.parse().ok()).unwrap_or(42);
+            commands::export_swf(profile, seed)
+        }
+        [] | ["help", ..] => Ok(commands::help()),
+        other => Err(format!(
+            "unknown command {:?}\n\n{}",
+            other.first().unwrap_or(&""),
+            commands::help()
+        )),
+    };
+
+    match result {
+        Ok(text) => {
+            // Writing through a closed pipe (`dvmp-cli ... | head`) is a
+            // normal way to consume CLI output, not an error.
+            let _ = writeln!(std::io::stdout(), "{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

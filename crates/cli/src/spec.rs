@@ -1,0 +1,388 @@
+//! Declarative scenario specifications (JSON).
+//!
+//! A [`ScenarioSpec`] describes a complete experiment — fleet, workload,
+//! simulator settings, policy — as plain data, so experiments can be
+//! version-controlled and shared without writing Rust. `examples/`-grade
+//! JSON:
+//!
+//! ```json
+//! {
+//!   "name": "my-week",
+//!   "fleet": [
+//!     { "preset": "paper_fast", "count": 25, "reliability": 0.99 },
+//!     { "preset": "paper_slow", "count": 75, "reliability": 0.99 }
+//!   ],
+//!   "workload": { "profile": "paper_calibrated", "days": 7 },
+//!   "policy": { "kind": "dynamic", "mig_threshold": 1.05, "mig_round": 20 },
+//!   "seed": 42
+//! }
+//! ```
+
+use dvmp::prelude::*;
+use dvmp_cluster::pm::PmClass;
+use dvmp_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One fleet entry: a hardware-class preset or explicit parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FleetEntry {
+    /// `"paper_fast"` / `"paper_slow"`, or `"custom"` with the fields below.
+    pub preset: String,
+    /// Machines of this class.
+    pub count: usize,
+    /// Per-PM reliability score.
+    #[serde(default = "default_reliability")]
+    pub reliability: f64,
+    /// Custom class name (preset `"custom"` only).
+    #[serde(default)]
+    pub name: Option<String>,
+    /// Custom cores (preset `"custom"` only).
+    #[serde(default)]
+    pub cores: Option<u64>,
+    /// Custom memory MiB (preset `"custom"` only).
+    #[serde(default)]
+    pub memory_mib: Option<u64>,
+    /// Custom active watts (preset `"custom"` only).
+    #[serde(default)]
+    pub active_w: Option<f64>,
+    /// Custom idle watts (preset `"custom"` only).
+    #[serde(default)]
+    pub idle_w: Option<f64>,
+}
+
+fn default_reliability() -> f64 {
+    0.99
+}
+
+impl FleetEntry {
+    fn class(&self) -> Result<PmClass, String> {
+        match self.preset.as_str() {
+            "paper_fast" => Ok(PmClass::paper_fast()),
+            "paper_slow" => Ok(PmClass::paper_slow()),
+            "custom" => {
+                let base = PmClass::paper_fast();
+                Ok(PmClass {
+                    name: self.name.clone().unwrap_or_else(|| "custom".into()),
+                    capacity: ResourceVector::cpu_mem(
+                        self.cores.ok_or("custom class needs `cores`")?,
+                        self.memory_mib.ok_or("custom class needs `memory_mib`")?,
+                    ),
+                    active_power_w: self.active_w.ok_or("custom class needs `active_w`")?,
+                    idle_power_w: self.idle_w.ok_or("custom class needs `idle_w`")?,
+                    ..base
+                })
+            }
+            other => Err(format!("unknown fleet preset {other:?}")),
+        }
+    }
+}
+
+/// Workload selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct WorkloadSpec {
+    /// `"paper_calibrated"`, `"paper_strict"`, `"light"`, `"hpc_mixed"`,
+    /// or `"swf"` (with `path`).
+    pub profile: String,
+    /// Days to simulate (clamped to the profile's length).
+    #[serde(default = "default_days")]
+    pub days: u64,
+    /// SWF file path (profile `"swf"` only).
+    #[serde(default)]
+    pub path: Option<String>,
+    /// Minimum per-core memory filter in MiB (SWF preprocessing).
+    #[serde(default)]
+    pub min_memory_mib: u64,
+}
+
+fn default_days() -> u64 {
+    7
+}
+
+/// Policy selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct PolicySpec {
+    /// `"dynamic"`, `"first-fit"`, `"best-fit"`, `"worst-fit"`, `"random"`.
+    pub kind: String,
+    /// `MIG_threshold` (dynamic only).
+    #[serde(default)]
+    pub mig_threshold: Option<f64>,
+    /// `MIG_round` (dynamic only).
+    #[serde(default)]
+    pub mig_round: Option<u32>,
+}
+
+impl PolicySpec {
+    /// Builds the policy. `seed` feeds the random baseline.
+    pub fn build(&self, seed: u64) -> Result<Box<dyn PlacementPolicy>, String> {
+        match self.kind.as_str() {
+            "dynamic" => {
+                let mut cfg = DynamicConfig::default();
+                if let Some(t) = self.mig_threshold {
+                    cfg.mig_threshold = t;
+                }
+                if let Some(r) = self.mig_round {
+                    cfg.mig_round = r;
+                }
+                cfg.validate()?;
+                Ok(Box::new(DynamicPlacement::new(cfg)))
+            }
+            "first-fit" => Ok(Box::new(FirstFit)),
+            "best-fit" => Ok(Box::new(BestFit)),
+            "worst-fit" => Ok(Box::new(WorstFit)),
+            "random" => Ok(Box::new(RandomFit::new(seed))),
+            other => Err(format!("unknown policy kind {other:?}")),
+        }
+    }
+}
+
+/// A complete experiment as data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ScenarioSpec {
+    /// Display name.
+    pub name: String,
+    /// The fleet (defaults to the paper's Table II when empty).
+    #[serde(default)]
+    pub fleet: Vec<FleetEntry>,
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// The policy to run (ignored by `compare`, which runs the trio).
+    pub policy: PolicySpec,
+    /// Master seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Disable the Section IV spare-server controller (all machines on).
+    #[serde(default)]
+    pub all_machines_on: bool,
+}
+
+fn default_seed() -> u64 {
+    42
+}
+
+impl ScenarioSpec {
+    /// Parses a spec from JSON.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid scenario JSON: {e}"))
+    }
+
+    /// Builds the runnable scenario.
+    pub fn build(&self) -> Result<Scenario, String> {
+        let fleet = if self.fleet.is_empty() {
+            paper_fleet()
+        } else {
+            let mut b = FleetBuilder::new();
+            for entry in &self.fleet {
+                b = b.add_class(entry.class()?, entry.count, entry.reliability);
+            }
+            b.build()
+        };
+
+        let trace = match self.workload.profile.as_str() {
+            "paper_calibrated" => {
+                SyntheticGenerator::new(LpcProfile::paper_calibrated(), self.seed).generate()
+            }
+            "paper_strict" => {
+                SyntheticGenerator::new(LpcProfile::paper_strict(), self.seed).generate()
+            }
+            "light" => SyntheticGenerator::new(LpcProfile::light(), self.seed).generate(),
+            "hpc_mixed" => {
+                SyntheticGenerator::new(LpcProfile::hpc_mixed(), self.seed).generate()
+            }
+            "swf" => {
+                let path = self
+                    .workload
+                    .path
+                    .as_ref()
+                    .ok_or("workload profile \"swf\" needs `path`")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let jobs = dvmp_workload::swf::parse_swf(&text).map_err(|e| e.to_string())?;
+                Trace::new(jobs)
+                    .filter_usable()
+                    .filter_min_memory(self.workload.min_memory_mib)
+                    .extract_window(SimTime::ZERO, SimDuration::from_days(self.workload.days))
+            }
+            other => return Err(format!("unknown workload profile {other:?}")),
+        };
+
+        let mut sim = SimConfig::default();
+        sim.seed = self.seed;
+        sim.horizon = SimTime::from_days(self.workload.days);
+        if self.all_machines_on {
+            sim.spare = None;
+        }
+        Ok(Scenario::from_trace(self.name.clone(), fleet, &trace, sim)
+            .with_days(self.workload.days))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"{
+        "name": "t",
+        "workload": { "profile": "light", "days": 1 },
+        "policy": { "kind": "first-fit" }
+    }"#;
+
+    #[test]
+    fn minimal_spec_builds_paper_fleet() {
+        let spec = ScenarioSpec::from_json(MINIMAL).unwrap();
+        assert_eq!(spec.seed, 42);
+        let scenario = spec.build().unwrap();
+        assert_eq!(scenario.fleet().len(), 100);
+        assert_eq!(scenario.days(), 1);
+        assert!(!scenario.requests().is_empty());
+        let policy = spec.policy.build(spec.seed).unwrap();
+        assert_eq!(policy.name(), "first-fit");
+    }
+
+    #[test]
+    fn custom_fleet_and_dynamic_policy() {
+        let text = r#"{
+            "name": "custom",
+            "fleet": [
+                { "preset": "custom", "count": 3, "name": "big",
+                  "cores": 16, "memory_mib": 32768,
+                  "active_w": 700.0, "idle_w": 350.0 },
+                { "preset": "paper_slow", "count": 2 }
+            ],
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "dynamic", "mig_threshold": 1.2, "mig_round": 5 },
+            "seed": 7
+        }"#;
+        let spec = ScenarioSpec::from_json(text).unwrap();
+        let scenario = spec.build().unwrap();
+        assert_eq!(scenario.fleet().len(), 5);
+        assert_eq!(scenario.fleet().classes()[0].name, "big");
+        assert_eq!(
+            scenario.fleet().classes()[0].capacity,
+            ResourceVector::cpu_mem(16, 32_768)
+        );
+        let policy = spec.policy.build(7).unwrap();
+        assert_eq!(policy.name(), "dynamic");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let text = r#"{
+            "name": "t",
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "first-fit" },
+            "oops": true
+        }"#;
+        assert!(ScenarioSpec::from_json(text).is_err());
+    }
+
+    #[test]
+    fn unknown_presets_and_policies_error_cleanly() {
+        let mut spec = ScenarioSpec::from_json(MINIMAL).unwrap();
+        spec.fleet.push(FleetEntry {
+            preset: "warp-core".into(),
+            count: 1,
+            reliability: 0.9,
+            name: None,
+            cores: None,
+            memory_mib: None,
+            active_w: None,
+            idle_w: None,
+        });
+        assert!(spec.build().unwrap_err().contains("warp-core"));
+
+        let bad_policy = PolicySpec {
+            kind: "oracle".into(),
+            mig_threshold: None,
+            mig_round: None,
+        };
+        match bad_policy.build(1) {
+            Err(e) => assert!(e.contains("oracle")),
+            Ok(_) => panic!("unknown policy must error"),
+        }
+    }
+
+    #[test]
+    fn custom_class_requires_all_fields() {
+        let text = r#"{
+            "name": "t",
+            "fleet": [ { "preset": "custom", "count": 1 } ],
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "first-fit" }
+        }"#;
+        let spec = ScenarioSpec::from_json(text).unwrap();
+        assert!(spec.build().unwrap_err().contains("cores"));
+    }
+
+    #[test]
+    fn invalid_dynamic_config_is_rejected() {
+        let spec = PolicySpec {
+            kind: "dynamic".into(),
+            mig_threshold: Some(0.2),
+            mig_round: None,
+        };
+        assert!(spec.build(1).is_err());
+    }
+
+    #[test]
+    fn all_machines_on_disables_spare_control() {
+        let text = r#"{
+            "name": "t",
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "first-fit" },
+            "all_machines_on": true
+        }"#;
+        let scenario = ScenarioSpec::from_json(text).unwrap().build().unwrap();
+        assert!(scenario.sim.spare.is_none());
+    }
+
+    #[test]
+    fn swf_workload_reads_a_file() {
+        // Export a tiny synthetic trace as SWF to a temp file, then build
+        // a scenario from it through the spec.
+        let trace = SyntheticGenerator::new(LpcProfile::light(), 3).generate();
+        let path = std::env::temp_dir().join("dvmp_cli_spec_test.swf");
+        std::fs::write(
+            &path,
+            dvmp_workload::swf::to_swf_string(&trace.jobs()[..200], "test"),
+        )
+        .unwrap();
+
+        let text = format!(
+            r#"{{
+                "name": "swf-test",
+                "workload": {{ "profile": "swf", "days": 7,
+                               "path": {path:?}, "min_memory_mib": 64 }},
+                "policy": {{ "kind": "best-fit" }}
+            }}"#
+        );
+        let spec = ScenarioSpec::from_json(&text).unwrap();
+        let scenario = spec.build().unwrap();
+        assert!(!scenario.requests().is_empty());
+        assert!(scenario.requests().len() <= 200);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_swf_path_errors() {
+        let text = r#"{
+            "name": "t",
+            "workload": { "profile": "swf", "days": 1 },
+            "policy": { "kind": "first-fit" }
+        }"#;
+        let err = ScenarioSpec::from_json(text).unwrap().build().unwrap_err();
+        assert!(err.contains("path"), "{err}");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ScenarioSpec::from_json(MINIMAL).unwrap();
+        let text = serde_json::to_string(&spec).unwrap();
+        let back = ScenarioSpec::from_json(&text).unwrap();
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.seed, spec.seed);
+    }
+}

@@ -1,0 +1,444 @@
+//! The heterogeneous fleet.
+//!
+//! A [`Datacenter`] owns the PMs, the class table and the VM → PM index. It
+//! is the single mutable source of truth the simulator and the placement
+//! policies share; every reservation goes through it so the capacity and
+//! mapping invariants hold globally.
+
+use crate::pm::{Pm, PmClass, PmError, PmId, PmState};
+use crate::resources::ResourceVector;
+use crate::vm::VmId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The fleet of physical machines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Datacenter {
+    classes: Vec<PmClass>,
+    pms: Vec<Pm>,
+    /// Where each VM's reservations currently live. A migrating VM appears
+    /// on both source and destination (DESIGN.md I3); the first entry is
+    /// the *current host* in the placement sense.
+    vm_index: BTreeMap<VmId, Vec<PmId>>,
+}
+
+impl Datacenter {
+    fn new(classes: Vec<PmClass>, pms: Vec<Pm>) -> Self {
+        Datacenter {
+            classes,
+            pms,
+            vm_index: BTreeMap::new(),
+        }
+    }
+
+    /// Number of PMs in the fleet.
+    pub fn len(&self) -> usize {
+        self.pms.len()
+    }
+
+    /// `true` when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pms.is_empty()
+    }
+
+    /// The class table.
+    pub fn classes(&self) -> &[PmClass] {
+        &self.classes
+    }
+
+    /// The PM with the given id.
+    pub fn pm(&self, id: PmId) -> &Pm {
+        &self.pms[id.0 as usize]
+    }
+
+    /// Mutable access to a PM (state changes only; use the reservation
+    /// methods below for occupancy so the VM index stays consistent).
+    pub fn pm_mut(&mut self, id: PmId) -> &mut Pm {
+        &mut self.pms[id.0 as usize]
+    }
+
+    /// All PMs in id order.
+    pub fn pms(&self) -> &[Pm] {
+        &self.pms
+    }
+
+    /// Ids of all PMs, in order.
+    pub fn pm_ids(&self) -> impl Iterator<Item = PmId> + '_ {
+        (0..self.pms.len() as u32).map(PmId)
+    }
+
+    /// PMs that can currently accept reservations.
+    pub fn available_pms(&self) -> impl Iterator<Item = &Pm> + '_ {
+        self.pms.iter().filter(|pm| pm.is_available())
+    }
+
+    /// Number of PMs hosting at least one VM — the paper's `N_nidle(t)`.
+    pub fn non_idle_count(&self) -> usize {
+        self.pms
+            .iter()
+            .filter(|pm| pm.is_available() && !pm.is_idle())
+            .count()
+    }
+
+    /// Number of powered PMs (on, booting or shutting down) — what the
+    /// energy bill sees.
+    pub fn powered_count(&self) -> usize {
+        self.pms.iter().filter(|pm| pm.is_powered()).count()
+    }
+
+    /// Number of available-and-idle PMs (spare capacity).
+    pub fn idle_available_count(&self) -> usize {
+        self.pms
+            .iter()
+            .filter(|pm| pm.is_available() && pm.is_idle())
+            .count()
+    }
+
+    /// Total VMs with at least one reservation.
+    pub fn active_vm_count(&self) -> usize {
+        self.vm_index.len()
+    }
+
+    /// Instantaneous fleet power draw in watts (two-level model).
+    pub fn total_power_w(&self) -> f64 {
+        self.pms.iter().map(|pm| pm.power_draw_w()).sum()
+    }
+
+    /// CPU-slot utilization of the *powered* fleet: used cores over the
+    /// core capacity of available machines (0 when nothing is powered).
+    /// This is the packing-quality signal: a consolidating policy keeps it
+    /// high by powering exactly as many machines as the load needs.
+    pub fn powered_core_utilization(&self) -> f64 {
+        let (mut used, mut cap) = (0u64, 0u64);
+        for pm in self.pms.iter().filter(|pm| pm.is_available()) {
+            used += pm.used().get(0);
+            cap += pm.capacity().get(0);
+        }
+        if cap == 0 {
+            0.0
+        } else {
+            used as f64 / cap as f64
+        }
+    }
+
+    /// The PMs a VM is currently reserved on (current host first).
+    pub fn hosts_of(&self, vm: VmId) -> &[PmId] {
+        self.vm_index.get(&vm).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The current host of a VM in the placement sense.
+    pub fn host_of(&self, vm: VmId) -> Option<PmId> {
+        self.vm_index.get(&vm).and_then(|v| v.first().copied())
+    }
+
+    /// Reserves `demand` for `vm` on `pm` as its (sole) current host.
+    pub fn place(&mut self, vm: VmId, pm: PmId, demand: ResourceVector) -> Result<(), PmError> {
+        self.pms[pm.0 as usize].reserve(vm, demand)?;
+        self.vm_index.entry(vm).or_default().push(pm);
+        Ok(())
+    }
+
+    /// Begins a live migration: reserves `demand` on `to` (keeping the
+    /// reservation on the current host) and makes `to` the current host.
+    pub fn begin_migration(
+        &mut self,
+        vm: VmId,
+        to: PmId,
+        demand: ResourceVector,
+    ) -> Result<(), PmError> {
+        self.pms[to.0 as usize].reserve(vm, demand)?;
+        let hosts = self.vm_index.entry(vm).or_default();
+        hosts.insert(0, to);
+        Ok(())
+    }
+
+    /// Completes a live migration: releases the reservation on `from`.
+    pub fn finish_migration(&mut self, vm: VmId, from: PmId) -> Result<(), PmError> {
+        self.pms[from.0 as usize].release(vm)?;
+        if let Some(hosts) = self.vm_index.get_mut(&vm) {
+            hosts.retain(|&p| p != from);
+        }
+        Ok(())
+    }
+
+    /// Releases every reservation of `vm` (departure), returning the PMs it
+    /// was released from.
+    pub fn remove_vm(&mut self, vm: VmId) -> Vec<PmId> {
+        let hosts = self.vm_index.remove(&vm).unwrap_or_default();
+        for &pm in &hosts {
+            self.pms[pm.0 as usize]
+                .release(vm)
+                .expect("index and reservations agree");
+        }
+        hosts
+    }
+
+    /// Marks a PM failed and evicts all of its VMs, returning them. VMs
+    /// that were also reserved elsewhere (mid-migration) keep their other
+    /// reservation.
+    pub fn fail_pm(&mut self, pm: PmId) -> Vec<VmId> {
+        let evicted = self.pms[pm.0 as usize].evict_all();
+        self.pms[pm.0 as usize].state = PmState::Failed;
+        for &vm in &evicted {
+            if let Some(hosts) = self.vm_index.get_mut(&vm) {
+                hosts.retain(|&p| p != pm);
+                if hosts.is_empty() {
+                    self.vm_index.remove(&vm);
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Verifies the global invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    /// Panics if a PM's `used` does not equal the sum of its reservations,
+    /// or the VM index disagrees with the per-PM reservation sets.
+    pub fn assert_consistent(&self) {
+        for pm in &self.pms {
+            let mut sum = ResourceVector::zero(pm.capacity().k());
+            for vm in pm.hosted_vms() {
+                let r = pm.reservation_of(vm).expect("hosted VM has reservation");
+                sum = sum.add(r);
+                assert!(
+                    self.vm_index
+                        .get(&vm)
+                        .is_some_and(|hosts| hosts.contains(&pm.id)),
+                    "{vm} reserved on {} but missing from index",
+                    pm.id
+                );
+            }
+            assert_eq!(&sum, pm.used(), "occupancy sum mismatch on {}", pm.id);
+            assert!(sum.le(pm.capacity()), "capacity exceeded on {}", pm.id);
+        }
+        for (&vm, hosts) in &self.vm_index {
+            assert!(!hosts.is_empty(), "{vm} indexed with no hosts");
+            for &pm in hosts {
+                assert!(
+                    self.pms[pm.0 as usize].reservation_of(vm).is_some(),
+                    "{vm} indexed on {pm} without a reservation"
+                );
+            }
+        }
+    }
+}
+
+/// Builder for heterogeneous fleets.
+#[derive(Debug, Default)]
+pub struct FleetBuilder {
+    classes: Vec<PmClass>,
+    counts: Vec<usize>,
+    reliability: Vec<f64>,
+    initially_on: bool,
+}
+
+impl FleetBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        FleetBuilder::default()
+    }
+
+    /// Adds `count` machines of `class`, all with reliability `reliability`.
+    pub fn add_class(mut self, class: PmClass, count: usize, reliability: f64) -> Self {
+        self.classes.push(class);
+        self.counts.push(count);
+        self.reliability.push(reliability);
+        self
+    }
+
+    /// Whether machines start powered on (default: off).
+    pub fn initially_on(mut self, on: bool) -> Self {
+        self.initially_on = on;
+        self
+    }
+
+    /// Builds the datacenter. Machines are numbered class by class in the
+    /// order the classes were added.
+    pub fn build(self) -> Datacenter {
+        let mut pms = Vec::new();
+        let mut id = 0u32;
+        for (idx, class) in self.classes.iter().enumerate() {
+            for _ in 0..self.counts[idx] {
+                let mut pm = Pm::new(PmId(id), idx, class.clone(), self.reliability[idx]);
+                if self.initially_on {
+                    pm.state = PmState::On;
+                }
+                pms.push(pm);
+                id += 1;
+            }
+        }
+        Datacenter::new(self.classes, pms)
+    }
+}
+
+/// The paper's evaluation fleet (Table II): 25 fast + 75 slow nodes.
+///
+/// Reliability is not quantified in the paper; both classes default to a
+/// high uniform value so the `rel` factor is neutral unless a scenario
+/// overrides it.
+pub fn paper_fleet() -> Datacenter {
+    FleetBuilder::new()
+        .add_class(PmClass::paper_fast(), 25, 0.99)
+        .add_class(PmClass::paper_slow(), 75, 0.99)
+        .initially_on(false)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_fleet() -> Datacenter {
+        FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 2, 0.99)
+            .add_class(PmClass::paper_slow(), 3, 0.95)
+            .initially_on(true)
+            .build()
+    }
+
+    fn vm_demand() -> ResourceVector {
+        ResourceVector::cpu_mem(1, 512)
+    }
+
+    #[test]
+    fn paper_fleet_matches_table2() {
+        let dc = paper_fleet();
+        assert_eq!(dc.len(), 100);
+        let fast = dc.pms().iter().filter(|p| p.class.name == "fast").count();
+        let slow = dc.pms().iter().filter(|p| p.class.name == "slow").count();
+        assert_eq!(fast, 25);
+        assert_eq!(slow, 75);
+        assert!(dc.pms().iter().all(|p| p.state == PmState::Off));
+        assert_eq!(dc.classes().len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let dc = on_fleet();
+        for (i, pm) in dc.pms().iter().enumerate() {
+            assert_eq!(pm.id, PmId(i as u32));
+        }
+        assert_eq!(dc.pm(PmId(0)).class.name, "fast");
+        assert_eq!(dc.pm(PmId(4)).class.name, "slow");
+    }
+
+    #[test]
+    fn place_and_remove_update_index() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        assert_eq!(dc.host_of(VmId(1)), Some(PmId(0)));
+        assert_eq!(dc.active_vm_count(), 1);
+        assert_eq!(dc.non_idle_count(), 1);
+        dc.assert_consistent();
+
+        let released = dc.remove_vm(VmId(1));
+        assert_eq!(released, vec![PmId(0)]);
+        assert_eq!(dc.host_of(VmId(1)), None);
+        assert_eq!(dc.non_idle_count(), 0);
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn migration_double_reserves_then_releases_source() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.begin_migration(VmId(1), PmId(1), vm_demand()).unwrap();
+        // Reserved on both; current host is the destination.
+        assert_eq!(dc.hosts_of(VmId(1)), &[PmId(1), PmId(0)]);
+        assert_eq!(dc.host_of(VmId(1)), Some(PmId(1)));
+        assert_eq!(dc.non_idle_count(), 2);
+        dc.assert_consistent();
+
+        dc.finish_migration(VmId(1), PmId(0)).unwrap();
+        assert_eq!(dc.hosts_of(VmId(1)), &[PmId(1)]);
+        assert_eq!(dc.non_idle_count(), 1);
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn departure_mid_migration_releases_both() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.begin_migration(VmId(1), PmId(1), vm_demand()).unwrap();
+        let released = dc.remove_vm(VmId(1));
+        assert_eq!(released.len(), 2);
+        assert_eq!(dc.non_idle_count(), 0);
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn fail_pm_evicts_and_marks_failed() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.place(VmId(2), PmId(0), vm_demand()).unwrap();
+        dc.place(VmId(3), PmId(1), vm_demand()).unwrap();
+        let evicted = dc.fail_pm(PmId(0));
+        assert_eq!(evicted, vec![VmId(1), VmId(2)]);
+        assert_eq!(dc.pm(PmId(0)).state, PmState::Failed);
+        assert_eq!(dc.host_of(VmId(1)), None);
+        assert_eq!(dc.host_of(VmId(3)), Some(PmId(1)));
+        assert_eq!(dc.total_power_w(), {
+            // pm1 active (fast 400), pm2..4 idle slow on (180*3)... wait pm2,3,4 idle
+            400.0 + 240.0 + 3.0 * 180.0 - 240.0
+        });
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn fail_pm_mid_migration_keeps_other_reservation() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.begin_migration(VmId(1), PmId(1), vm_demand()).unwrap();
+        // Destination fails: VM survives on the source.
+        let evicted = dc.fail_pm(PmId(1));
+        assert_eq!(evicted, vec![VmId(1)]);
+        assert_eq!(dc.hosts_of(VmId(1)), &[PmId(0)]);
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn power_counts() {
+        let mut dc = on_fleet();
+        // All on: 2 fast idle (240 each) + 3 slow idle (180 each) = 1020 W.
+        assert_eq!(dc.total_power_w(), 1_020.0);
+        assert_eq!(dc.powered_count(), 5);
+        assert_eq!(dc.idle_available_count(), 5);
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        // pm0 becomes active: +160 W.
+        assert_eq!(dc.total_power_w(), 1_180.0);
+        dc.pm_mut(PmId(4)).state = PmState::Off;
+        assert_eq!(dc.total_power_w(), 1_000.0);
+        assert_eq!(dc.powered_count(), 4);
+    }
+
+    #[test]
+    fn powered_core_utilization_tracks_reservations_and_power_state() {
+        let mut dc = on_fleet();
+        // 2 fast (8 cores) + 3 slow (4 cores) available = 28 cores.
+        assert_eq!(dc.powered_core_utilization(), 0.0);
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(7, 512)).unwrap();
+        assert!((dc.powered_core_utilization() - 7.0 / 28.0).abs() < 1e-12);
+        // Powering a slow PM off shrinks the denominator.
+        dc.pm_mut(PmId(4)).state = PmState::Off;
+        assert!((dc.powered_core_utilization() - 7.0 / 24.0).abs() < 1e-12);
+        // Fully off fleet → 0, not NaN.
+        for id in [0u32, 1, 2, 3] {
+            if dc.pm(PmId(id)).is_idle() {
+                dc.pm_mut(PmId(id)).state = PmState::Off;
+            }
+        }
+        dc.remove_vm(VmId(1));
+        dc.pm_mut(PmId(0)).state = PmState::Off;
+        assert_eq!(dc.powered_core_utilization(), 0.0);
+    }
+
+    #[test]
+    fn counts_ignore_unavailable_pms() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.pm_mut(PmId(1)).state = PmState::Off;
+        assert_eq!(dc.non_idle_count(), 1);
+        assert_eq!(dc.idle_available_count(), 3);
+    }
+}

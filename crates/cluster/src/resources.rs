@@ -1,0 +1,382 @@
+//! K-dimensional resource vectors.
+//!
+//! The paper models every VM request and PM capacity as a vector with one
+//! component per resource type (its evaluation uses K = 2: CPU cores and
+//! memory). Components are integer *units* — cores are whole cores and
+//! memory is in MiB — so capacity checks are exact.
+//!
+//! The vector is stored inline (no heap allocation) up to [`MAX_DIMS`]
+//! dimensions; placement inner loops touch millions of these.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// Maximum number of resource dimensions supported.
+pub const MAX_DIMS: usize = 4;
+
+/// Conventional index of the CPU dimension in two-dimensional setups.
+pub const CPU: usize = 0;
+/// Conventional index of the memory dimension in two-dimensional setups.
+pub const MEM: usize = 1;
+
+/// An inline K-dimensional vector of resource units.
+///
+/// ```
+/// use dvmp_cluster::resources::ResourceVector;
+///
+/// let capacity = ResourceVector::cpu_mem(8, 8_192); // 8 cores, 8 GiB
+/// let used = ResourceVector::cpu_mem(6, 4_096);
+/// let vm = ResourceVector::cpu_mem(2, 1_024);
+///
+/// assert!(used.fits_with(&vm, &capacity));            // Eq. 2
+/// assert_eq!(used.joint_utilization(&capacity), 0.375); // 0.75 × 0.5
+/// assert_eq!(capacity.contains_times(&ResourceVector::cpu_mem(1, 512)), 8); // W_j
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceVector {
+    dims: [u64; MAX_DIMS],
+    len: u8,
+}
+
+impl ResourceVector {
+    /// Builds a vector from a slice of per-dimension units.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or longer than [`MAX_DIMS`].
+    pub fn new(values: &[u64]) -> Self {
+        assert!(
+            !values.is_empty() && values.len() <= MAX_DIMS,
+            "resource vector must have 1..={MAX_DIMS} dimensions"
+        );
+        let mut dims = [0u64; MAX_DIMS];
+        dims[..values.len()].copy_from_slice(values);
+        ResourceVector {
+            dims,
+            len: values.len() as u8,
+        }
+    }
+
+    /// Convenience constructor for the paper's two-dimensional case.
+    pub fn cpu_mem(cores: u64, mem_mib: u64) -> Self {
+        ResourceVector::new(&[cores, mem_mib])
+    }
+
+    /// The zero vector with `k` dimensions.
+    pub fn zero(k: usize) -> Self {
+        assert!((1..=MAX_DIMS).contains(&k));
+        ResourceVector {
+            dims: [0; MAX_DIMS],
+            len: k as u8,
+        }
+    }
+
+    /// Number of dimensions K.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Component `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.k());
+        self.dims[i]
+    }
+
+    /// The components as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.dims[..self.k()]
+    }
+
+    /// `true` when every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.as_slice().iter().all(|&d| d == 0)
+    }
+
+    /// Component-wise sum.
+    ///
+    /// # Panics
+    /// Panics (debug) on dimension mismatch; saturates on overflow.
+    pub fn add(&self, other: &ResourceVector) -> ResourceVector {
+        debug_assert_eq!(self.k(), other.k(), "dimension mismatch");
+        let mut out = *self;
+        for i in 0..self.k() {
+            out.dims[i] = self.dims[i].saturating_add(other.dims[i]);
+        }
+        out
+    }
+
+    /// Component-wise difference; `None` if any component would go negative.
+    pub fn checked_sub(&self, other: &ResourceVector) -> Option<ResourceVector> {
+        debug_assert_eq!(self.k(), other.k(), "dimension mismatch");
+        let mut out = *self;
+        for i in 0..self.k() {
+            out.dims[i] = self.dims[i].checked_sub(other.dims[i])?;
+        }
+        Some(out)
+    }
+
+    /// Saturating component-wise difference.
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        debug_assert_eq!(self.k(), other.k(), "dimension mismatch");
+        let mut out = *self;
+        for i in 0..self.k() {
+            out.dims[i] = self.dims[i].saturating_sub(other.dims[i]);
+        }
+        out
+    }
+
+    /// `true` when `self + extra ≤ capacity` component-wise — Eq. 2's
+    /// feasibility test with `self` as the current occupation.
+    pub fn fits_with(&self, extra: &ResourceVector, capacity: &ResourceVector) -> bool {
+        debug_assert_eq!(self.k(), extra.k());
+        debug_assert_eq!(self.k(), capacity.k());
+        (0..self.k()).all(|i| self.dims[i].saturating_add(extra.dims[i]) <= capacity.dims[i])
+    }
+
+    /// `true` when `self ≤ other` in every component.
+    pub fn le(&self, other: &ResourceVector) -> bool {
+        debug_assert_eq!(self.k(), other.k());
+        (0..self.k()).all(|i| self.dims[i] <= other.dims[i])
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: &ResourceVector) -> ResourceVector {
+        debug_assert_eq!(self.k(), other.k());
+        let mut out = *self;
+        for i in 0..self.k() {
+            out.dims[i] = self.dims[i].min(other.dims[i]);
+        }
+        out
+    }
+
+    /// The joint utilization `∏_k self(k) / capacity(k)` used by the paper's
+    /// energy-efficiency factor (Section III-B-4). Dimensions with zero
+    /// capacity are skipped (they cannot be utilized).
+    pub fn joint_utilization(&self, capacity: &ResourceVector) -> f64 {
+        debug_assert_eq!(self.k(), capacity.k());
+        let mut u = 1.0;
+        for i in 0..self.k() {
+            if capacity.dims[i] > 0 {
+                u *= self.dims[i] as f64 / capacity.dims[i] as f64;
+            }
+        }
+        u
+    }
+
+    /// Per-dimension utilizations `self(k) / capacity(k)`.
+    pub fn utilizations(&self, capacity: &ResourceVector) -> impl Iterator<Item = f64> + '_ {
+        let cap = *capacity;
+        (0..self.k()).map(move |i| {
+            if cap.dims[i] == 0 {
+                0.0
+            } else {
+                self.dims[i] as f64 / cap.dims[i] as f64
+            }
+        })
+    }
+
+    /// How many copies of `unit` fit inside `self`:
+    /// `min_k floor(self(k) / unit(k))` — the paper's `W_j` when `self` is a
+    /// PM capacity and `unit` is the minimum VM request `R^MIN`.
+    /// Dimensions where `unit` is zero are unconstrained.
+    pub fn contains_times(&self, unit: &ResourceVector) -> u64 {
+        debug_assert_eq!(self.k(), unit.k());
+        let mut w = u64::MAX;
+        let mut constrained = false;
+        for i in 0..self.k() {
+            if let Some(q) = self.dims[i].checked_div(unit.dims[i]) {
+                w = w.min(q);
+                constrained = true;
+            }
+        }
+        if constrained {
+            w
+        } else {
+            0
+        }
+    }
+}
+
+impl Index<usize> for ResourceVector {
+    type Output = u64;
+    fn index(&self, i: usize) -> &u64 {
+        assert!(i < self.k(), "resource dimension {i} out of bounds");
+        &self.dims[i]
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_access() {
+        let r = ResourceVector::cpu_mem(4, 8_192);
+        assert_eq!(r.k(), 2);
+        assert_eq!(r.get(CPU), 4);
+        assert_eq!(r[MEM], 8_192);
+        assert_eq!(r.as_slice(), &[4, 8_192]);
+        assert_eq!(r.to_string(), "[4, 8192]");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn rejects_empty() {
+        ResourceVector::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let r = ResourceVector::cpu_mem(1, 1);
+        let _ = r[2];
+    }
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let a = ResourceVector::cpu_mem(2, 1_024);
+        let b = ResourceVector::cpu_mem(1, 512);
+        let sum = a.add(&b);
+        assert_eq!(sum, ResourceVector::cpu_mem(3, 1_536));
+        assert_eq!(sum.checked_sub(&b), Some(a));
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!(b.saturating_sub(&a), ResourceVector::cpu_mem(0, 0));
+    }
+
+    #[test]
+    fn fits_with_capacity() {
+        let cap = ResourceVector::cpu_mem(8, 8_192);
+        let used = ResourceVector::cpu_mem(6, 4_096);
+        let small = ResourceVector::cpu_mem(2, 4_096);
+        let big = ResourceVector::cpu_mem(3, 1_024);
+        assert!(used.fits_with(&small, &cap));
+        assert!(!used.fits_with(&big, &cap), "CPU dimension overflows");
+    }
+
+    #[test]
+    fn exact_fill_fits() {
+        let cap = ResourceVector::cpu_mem(4, 1_000);
+        let used = ResourceVector::cpu_mem(3, 500);
+        let vm = ResourceVector::cpu_mem(1, 500);
+        assert!(used.fits_with(&vm, &cap));
+    }
+
+    #[test]
+    fn joint_utilization_is_product() {
+        let cap = ResourceVector::cpu_mem(8, 8_192);
+        let used = ResourceVector::cpu_mem(4, 2_048);
+        // 0.5 * 0.25
+        assert!((used.joint_utilization(&cap) - 0.125).abs() < 1e-12);
+        assert_eq!(ResourceVector::zero(2).joint_utilization(&cap), 0.0);
+        assert_eq!(cap.joint_utilization(&cap), 1.0);
+    }
+
+    #[test]
+    fn per_dimension_utilizations() {
+        let cap = ResourceVector::cpu_mem(8, 4_096);
+        let used = ResourceVector::cpu_mem(2, 1_024);
+        let us: Vec<f64> = used.utilizations(&cap).collect();
+        assert_eq!(us, vec![0.25, 0.25]);
+    }
+
+    #[test]
+    fn contains_times_is_min_over_dims() {
+        let cap = ResourceVector::cpu_mem(8, 4_096);
+        let unit = ResourceVector::cpu_mem(1, 512);
+        assert_eq!(cap.contains_times(&unit), 8);
+        let mem_tight = ResourceVector::cpu_mem(1, 1_024);
+        assert_eq!(cap.contains_times(&mem_tight), 4);
+        // Unconstrained unit → 0 (meaningless W).
+        assert_eq!(cap.contains_times(&ResourceVector::zero(2)), 0);
+    }
+
+    #[test]
+    fn le_and_min() {
+        let a = ResourceVector::cpu_mem(2, 100);
+        let b = ResourceVector::cpu_mem(3, 50);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        assert_eq!(a.min(&b), ResourceVector::cpu_mem(2, 50));
+        assert!(a.min(&b).le(&a));
+        assert!(a.min(&b).le(&b));
+    }
+
+    #[test]
+    fn zero_vector() {
+        let z = ResourceVector::zero(3);
+        assert!(z.is_zero());
+        assert_eq!(z.k(), 3);
+        assert!(!ResourceVector::cpu_mem(0, 1).is_zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_then_sub_round_trips(
+            a in prop::array::uniform2(0u64..1_000_000),
+            b in prop::array::uniform2(0u64..1_000_000),
+        ) {
+            let va = ResourceVector::new(&a);
+            let vb = ResourceVector::new(&b);
+            prop_assert_eq!(va.add(&vb).checked_sub(&vb), Some(va));
+        }
+
+        #[test]
+        fn prop_fits_iff_sum_le_capacity(
+            used in prop::array::uniform2(0u64..1_000),
+            extra in prop::array::uniform2(0u64..1_000),
+            cap in prop::array::uniform2(0u64..2_000),
+        ) {
+            let u = ResourceVector::new(&used);
+            let e = ResourceVector::new(&extra);
+            let c = ResourceVector::new(&cap);
+            let expected = (0..2).all(|i| used[i] + extra[i] <= cap[i]);
+            prop_assert_eq!(u.fits_with(&e, &c), expected);
+        }
+
+        #[test]
+        fn prop_joint_utilization_in_unit_interval(
+            used in prop::array::uniform2(0u64..1_000),
+            cap in prop::array::uniform2(1u64..1_000),
+        ) {
+            let u = ResourceVector::new(&used).min(&ResourceVector::new(&cap));
+            let c = ResourceVector::new(&cap);
+            let ju = u.joint_utilization(&c);
+            prop_assert!((0.0..=1.0).contains(&ju));
+        }
+
+        #[test]
+        fn prop_contains_times_consistent(
+            cap in prop::array::uniform2(1u64..10_000),
+            unit in prop::array::uniform2(1u64..100),
+        ) {
+            let c = ResourceVector::new(&cap);
+            let u = ResourceVector::new(&unit);
+            let w = c.contains_times(&u);
+            // w copies fit...
+            let mut acc = ResourceVector::zero(2);
+            for _ in 0..w {
+                acc = acc.add(&u);
+            }
+            prop_assert!(acc.le(&c));
+            // ...but w+1 copies do not.
+            prop_assert!(!acc.fits_with(&u, &c));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Model-based property test: the datacenter's reservation bookkeeping
+//! (place / migrate / remove / fail) against a flat reference model under
+//! random operation sequences.
+
+use dvmp_cluster::datacenter::{Datacenter, FleetBuilder};
+use dvmp_cluster::pm::{PmClass, PmId};
+use dvmp_cluster::resources::ResourceVector;
+use dvmp_cluster::vm::VmId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Place VM (fresh id) on PM `pm % fleet`, memory `mem`.
+    Place(u8, u16),
+    /// Begin migration of the n-th live VM to PM `pm % fleet`.
+    BeginMigration(u8, u8),
+    /// Finish the n-th in-flight migration.
+    FinishMigration(u8),
+    /// Remove the n-th live VM.
+    Remove(u8),
+    /// Fail PM `pm % fleet`.
+    Fail(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (any::<u8>(), 128u16..1_024).prop_map(|(p, m)| Op::Place(p, m)),
+            2 => (any::<u8>(), any::<u8>()).prop_map(|(v, p)| Op::BeginMigration(v, p)),
+            2 => any::<u8>().prop_map(Op::FinishMigration),
+            2 => any::<u8>().prop_map(Op::Remove),
+            1 => any::<u8>().prop_map(Op::Fail),
+        ],
+        1..120,
+    )
+}
+
+fn fleet() -> Datacenter {
+    FleetBuilder::new()
+        .add_class(PmClass::paper_fast(), 2, 0.99)
+        .add_class(PmClass::paper_slow(), 3, 0.95)
+        .initially_on(true)
+        .build()
+}
+
+/// Reference model: VM → (resources, hosts in current-host-first order).
+type Model = HashMap<VmId, (ResourceVector, Vec<PmId>)>;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn datacenter_matches_reference_model(ops in arb_ops()) {
+        let mut dc = fleet();
+        let m = dc.len() as u32;
+        let mut model: Model = HashMap::new();
+        let mut next_vm = 1u32;
+
+        for op in ops {
+            match op {
+                Op::Place(p, mem) => {
+                    let pm = PmId(p as u32 % m);
+                    let res = ResourceVector::cpu_mem(1, mem as u64);
+                    let id = VmId(next_vm);
+                    let fits = dc.pm(pm).can_host(&res);
+                    match dc.place(id, pm, res) {
+                        Ok(()) => {
+                            prop_assert!(fits, "place must only succeed when can_host");
+                            model.insert(id, (res, vec![pm]));
+                            next_vm += 1;
+                        }
+                        Err(_) => prop_assert!(!fits, "place must succeed when can_host"),
+                    }
+                }
+                Op::BeginMigration(v, p) => {
+                    let singles: Vec<VmId> = model
+                        .iter()
+                        .filter(|(_, (_, hosts))| hosts.len() == 1)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    if singles.is_empty() { continue; }
+                    let mut sorted = singles;
+                    sorted.sort();
+                    let id = sorted[v as usize % sorted.len()];
+                    let (res, hosts) = model[&id].clone();
+                    let to = PmId(p as u32 % m);
+                    if to == hosts[0] { continue; }
+                    let fits = dc.pm(to).can_host(&res);
+                    match dc.begin_migration(id, to, res) {
+                        Ok(()) => {
+                            prop_assert!(fits);
+                            model.get_mut(&id).unwrap().1.insert(0, to);
+                        }
+                        Err(_) => prop_assert!(!fits),
+                    }
+                }
+                Op::FinishMigration(v) => {
+                    let doubles: Vec<VmId> = model
+                        .iter()
+                        .filter(|(_, (_, hosts))| hosts.len() == 2)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    if doubles.is_empty() { continue; }
+                    let mut sorted = doubles;
+                    sorted.sort();
+                    let id = sorted[v as usize % sorted.len()];
+                    let from = model[&id].1[1];
+                    dc.finish_migration(id, from).unwrap();
+                    model.get_mut(&id).unwrap().1.retain(|&h| h != from);
+                }
+                Op::Remove(v) => {
+                    if model.is_empty() { continue; }
+                    let mut ids: Vec<VmId> = model.keys().copied().collect();
+                    ids.sort();
+                    let id = ids[v as usize % ids.len()];
+                    let released = dc.remove_vm(id);
+                    let (_, hosts) = model.remove(&id).unwrap();
+                    prop_assert_eq!(released.len(), hosts.len());
+                    for h in hosts {
+                        prop_assert!(released.contains(&h));
+                    }
+                }
+                Op::Fail(p) => {
+                    let pm = PmId(p as u32 % m);
+                    dc.fail_pm(pm);
+                    // Model: drop this PM from every VM's host list; VMs
+                    // with no hosts left disappear.
+                    model.retain(|_, (_, hosts)| {
+                        hosts.retain(|&h| h != pm);
+                        !hosts.is_empty()
+                    });
+                }
+            }
+
+            // Global agreement after every operation.
+            dc.assert_consistent();
+            prop_assert_eq!(dc.active_vm_count(), model.len());
+            for (&id, (_, hosts)) in &model {
+                prop_assert_eq!(dc.hosts_of(id), hosts.as_slice(), "hosts of {}", id);
+                prop_assert_eq!(dc.host_of(id), Some(hosts[0]));
+            }
+            // Per-PM used = sum of modeled reservations.
+            for pm in dc.pms() {
+                let mut sum = ResourceVector::zero(2);
+                for (res, hosts) in model.values() {
+                    if hosts.contains(&pm.id) {
+                        sum = sum.add(res);
+                    }
+                }
+                prop_assert_eq!(pm.used(), &sum, "occupancy of {}", pm.id);
+            }
+        }
+    }
+}

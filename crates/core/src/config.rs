@@ -1,0 +1,73 @@
+//! Simulator configuration.
+
+use dvmp_forecast::spare::SpareConfig;
+use dvmp_metrics::PowerGroups;
+use dvmp_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Optional PM-failure injection (exercises the reliability factor and the
+/// "PM fails → its VMs become fresh requests" trigger of Section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureConfig {
+    /// Failure rate (per second) of a hypothetical reliability-0 machine;
+    /// a PM with reliability `r` fails at `base_rate · (1 − r)`.
+    pub base_rate: f64,
+    /// Time from failure to the machine returning in the `Off` state.
+    pub repair_time: SimDuration,
+}
+
+/// Everything the simulator needs besides the fleet, the workload and the
+/// policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulation/report horizon.
+    pub horizon: SimTime,
+    /// Spare-server control (Section IV). `None` keeps every PM powered
+    /// for the whole run — the classic static-provisioning assumption,
+    /// used by the `ablation_spare` experiment.
+    pub spare: Option<SpareConfig>,
+    /// Run a dynamic-migration pass when a new request arrives
+    /// (Section III-C trigger #1).
+    pub consolidate_on_arrival: bool,
+    /// Run a dynamic-migration pass when a job departs
+    /// (Section III-C trigger #2).
+    pub consolidate_on_departure: bool,
+    /// Failure injection; `None` (default) matches the paper's evaluation.
+    pub failures: Option<FailureConfig>,
+    /// Optional fleet partition for per-group energy accounting in the
+    /// report (per region in the geo extension, per class for hardware
+    /// breakdowns).
+    pub power_groups: Option<PowerGroups>,
+    /// Scenario master seed (fans out to per-component RNG streams).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: SimTime::from_days(7),
+            spare: Some(SpareConfig::default()),
+            consolidate_on_arrival: true,
+            consolidate_on_departure: true,
+            failures: None,
+            power_groups: None,
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_evaluation() {
+        let c = SimConfig::default();
+        assert_eq!(c.horizon, SimTime::from_days(7));
+        let spare = c.spare.expect("spare control on by default");
+        assert_eq!(spare.control_period, SimDuration::HOUR);
+        assert_eq!(spare.qos_epsilon, 0.05);
+        assert!(c.consolidate_on_arrival && c.consolidate_on_departure);
+        assert!(c.failures.is_none());
+    }
+}

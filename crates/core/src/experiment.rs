@@ -1,0 +1,116 @@
+//! Multi-policy experiment driver.
+//!
+//! The paper's figures compare three schemes on identical inputs. This
+//! module runs one [`Scenario`] under several policies — in parallel, one
+//! OS thread per policy via `crossbeam::scope` — and collects the
+//! per-policy [`RunReport`]s in input order.
+
+use crate::scenario::Scenario;
+use dvmp_metrics::recorder::RunReport;
+use dvmp_placement::PlacementPolicy;
+use parking_lot::Mutex;
+
+/// A named constructor for a policy instance. Policies are stateful (the
+/// dynamic scheme keeps counters, the random baseline an RNG), so each run
+/// needs a fresh instance; the factory carries the recipe across threads.
+pub struct PolicyFactory {
+    /// Label used in reports when the policy itself is not yet built.
+    pub name: &'static str,
+    make: Box<dyn Fn() -> Box<dyn PlacementPolicy> + Send + Sync>,
+}
+
+impl PolicyFactory {
+    /// Wraps a constructor closure.
+    pub fn new(
+        name: &'static str,
+        make: impl Fn() -> Box<dyn PlacementPolicy> + Send + Sync + 'static,
+    ) -> Self {
+        PolicyFactory {
+            name,
+            make: Box::new(make),
+        }
+    }
+
+    /// Builds a fresh policy instance.
+    pub fn build(&self) -> Box<dyn PlacementPolicy> {
+        (self.make)()
+    }
+
+    /// The paper's three evaluated schemes, in figure order:
+    /// dynamic, first-fit, best-fit.
+    pub fn paper_trio() -> Vec<PolicyFactory> {
+        vec![
+            PolicyFactory::new("dynamic", || {
+                Box::new(dvmp_placement::DynamicPlacement::paper_default())
+            }),
+            PolicyFactory::new("first-fit", || Box::new(dvmp_placement::FirstFit)),
+            PolicyFactory::new("best-fit", || Box::new(dvmp_placement::BestFit)),
+        ]
+    }
+}
+
+/// Runs `scenario` under every policy, in parallel, returning reports in
+/// the factories' order.
+pub fn compare_policies(scenario: &Scenario, policies: &[PolicyFactory]) -> Vec<RunReport> {
+    let slots: Vec<Mutex<Option<RunReport>>> =
+        policies.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|s| {
+        for (i, factory) in policies.iter().enumerate() {
+            let slot = &slots[i];
+            let scenario = &*scenario;
+            s.spawn(move |_| {
+                let report = scenario.run(factory.build());
+                *slot.lock() = Some(report);
+            });
+        }
+    })
+    .expect("policy comparison threads must not panic");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every thread stored its report"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvmp_placement::{FirstFit, WorstFit};
+
+    #[test]
+    fn compare_runs_all_policies_on_identical_inputs() {
+        let scenario = Scenario::paper(42).with_days(1);
+        let factories = vec![
+            PolicyFactory::new("first-fit", || Box::new(FirstFit)),
+            PolicyFactory::new("worst-fit", || Box::new(WorstFit)),
+        ];
+        let reports = compare_policies(&scenario, &factories);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].policy, "first-fit");
+        assert_eq!(reports[1].policy, "worst-fit");
+        assert_eq!(reports[0].total_arrivals, reports[1].total_arrivals);
+        // Spreading burns at least as much energy as packing by id.
+        assert!(reports[1].total_energy_kwh >= reports[0].total_energy_kwh * 0.95);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let scenario = Scenario::paper(7).with_days(1);
+        let factories = vec![PolicyFactory::new("first-fit", || Box::new(FirstFit))];
+        let parallel = compare_policies(&scenario, &factories);
+        let sequential = scenario.run(Box::new(FirstFit));
+        assert_eq!(parallel[0].total_energy_kwh, sequential.total_energy_kwh);
+        assert_eq!(
+            parallel[0].hourly_active_servers,
+            sequential.hourly_active_servers
+        );
+    }
+
+    #[test]
+    fn paper_trio_factories() {
+        let trio = PolicyFactory::paper_trio();
+        assert_eq!(trio.len(), 3);
+        assert_eq!(trio[0].build().name(), "dynamic");
+        assert_eq!(trio[1].build().name(), "first-fit");
+        assert_eq!(trio[2].build().name(), "best-fit");
+    }
+}

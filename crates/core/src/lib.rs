@@ -1,0 +1,65 @@
+//! # dvmp — Dynamic Virtual Machine Placement
+//!
+//! A from-scratch reproduction of *Dynamic Virtual Machine Placement for
+//! Cloud Computing Environments* (Zheng & Cai, ICPP 2014): an event-driven
+//! datacenter simulator in which VM requests arrive, are placed by a
+//! pluggable policy, live-migrate under the paper's statistical dynamic
+//! consolidation scheme, and depart — while a spare-server controller
+//! decides how many machines stay powered and an energy meter integrates
+//! the fleet's power draw.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dvmp::prelude::*;
+//!
+//! // The paper's setup at 1-day scale: Table II fleet, synthetic
+//! // LPC-like workload, hourly control periods.
+//! let scenario = Scenario::paper(42).with_days(1);
+//! let report = scenario.run(Box::new(DynamicPlacement::paper_default()));
+//! assert!(report.total_energy_kwh > 0.0);
+//! assert!(report.qos.meets_paper_slo());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | concern | crate |
+//! |---|---|
+//! | event loop, time, RNG streams, stats | `dvmp-simcore` |
+//! | PMs, VMs, fleet, power, reliability | `dvmp-cluster` |
+//! | traces, SWF, synthetic generator | `dvmp-workload` |
+//! | the placement scheme + baselines | `dvmp-placement` |
+//! | NHPP forecasting, spare servers | `dvmp-forecast` |
+//! | energy/QoS recording, reports | `dvmp-metrics` |
+//! | the simulator, scenarios, experiments | this crate |
+
+pub mod config;
+pub mod experiment;
+pub mod scenario;
+pub mod simulator;
+pub mod timeline;
+
+pub use config::{FailureConfig, SimConfig};
+pub use scenario::Scenario;
+pub use simulator::Simulation;
+pub use timeline::{Milestone, Timeline};
+
+/// Convenient glob import for examples and downstream users.
+pub mod prelude {
+    pub use crate::config::{FailureConfig, SimConfig};
+    pub use crate::experiment::{compare_policies, PolicyFactory};
+    pub use crate::scenario::Scenario;
+    pub use crate::simulator::Simulation;
+    pub use dvmp_cluster::datacenter::{paper_fleet, Datacenter, FleetBuilder};
+    pub use dvmp_cluster::pm::{PmClass, PmId};
+    pub use dvmp_cluster::resources::ResourceVector;
+    pub use dvmp_cluster::vm::{VmId, VmSpec};
+    pub use dvmp_forecast::spare::SpareConfig;
+    pub use dvmp_metrics::recorder::RunReport;
+    pub use dvmp_placement::{
+        BestFit, DynamicConfig, DynamicPlacement, FirstFit, Migration, OverheadMode,
+        PlacementPolicy, PlacementView, RandomFit, ThresholdConfig, ThresholdPolicy, WorstFit,
+    };
+    pub use dvmp_simcore::{SimDuration, SimTime};
+    pub use dvmp_workload::{LpcProfile, SyntheticGenerator, Trace, WorkloadStats};
+}

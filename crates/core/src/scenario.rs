@@ -1,0 +1,244 @@
+//! Scenario = fleet × workload × simulator configuration.
+//!
+//! A [`Scenario`] is a reusable, cloneable description of one experiment:
+//! it can be run against any number of policies (each run gets a fresh
+//! fleet and an identical request stream), which is how the figure
+//! binaries produce their policy-per-column comparisons.
+
+use crate::config::SimConfig;
+use crate::simulator::Simulation;
+use dvmp_cluster::datacenter::{paper_fleet, Datacenter};
+use dvmp_cluster::reliability::ReliabilityModel;
+use dvmp_cluster::vm::VmSpec;
+use dvmp_metrics::recorder::RunReport;
+use dvmp_placement::PlacementPolicy;
+use dvmp_simcore::{SimDuration, SimTime};
+use dvmp_workload::{LpcProfile, SyntheticGenerator, Trace};
+
+/// A complete experiment description.
+///
+/// Serializable: a fully materialized scenario (fleet, every request,
+/// config) can be saved and reloaded bit-exactly, which pins an
+/// experiment even across future changes to the synthetic generator.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Scenario {
+    /// Scenario name (used in logs and reports).
+    pub name: String,
+    fleet: Datacenter,
+    requests: Vec<VmSpec>,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Scenario {
+    /// Builds a scenario from explicit parts.
+    pub fn new(name: impl Into<String>, fleet: Datacenter, requests: Vec<VmSpec>, sim: SimConfig) -> Self {
+        Scenario {
+            name: name.into(),
+            fleet,
+            requests,
+            sim,
+        }
+    }
+
+    /// The paper's evaluation setup: the Table II fleet (25 fast + 75 slow
+    /// nodes), one synthetic LPC-like week (Section V-A) and default
+    /// controls (hourly control period, ε = 0.05, `MIG` defaults live in
+    /// the policy). Fully determined by `seed`.
+    pub fn paper(seed: u64) -> Self {
+        Self::from_profile("paper-week", LpcProfile::paper_calibrated(), seed)
+    }
+
+    /// A scenario from any synthetic workload profile on the paper fleet.
+    pub fn from_profile(name: impl Into<String>, profile: LpcProfile, seed: u64) -> Self {
+        let days = profile.days() as u64;
+        let trace = SyntheticGenerator::new(profile, seed).generate();
+        let mut sim = SimConfig::default();
+        sim.seed = seed;
+        sim.horizon = SimTime::from_days(days);
+        Self::from_trace(name, paper_fleet(), &trace, sim)
+    }
+
+    /// A scenario from a preprocessed trace (synthetic or parsed SWF). The
+    /// paper's VM normalization (`Trace::to_vm_requests`) is applied here.
+    pub fn from_trace(
+        name: impl Into<String>,
+        fleet: Datacenter,
+        trace: &Trace,
+        sim: SimConfig,
+    ) -> Self {
+        let requests = trace
+            .to_vm_requests(1)
+            .into_iter()
+            .map(|r| r.spec)
+            .collect();
+        Scenario {
+            name: name.into(),
+            fleet,
+            requests,
+            sim,
+        }
+    }
+
+    /// Truncates the scenario to its first `days` days (both horizon and
+    /// requests) — handy for fast tests and examples.
+    pub fn with_days(mut self, days: u64) -> Self {
+        let horizon = SimTime::from_days(days);
+        self.sim.horizon = horizon;
+        self.requests.retain(|r| r.submit_time < horizon);
+        self
+    }
+
+    /// Overrides the simulator configuration.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Applies a reliability model to the fleet (e.g. jittered per-PM
+    /// scores so the `rel` factor differentiates machines).
+    pub fn with_reliability(mut self, model: ReliabilityModel) -> Self {
+        model.apply(&mut self.fleet, self.sim.seed);
+        self
+    }
+
+    /// Mutable access to the request list (for scenario surgery in tests).
+    pub fn requests_mut(&mut self) -> &mut Vec<VmSpec> {
+        &mut self.requests
+    }
+
+    /// The request list.
+    pub fn requests(&self) -> &[VmSpec] {
+        &self.requests
+    }
+
+    /// The fleet template.
+    pub fn fleet(&self) -> &Datacenter {
+        &self.fleet
+    }
+
+    /// Runs the scenario under `policy`. The scenario itself is unchanged
+    /// and can be re-run with another policy on identical inputs.
+    pub fn run(&self, policy: Box<dyn PlacementPolicy>) -> RunReport {
+        Simulation::new(
+            self.fleet.clone(),
+            self.requests.clone(),
+            policy,
+            self.sim.clone(),
+        )
+        .run()
+    }
+
+    /// Like [`run`](Self::run), additionally collecting the milestone
+    /// [`Timeline`](crate::timeline::Timeline) of the run.
+    pub fn run_with_timeline(
+        &self,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> (RunReport, crate::timeline::Timeline) {
+        Simulation::new(
+            self.fleet.clone(),
+            self.requests.clone(),
+            policy,
+            self.sim.clone(),
+        )
+        .run_with_timeline()
+    }
+
+    /// The mean offered load in VM-slots (total core·seconds of work over
+    /// the horizon) — a quick feasibility check for custom scenarios.
+    pub fn mean_offered_concurrency(&self) -> f64 {
+        let horizon = self.sim.horizon.as_secs_f64();
+        if horizon == 0.0 {
+            return 0.0;
+        }
+        let core_secs: f64 = self
+            .requests
+            .iter()
+            .map(|r| r.actual_runtime.as_secs_f64() * r.resources.get(0) as f64)
+            .sum();
+        core_secs / horizon
+    }
+
+    /// Total control-period count over the horizon (diagnostics).
+    pub fn control_periods(&self) -> u64 {
+        match &self.sim.spare {
+            Some(sp) if !sp.control_period.is_zero() => {
+                self.sim.horizon.as_secs() / sp.control_period.as_secs()
+            }
+            _ => 0,
+        }
+    }
+
+    /// A shortened name + seed tag (report labels).
+    pub fn label(&self) -> String {
+        format!("{} (seed {})", self.name, self.sim.seed)
+    }
+
+    /// Horizon in days (rounded down).
+    pub fn days(&self) -> u64 {
+        self.sim.horizon.as_secs() / SimDuration::DAY.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvmp_placement::FirstFit;
+
+    #[test]
+    fn paper_scenario_shape() {
+        let s = Scenario::paper(42);
+        assert_eq!(s.fleet().len(), 100);
+        assert_eq!(s.days(), 7);
+        let n = s.requests().len() as f64;
+        assert!((n - 4_574.0).abs() < 4_574.0 * 0.05, "requests {n}");
+        // Feasible under the 500-slot fleet.
+        let load = s.mean_offered_concurrency();
+        assert!(load < 450.0, "offered load {load}");
+        assert_eq!(s.control_periods(), 7 * 24);
+    }
+
+    #[test]
+    fn with_days_truncates_requests_and_horizon() {
+        let s = Scenario::paper(42).with_days(2);
+        assert_eq!(s.days(), 2);
+        assert!(s
+            .requests()
+            .iter()
+            .all(|r| r.submit_time < SimTime::from_days(2)));
+        let full = Scenario::paper(42);
+        assert!(s.requests().len() < full.requests().len());
+    }
+
+    #[test]
+    fn runs_do_not_consume_the_scenario() {
+        let s = Scenario::paper(42).with_days(1);
+        let a = s.run(Box::new(FirstFit));
+        let b = s.run(Box::new(FirstFit));
+        assert_eq!(a.total_arrivals, b.total_arrivals);
+        assert_eq!(a.total_energy_kwh, b.total_energy_kwh);
+    }
+
+    #[test]
+    fn scenario_serializes_bit_exactly() {
+        let s = Scenario::paper(42).with_days(1);
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.requests(), s.requests());
+        assert_eq!(back.fleet().len(), s.fleet().len());
+        // A reloaded scenario reproduces the original run exactly.
+        let a = s.run(Box::new(FirstFit));
+        let b = back.run(Box::new(FirstFit));
+        assert_eq!(a.total_energy_kwh, b.total_energy_kwh);
+        assert_eq!(a.hourly_active_servers, b.hourly_active_servers);
+    }
+
+    #[test]
+    fn request_ids_are_dense_from_one() {
+        let s = Scenario::paper(42).with_days(1);
+        let ids: Vec<u32> = s.requests().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids[0], 1);
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+}

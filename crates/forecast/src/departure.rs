@@ -1,0 +1,51 @@
+//! `n_departure(t, t+T)` — scheduled departures in the next control period.
+//!
+//! Section IV: *"It can be easily derived, since each VM request is
+//! submitted with an estimated running time."* The simulator passes the
+//! estimated remaining runtimes of all active VMs; everything with an
+//! estimate inside the window counts as departing.
+
+use dvmp_simcore::SimDuration;
+
+/// Counts remaining-runtime estimates that fall within `window`.
+pub fn departures_within<I>(remaining: I, window: SimDuration) -> u64
+where
+    I: IntoIterator<Item = SimDuration>,
+{
+    remaining
+        .into_iter()
+        .filter(|r| *r <= window)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn counts_only_inside_window() {
+        let remaining = vec![d(100), d(3_600), d(3_601), d(10_000)];
+        assert_eq!(departures_within(remaining, d(3_600)), 2);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        assert_eq!(departures_within([d(60)], d(60)), 1);
+    }
+
+    #[test]
+    fn zero_remaining_counts() {
+        // An overdue estimate (VM ran longer than predicted) is "about to
+        // depart" for planning purposes.
+        assert_eq!(departures_within([d(0)], d(3_600)), 1);
+    }
+
+    #[test]
+    fn empty_iterator_is_zero() {
+        assert_eq!(departures_within(std::iter::empty(), d(3_600)), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dvmp-forecast
+//!
+//! Workload prediction and spare-server control (Section IV of the paper).
+//!
+//! The paper models VM arrivals as a non-homogeneous Poisson process and
+//! keeps just enough spare (idle-but-on) servers that fewer than 5 % of
+//! requests have to queue:
+//!
+//! - [`nhpp`]: NHPP machinery — piecewise-constant rate functions, exact
+//!   cumulative intensity, and a thinning sampler (used to validate the
+//!   estimator against known ground truth);
+//! - [`leemis`]: Leemis's (1991) nonparametric estimator of the cumulative
+//!   intensity function from superposed past realizations (Eq. 6–7's
+//!   `Λ(t, t+T)` estimate);
+//! - [`poisson`]: exact Poisson CDF/quantile, giving the smallest
+//!   `n_arrival` with `P(arrivals > n) ≤ ε` (the paper uses ε = 0.05);
+//! - [`spare`]: the Eq. 8 controller combining the arrival forecast, the
+//!   scheduled departures and the running average VMs-per-PM `N_ave(t)`;
+//! - [`departure`]: the `n_departure(t, t+T)` count from runtime estimates.
+
+pub mod departure;
+pub mod leemis;
+pub mod nhpp;
+pub mod poisson;
+pub mod spare;
+
+pub use leemis::LeemisEstimator;
+pub use nhpp::PiecewiseRate;
+pub use spare::{SpareConfig, SpareServerController};

@@ -1,0 +1,320 @@
+//! The spare-server controller (Section IV, Eq. 8).
+//!
+//! Every control period `T` the simulator decides how many PMs stay
+//! powered: the non-idle count plus
+//!
+//! ```text
+//! N_spare(t, t+T) = 0                                        if n_arr ≤ n_dep
+//!                   (n_arr − n_dep) / N_ave(t)               otherwise
+//! ```
+//!
+//! where `n_arr` is the 95th-percentile arrival forecast
+//! (`P(Λ(t,t+T) > n_arr) ≤ ε`, ε = 0.05), `n_dep` the scheduled departures,
+//! and `N_ave(t)` the running average number of VMs per non-idle PM,
+//! refreshed after every dynamic-migration pass.
+
+use crate::leemis::LeemisEstimator;
+use crate::poisson;
+use dvmp_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Controller parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpareConfig {
+    /// Control period `T`.
+    pub control_period: SimDuration,
+    /// QoS tail bound ε: at most this fraction of requests may queue.
+    pub qos_epsilon: f64,
+    /// Seasonality cycle for the arrival estimator (the paper's evaluation
+    /// uses daily seasonality).
+    pub cycle: SimDuration,
+    /// Floor of the fallback arrival forecast (requests per control
+    /// period) used before the first seasonality cycle completes. The
+    /// warm-up forecast is `max(bootstrap_arrivals, arrivals observed in
+    /// the previous control period)`, so the controller adapts within the
+    /// first cycle instead of flying blind for a whole day.
+    pub bootstrap_arrivals: f64,
+    /// When `true` (default) the forecast is floored by the arrivals
+    /// observed in the *previous* control period even after the estimator
+    /// is trained. The Leemis estimate assumes the configured seasonality;
+    /// a day-over-day surge (the paper's "workload spike") violates that
+    /// assumption, and this reactive floor is what lets the controller
+    /// keep the QoS bound through it at the cost of a little extra energy
+    /// in the hour after a burst.
+    pub react_to_recent: bool,
+}
+
+impl Default for SpareConfig {
+    fn default() -> Self {
+        SpareConfig {
+            control_period: SimDuration::HOUR,
+            qos_epsilon: 0.05,
+            cycle: SimDuration::DAY,
+            bootstrap_arrivals: 5.0,
+            react_to_recent: true,
+        }
+    }
+}
+
+/// The Eq. 8 controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpareServerController {
+    cfg: SpareConfig,
+    estimator: LeemisEstimator,
+    n_ave: f64,
+    /// Arrivals since the last control decision (adaptive warm-up input).
+    since_last: u64,
+    /// Diagnostics: last forecast components.
+    last_forecast: Option<ForecastSnapshot>,
+}
+
+/// The inputs and output of the most recent spare-server decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastSnapshot {
+    /// Expected arrivals `Λ̂(t, t+T)`.
+    pub lambda: f64,
+    /// 95th-percentile arrival count `n_arrival`.
+    pub n_arrival: u64,
+    /// Scheduled departures `n_departure`.
+    pub n_departure: u64,
+    /// `N_ave(t)` used in the division.
+    pub n_ave: f64,
+    /// The resulting spare-server count.
+    pub spare: u64,
+}
+
+impl SpareServerController {
+    /// Creates the controller.
+    pub fn new(cfg: SpareConfig) -> Self {
+        assert!(
+            cfg.qos_epsilon > 0.0 && cfg.qos_epsilon < 1.0,
+            "qos_epsilon must be in (0,1)"
+        );
+        let estimator = LeemisEstimator::new(cfg.cycle);
+        SpareServerController {
+            cfg,
+            estimator,
+            n_ave: 1.0,
+            since_last: 0,
+            last_forecast: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SpareConfig {
+        &self.cfg
+    }
+
+    /// Feeds one arrival into the estimator.
+    pub fn record_arrival(&mut self, t: SimTime) {
+        self.estimator.record_arrival(t);
+        self.since_last += 1;
+    }
+
+    /// Refreshes `N_ave(t)` — called after every dynamic migration pass
+    /// (Section IV: "dynamically updated after each dynamic VM migration
+    /// process"). Ignored while the system is empty.
+    pub fn update_n_ave(&mut self, running_vms: usize, non_idle_pms: usize) {
+        if non_idle_pms > 0 {
+            self.n_ave = running_vms as f64 / non_idle_pms as f64;
+        }
+    }
+
+    /// Current `N_ave(t)`.
+    pub fn n_ave(&self) -> f64 {
+        self.n_ave
+    }
+
+    /// The last decision's components (for reports).
+    pub fn last_forecast(&self) -> Option<ForecastSnapshot> {
+        self.last_forecast
+    }
+
+    /// Access to the underlying estimator (read-only).
+    pub fn estimator(&self) -> &LeemisEstimator {
+        &self.estimator
+    }
+
+    /// Computes `N_spare(t, t+T)` per Eq. 8.
+    pub fn spare_servers(&mut self, now: SimTime, n_departure: u64) -> u64 {
+        self.estimator.roll_to(now);
+        let recent = std::mem::take(&mut self.since_last) as f64;
+        let lambda = match self.estimator.expected_in(now, self.cfg.control_period) {
+            Some(est) if self.cfg.react_to_recent => est.max(recent),
+            Some(est) => est,
+            None => recent.max(self.cfg.bootstrap_arrivals),
+        };
+        let n_arrival = poisson::upper_quantile(lambda, self.cfg.qos_epsilon);
+        let spare = if n_arrival <= n_departure {
+            0
+        } else {
+            let denom = self.n_ave.max(1.0);
+            ((n_arrival - n_departure) as f64 / denom).ceil() as u64
+        };
+        self.last_forecast = Some(ForecastSnapshot {
+            lambda,
+            n_arrival,
+            n_departure,
+            n_ave: self.n_ave,
+            spare,
+        });
+        spare
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> SpareServerController {
+        SpareServerController::new(SpareConfig::default())
+    }
+
+    /// Feeds a uniform day of `per_day` arrivals into the controller and
+    /// completes the cycle. Flushes the recent-arrival counter the way the
+    /// hourly control loop would, so subsequent decisions reflect the
+    /// estimator alone.
+    fn feed_uniform_day(c: &mut SpareServerController, per_day: u64) {
+        let step = 86_400 / per_day;
+        for i in 0..per_day {
+            c.record_arrival(SimTime::from_secs(i * step));
+        }
+        c.estimator.roll_to(SimTime::from_days(1));
+        c.since_last = 0;
+    }
+
+    #[test]
+    fn bootstrap_forecast_is_used_before_first_cycle() {
+        let mut c = controller();
+        let spare = c.spare_servers(SimTime::from_secs(100), 0);
+        let snap = c.last_forecast().unwrap();
+        assert_eq!(snap.lambda, 5.0, "bootstrap floor λ");
+        assert!(spare > 0);
+    }
+
+    #[test]
+    fn warmup_adapts_to_observed_arrivals() {
+        let mut c = controller();
+        // 30 arrivals in the first hour — still no completed cycle.
+        for i in 0..30u64 {
+            c.record_arrival(SimTime::from_secs(i * 100));
+        }
+        c.spare_servers(SimTime::from_hours(1), 0);
+        let snap = c.last_forecast().unwrap();
+        assert_eq!(snap.lambda, 30.0, "adaptive warm-up uses the last period");
+        // Counter resets after each decision.
+        c.spare_servers(SimTime::from_hours(2), 0);
+        assert_eq!(c.last_forecast().unwrap().lambda, 5.0, "back to floor");
+    }
+
+    #[test]
+    fn more_departures_than_arrivals_means_no_spares() {
+        let mut c = controller();
+        feed_uniform_day(&mut c, 240); // 10/hour
+        let spare = c.spare_servers(SimTime::from_days(1), 1_000);
+        assert_eq!(spare, 0);
+    }
+
+    #[test]
+    fn eq8_division_by_n_ave() {
+        let mut c = controller();
+        feed_uniform_day(&mut c, 2_400); // 100/hour
+        c.update_n_ave(400, 100); // 4 VMs per PM
+        let spare = c.spare_servers(SimTime::from_days(1), 0);
+        let snap = c.last_forecast().unwrap();
+        // λ ≈ 100 → n_arrival ≈ 117; spare = ceil(117/4) ≈ 30.
+        assert!((snap.lambda - 100.0).abs() < 8.0, "λ = {}", snap.lambda);
+        assert!(snap.n_arrival > snap.lambda as u64);
+        assert_eq!(spare, ((snap.n_arrival as f64) / 4.0).ceil() as u64);
+    }
+
+    #[test]
+    fn departures_offset_arrivals() {
+        let mut c = controller();
+        feed_uniform_day(&mut c, 2_400);
+        c.update_n_ave(100, 100); // 1 VM per PM
+        let with_deps = c.spare_servers(SimTime::from_days(1), 50);
+        let without = c.spare_servers(SimTime::from_days(1), 0);
+        assert_eq!(without - with_deps, 50, "each departure frees one VM slot");
+    }
+
+    #[test]
+    fn n_ave_update_ignores_empty_system() {
+        let mut c = controller();
+        c.update_n_ave(0, 0);
+        assert_eq!(c.n_ave(), 1.0, "unchanged default");
+        c.update_n_ave(12, 3);
+        assert_eq!(c.n_ave(), 4.0);
+        c.update_n_ave(5, 0);
+        assert_eq!(c.n_ave(), 4.0, "zero non-idle PMs leaves N_ave alone");
+    }
+
+    #[test]
+    fn quiet_nights_need_fewer_spares_than_busy_afternoons() {
+        let mut c = controller();
+        // Day with all arrivals between 12:00 and 16:00.
+        let start = 12 * 3_600u64;
+        for i in 0..960u64 {
+            c.record_arrival(SimTime::from_secs(start + i * 15));
+        }
+        c.estimator.roll_to(SimTime::from_days(1));
+        c.since_last = 0; // the hourly loop would have flushed these
+        c.update_n_ave(100, 100);
+        let night = c.spare_servers(SimTime::from_days(1) + SimDuration::from_hours(2), 0);
+        let afternoon = c.spare_servers(SimTime::from_days(1) + SimDuration::from_hours(13), 0);
+        assert!(
+            afternoon > night * 3,
+            "afternoon {afternoon} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn surge_floor_reacts_within_one_period() {
+        let mut c = controller();
+        feed_uniform_day(&mut c, 240); // calm history: 10/hour
+        // A 20× burst lands in the current period.
+        for i in 0..200u64 {
+            c.record_arrival(SimTime::from_days(1) + SimDuration::from_secs(i * 10));
+        }
+        c.update_n_ave(100, 100);
+        c.spare_servers(SimTime::from_days(1) + SimDuration::HOUR, 0);
+        let snap = c.last_forecast().unwrap();
+        assert!(
+            snap.lambda >= 200.0,
+            "reactive floor must dominate the calm estimate: λ = {}",
+            snap.lambda
+        );
+
+        // With the floor disabled the stale estimate rules.
+        let mut cfg = SpareConfig::default();
+        cfg.react_to_recent = false;
+        let mut c2 = SpareServerController::new(cfg);
+        feed_uniform_day(&mut c2, 240);
+        for i in 0..200u64 {
+            c2.record_arrival(SimTime::from_days(1) + SimDuration::from_secs(i * 10));
+        }
+        c2.spare_servers(SimTime::from_days(1) + SimDuration::HOUR, 0);
+        assert!(c2.last_forecast().unwrap().lambda < 20.0);
+    }
+
+    #[test]
+    fn tighter_qos_keeps_more_spares() {
+        let mk = |eps: f64| {
+            let mut cfg = SpareConfig::default();
+            cfg.qos_epsilon = eps;
+            let mut c = SpareServerController::new(cfg);
+            feed_uniform_day(&mut c, 2_400);
+            c.update_n_ave(100, 100);
+            c.spare_servers(SimTime::from_days(1), 0)
+        };
+        assert!(mk(0.01) > mk(0.20));
+    }
+
+    #[test]
+    #[should_panic(expected = "qos_epsilon")]
+    fn rejects_invalid_epsilon() {
+        let mut cfg = SpareConfig::default();
+        cfg.qos_epsilon = 0.0;
+        SpareServerController::new(cfg);
+    }
+}

@@ -1,0 +1,122 @@
+//! Electricity-cost evaluation of a finished run.
+//!
+//! A run executed with the topology's [`PowerGroups`] partition reports
+//! per-region hourly energy; dotting those series with each region's
+//! hourly tariff yields the bill. Tariffs are hour-granular step
+//! functions, so using the price at the top of each hour is exact for the
+//! presets in [`crate::price`].
+//!
+//! [`PowerGroups`]: dvmp_metrics::PowerGroups
+
+use crate::topology::GeoTopology;
+use dvmp_metrics::RunReport;
+use dvmp_simcore::SimTime;
+
+/// Per-region electricity cost, $ — `costs[r]` for region `r`.
+///
+/// # Panics
+/// Panics if the report was not produced with this topology's power
+/// groups (names must match).
+pub fn regional_costs(report: &RunReport, topology: &GeoTopology) -> Vec<f64> {
+    let names: Vec<&str> = topology.regions().iter().map(|r| r.name.as_str()).collect();
+    let got: Vec<&str> = report.group_names.iter().map(String::as_str).collect();
+    assert_eq!(
+        names, got,
+        "report groups {got:?} do not match topology regions {names:?}"
+    );
+    topology
+        .regions()
+        .iter()
+        .zip(&report.group_hourly_kwh)
+        .map(|(region, hourly)| {
+            hourly
+                .iter()
+                .enumerate()
+                .map(|(h, kwh)| kwh * region.price.price_at(SimTime::from_hours(h as u64)))
+                .sum()
+        })
+        .collect()
+}
+
+/// Total electricity cost, $.
+pub fn total_cost(report: &RunReport, topology: &GeoTopology) -> f64 {
+    regional_costs(report, topology).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price::PriceSignal;
+    use crate::topology::GeoFleetBuilder;
+    use dvmp_cluster::pm::PmClass;
+    use dvmp_metrics::QosTracker;
+
+    fn topology() -> GeoTopology {
+        let (_, topo) = GeoFleetBuilder::new()
+            .region("cheap", PriceSignal::flat(0.05))
+            .add_machines(PmClass::paper_fast(), 1, 0.99)
+            .region("pricey", PriceSignal::flat(0.20))
+            .add_machines(PmClass::paper_fast(), 1, 0.99)
+            .build();
+        topo
+    }
+
+    fn report(groups: Vec<String>, hourly: Vec<Vec<f64>>) -> RunReport {
+        RunReport {
+            policy: "t".into(),
+            horizon: SimTime::from_hours(2),
+            hourly_active_servers: vec![],
+            hourly_non_idle_servers: vec![],
+            hourly_core_utilization: vec![],
+            peak_active_servers: 0.0,
+            hourly_power_kwh: vec![],
+            daily_power_kwh: vec![],
+            total_energy_kwh: 0.0,
+            mean_power_kw: 0.0,
+            total_arrivals: 0,
+            total_departures: 0,
+            total_migrations: 0,
+            skipped_migrations: 0,
+            pm_failures: 0,
+            served_core_hours: 0.0,
+            qos: QosTracker::new().summary(),
+            group_names: groups,
+            group_hourly_kwh: hourly,
+        }
+    }
+
+    #[test]
+    fn costs_are_price_times_energy() {
+        let topo = topology();
+        let r = report(
+            vec!["cheap".into(), "pricey".into()],
+            vec![vec![10.0, 10.0], vec![5.0, 0.0]],
+        );
+        let costs = regional_costs(&r, &topo);
+        assert!((costs[0] - 20.0 * 0.05).abs() < 1e-12);
+        assert!((costs[1] - 5.0 * 0.20).abs() < 1e-12);
+        assert!((total_cost(&r, &topo) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_of_use_prices_apply_per_hour() {
+        let (_, topo) = GeoFleetBuilder::new()
+            .region("tou", PriceSignal::day_night(0.20, 0.08))
+            .add_machines(PmClass::paper_fast(), 1, 0.99)
+            .build();
+        // 1 kWh in hour 3 (night) + 1 kWh in hour 12 (day).
+        let mut hourly = vec![0.0; 24];
+        hourly[3] = 1.0;
+        hourly[12] = 1.0;
+        let r = report(vec!["tou".into()], vec![hourly]);
+        assert!((total_cost(&r, &topo) - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match")]
+    fn mismatched_groups_are_rejected() {
+        let topo = topology();
+        let r = report(vec!["elsewhere".into()], vec![vec![1.0]]);
+        regional_costs(&r, &topo);
+    }
+}

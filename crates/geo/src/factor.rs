@@ -1,0 +1,174 @@
+//! Cost-aware extension factors.
+//!
+//! Both plug into [`DynamicPlacement::with_factor`] and multiply into the
+//! joint probability `p_ij` exactly like the paper's built-in four — the
+//! mechanism its future-work section sketches ("the dynamic behavior of
+//! electricity price will be formulated as an important factor in the
+//! dynamic VM migration process").
+//!
+//! [`DynamicPlacement::with_factor`]: dvmp_placement::DynamicPlacement::with_factor
+
+use crate::topology::GeoTopology;
+use dvmp_cluster::pm::PmId;
+use dvmp_cluster::resources::ResourceVector;
+use dvmp_placement::factors::ExtraFactor;
+use dvmp_placement::plan::PlanPm;
+use dvmp_simcore::SimTime;
+use std::sync::Arc;
+
+/// `p^cost`: prefer machines in currently cheap regions.
+///
+/// Mirrors the structure of the paper's `eff_j = min{power}/power_j`:
+/// `p^cost_j = cheapest current price / price at j's region`, so the
+/// cheapest region scores 1 and pricier regions proportionally less. The
+/// `exponent` sharpens (> 1) or softens (< 1) the preference.
+#[derive(Debug)]
+pub struct PriceFactor {
+    topology: Arc<GeoTopology>,
+    exponent: f64,
+}
+
+impl PriceFactor {
+    /// Price factor with linear preference.
+    pub fn new(topology: Arc<GeoTopology>) -> Self {
+        PriceFactor {
+            topology,
+            exponent: 1.0,
+        }
+    }
+
+    /// Price factor with a custom preference exponent.
+    pub fn with_exponent(topology: Arc<GeoTopology>, exponent: f64) -> Self {
+        assert!(exponent > 0.0 && exponent.is_finite());
+        PriceFactor { topology, exponent }
+    }
+}
+
+impl ExtraFactor for PriceFactor {
+    fn name(&self) -> &str {
+        "price"
+    }
+
+    fn factor(
+        &self,
+        pm: &PlanPm,
+        _resources: &ResourceVector,
+        _current_host: Option<PmId>,
+        now: SimTime,
+    ) -> f64 {
+        let price = self.topology.price_at(pm.id, now);
+        if price <= 0.0 {
+            return 1.0; // free electricity: no objection
+        }
+        let cheapest = self.topology.cheapest_at(now);
+        (cheapest / price).powf(self.exponent)
+    }
+}
+
+/// Discounts cross-region moves: a WAN migration is slower and riskier
+/// than a LAN one, so it must promise a bigger improvement to clear
+/// `MIG_threshold`. The current host's own row is never penalized, and
+/// new requests (no current host) may start anywhere.
+#[derive(Debug)]
+pub struct WanPenaltyFactor {
+    topology: Arc<GeoTopology>,
+    /// Multiplier applied to cross-region candidates, in `(0, 1]`.
+    penalty: f64,
+}
+
+impl WanPenaltyFactor {
+    /// A WAN penalty factor; `penalty` in `(0, 1]` (e.g. 0.5 halves the
+    /// attractiveness of leaving the region).
+    pub fn new(topology: Arc<GeoTopology>, penalty: f64) -> Self {
+        assert!(penalty > 0.0 && penalty <= 1.0);
+        WanPenaltyFactor { topology, penalty }
+    }
+}
+
+impl ExtraFactor for WanPenaltyFactor {
+    fn name(&self) -> &str {
+        "wan-penalty"
+    }
+
+    fn factor(
+        &self,
+        pm: &PlanPm,
+        _resources: &ResourceVector,
+        current_host: Option<PmId>,
+        _now: SimTime,
+    ) -> f64 {
+        match current_host {
+            Some(host) if self.topology.cross_region(host, pm.id) => self.penalty,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::two_region_paper_fleet;
+
+    fn plan_pm(id: u32) -> PlanPm {
+        PlanPm {
+            id: PmId(id),
+            class_idx: 0,
+            capacity: ResourceVector::cpu_mem(8, 8_192),
+            used: ResourceVector::zero(2),
+            reliability: 0.99,
+            creation_secs: 30,
+            migration_secs: 40,
+        }
+    }
+
+    #[test]
+    fn price_factor_is_one_in_cheapest_region() {
+        let (_, topo) = two_region_paper_fleet(12);
+        let topo = Arc::new(topo);
+        let f = PriceFactor::new(topo.clone());
+        let t = dvmp_simcore::SimTime::from_hours(18); // east peak
+        let east = f.factor(&plan_pm(0), &ResourceVector::cpu_mem(1, 512), None, t);
+        let west = f.factor(&plan_pm(99), &ResourceVector::cpu_mem(1, 512), None, t);
+        assert_eq!(west, 1.0, "west is cheapest at east's peak");
+        assert!(east < 1.0, "east pays the peak tariff: {east}");
+        // Ratio equals cheapest/price.
+        let expect = topo.cheapest_at(t) / topo.price_at(PmId(0), t);
+        assert!((east - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponent_sharpens_the_preference() {
+        let (_, topo) = two_region_paper_fleet(12);
+        let topo = Arc::new(topo);
+        let lin = PriceFactor::new(topo.clone());
+        let sharp = PriceFactor::with_exponent(topo, 2.0);
+        let t = dvmp_simcore::SimTime::from_hours(18);
+        let r = ResourceVector::cpu_mem(1, 512);
+        let e1 = lin.factor(&plan_pm(0), &r, None, t);
+        let e2 = sharp.factor(&plan_pm(0), &r, None, t);
+        assert!((e2 - e1 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wan_penalty_only_hits_cross_region_moves() {
+        let (_, topo) = two_region_paper_fleet(12);
+        let f = WanPenaltyFactor::new(Arc::new(topo), 0.5);
+        let r = ResourceVector::cpu_mem(1, 512);
+        let t = dvmp_simcore::SimTime::ZERO;
+        // Same region (0 → 1): no penalty.
+        assert_eq!(f.factor(&plan_pm(1), &r, Some(PmId(0)), t), 1.0);
+        // Cross region (0 → 99): penalized.
+        assert_eq!(f.factor(&plan_pm(99), &r, Some(PmId(0)), t), 0.5);
+        // The current host row itself: same region by definition.
+        assert_eq!(f.factor(&plan_pm(0), &r, Some(PmId(0)), t), 1.0);
+        // New request: free to start anywhere.
+        assert_eq!(f.factor(&plan_pm(99), &r, None, t), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wan_penalty_rejects_zero() {
+        let (_, topo) = two_region_paper_fleet(12);
+        WanPenaltyFactor::new(Arc::new(topo), 0.0);
+    }
+}

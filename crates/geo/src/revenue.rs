@@ -1,0 +1,134 @@
+//! Provider economics: revenue, penalties and net profit.
+//!
+//! The second half of the paper's future-work sentence ("electricity cost
+//! **and revenue** considerations", in the spirit of its citation \[24\],
+//! Mazzucco et al.'s revenue-aware allocation): completed work earns a
+//! per-core-hour rate, queueing violations pay an SLA credit, and
+//! electricity is bought at each region's tariff. The resulting
+//! [`ProfitReport`] turns the kWh comparisons of Figs. 4–5 into dollars.
+
+use crate::cost::total_cost;
+use crate::topology::GeoTopology;
+use dvmp_metrics::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// Pricing of the provider's service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RevenueModel {
+    /// Income per served core·hour, $ (on-demand instance pricing).
+    pub rate_per_core_hour: f64,
+    /// SLA credit paid per request that had to queue, $.
+    pub credit_per_waited_request: f64,
+}
+
+impl Default for RevenueModel {
+    fn default() -> Self {
+        RevenueModel {
+            // Ballpark of a small on-demand instance.
+            rate_per_core_hour: 0.05,
+            credit_per_waited_request: 0.25,
+        }
+    }
+}
+
+/// One run's economics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfitReport {
+    /// Income from served work, $.
+    pub revenue: f64,
+    /// SLA credits paid, $.
+    pub sla_credits: f64,
+    /// Electricity bill, $.
+    pub electricity: f64,
+    /// `revenue − sla_credits − electricity`, $.
+    pub profit: f64,
+}
+
+impl RevenueModel {
+    /// Evaluates a run executed with `topology`'s power groups.
+    pub fn evaluate(&self, report: &RunReport, topology: &GeoTopology) -> ProfitReport {
+        let revenue = report.served_core_hours * self.rate_per_core_hour;
+        let sla_credits = report.qos.waited_requests as f64 * self.credit_per_waited_request;
+        let electricity = total_cost(report, topology);
+        ProfitReport {
+            revenue,
+            sla_credits,
+            electricity,
+            profit: revenue - sla_credits - electricity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price::PriceSignal;
+    use crate::topology::GeoFleetBuilder;
+    use dvmp_cluster::pm::PmClass;
+    use dvmp_metrics::{QosTracker, RunReport};
+    use dvmp_simcore::{SimDuration, SimTime};
+
+    fn topology() -> GeoTopology {
+        GeoFleetBuilder::new()
+            .region("r", PriceSignal::flat(0.10))
+            .add_machines(PmClass::paper_fast(), 1, 0.99)
+            .build()
+            .1
+    }
+
+    fn report(core_hours: f64, waited: u64, kwh: f64) -> RunReport {
+        let mut qos = QosTracker::new();
+        for _ in 0..waited {
+            qos.record_start(SimDuration::from_secs(60));
+        }
+        RunReport {
+            policy: "t".into(),
+            horizon: SimTime::from_hours(1),
+            hourly_active_servers: vec![],
+            hourly_non_idle_servers: vec![],
+            hourly_core_utilization: vec![],
+            peak_active_servers: 0.0,
+            hourly_power_kwh: vec![],
+            daily_power_kwh: vec![],
+            total_energy_kwh: kwh,
+            mean_power_kw: 0.0,
+            total_arrivals: waited,
+            total_departures: 0,
+            total_migrations: 0,
+            skipped_migrations: 0,
+            pm_failures: 0,
+            served_core_hours: core_hours,
+            qos: qos.summary(),
+            group_names: vec!["r".into()],
+            group_hourly_kwh: vec![vec![kwh]],
+        }
+    }
+
+    #[test]
+    fn profit_is_revenue_minus_costs() {
+        let model = RevenueModel {
+            rate_per_core_hour: 0.05,
+            credit_per_waited_request: 0.25,
+        };
+        let p = model.evaluate(&report(1_000.0, 4, 100.0), &topology());
+        assert!((p.revenue - 50.0).abs() < 1e-12);
+        assert!((p.sla_credits - 1.0).abs() < 1e-12);
+        assert!((p.electricity - 10.0).abs() < 1e-12);
+        assert!((p.profit - 39.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_work_means_pure_loss() {
+        let model = RevenueModel::default();
+        let p = model.evaluate(&report(0.0, 0, 50.0), &topology());
+        assert_eq!(p.revenue, 0.0);
+        assert!(p.profit < 0.0);
+    }
+
+    #[test]
+    fn default_model_is_plausible() {
+        let m = RevenueModel::default();
+        assert!(m.rate_per_core_hour > 0.0);
+        assert!(m.credit_per_waited_request > 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # dvmp-metrics
+//!
+//! Measurement and reporting for simulation runs.
+//!
+//! - [`energy`]: exact energy integration from the fleet's instantaneous
+//!   power draw (the quantity behind Figs. 4 and 5);
+//! - [`qos`]: request queue-wait accounting against the paper's "fewer
+//!   than 5 % of VM requests have to wait" bound;
+//! - [`recorder`]: the event-driven [`SimulationRecorder`] the simulator
+//!   feeds, and the immutable [`RunReport`] it produces (active servers per
+//!   hour — Fig. 3 — plus power, energy, QoS and migration counts);
+//! - [`report`]: plain-text table and CSV rendering for the figure
+//!   binaries.
+
+pub mod energy;
+pub mod qos;
+pub mod recorder;
+pub mod report;
+
+pub use energy::EnergyMeter;
+pub use qos::{QosSummary, QosTracker};
+pub use recorder::{PowerGroups, RunReport, SimulationRecorder};

@@ -1,0 +1,168 @@
+//! QoS accounting: request queue waits.
+//!
+//! Section IV bounds the service level: *"we ensure that less than 5 % of
+//! VM requests have to wait in the queue because of insufficient PMs."*
+//! The tracker records each request's wait between submission and the
+//! start of its creation, and summarises the fraction that waited at all,
+//! plus wait magnitudes for the ones that did.
+
+use dvmp_simcore::stats::{OnlineStats, P2Quantile};
+use dvmp_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Streaming QoS tracker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosTracker {
+    total: u64,
+    waited: u64,
+    wait_stats: OnlineStats,
+    wait_p95: P2Quantile,
+    rejected: u64,
+}
+
+impl Default for QosTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QosTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        QosTracker {
+            total: 0,
+            waited: 0,
+            wait_stats: OnlineStats::new(),
+            wait_p95: P2Quantile::new(0.95),
+            rejected: 0,
+        }
+    }
+
+    /// Records a request that started after waiting `wait` in the queue
+    /// (zero for immediate placements).
+    pub fn record_start(&mut self, wait: SimDuration) {
+        self.total += 1;
+        if !wait.is_zero() {
+            self.waited += 1;
+            self.wait_stats.push(wait.as_secs_f64());
+            self.wait_p95.push(wait.as_secs_f64());
+        }
+    }
+
+    /// Records a request still queued when the simulation ended (it never
+    /// started; counted against QoS).
+    pub fn record_never_started(&mut self) {
+        self.total += 1;
+        self.waited += 1;
+        self.rejected += 1;
+    }
+
+    /// Summarises the run.
+    pub fn summary(&self) -> QosSummary {
+        QosSummary {
+            total_requests: self.total,
+            waited_requests: self.waited,
+            waited_fraction: if self.total == 0 {
+                0.0
+            } else {
+                self.waited as f64 / self.total as f64
+            },
+            mean_wait_secs: self.wait_stats.mean(),
+            max_wait_secs: self.wait_stats.max().unwrap_or(0.0),
+            p95_wait_secs: self.wait_p95.estimate().unwrap_or(0.0),
+            never_started: self.rejected,
+        }
+    }
+}
+
+/// Immutable QoS summary for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSummary {
+    /// Requests observed.
+    pub total_requests: u64,
+    /// Requests that queued for any positive time (or never started).
+    pub waited_requests: u64,
+    /// `waited_requests / total_requests` — the paper bounds this by 0.05.
+    pub waited_fraction: f64,
+    /// Mean wait among waiting requests, seconds.
+    pub mean_wait_secs: f64,
+    /// Worst wait, seconds.
+    pub max_wait_secs: f64,
+    /// 95th-percentile wait among waiting requests, seconds (P² estimate).
+    pub p95_wait_secs: f64,
+    /// Requests that never started before the horizon.
+    pub never_started: u64,
+}
+
+impl QosSummary {
+    /// `true` when the paper's service-level bound holds.
+    pub fn meets_paper_slo(&self) -> bool {
+        self.waited_fraction < 0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_starts_do_not_count_as_waits() {
+        let mut q = QosTracker::new();
+        for _ in 0..10 {
+            q.record_start(SimDuration::ZERO);
+        }
+        let s = q.summary();
+        assert_eq!(s.total_requests, 10);
+        assert_eq!(s.waited_requests, 0);
+        assert_eq!(s.waited_fraction, 0.0);
+        assert!(s.meets_paper_slo());
+    }
+
+    #[test]
+    fn waits_are_counted_and_measured() {
+        let mut q = QosTracker::new();
+        q.record_start(SimDuration::ZERO);
+        q.record_start(SimDuration::from_secs(100));
+        q.record_start(SimDuration::from_secs(300));
+        let s = q.summary();
+        assert_eq!(s.total_requests, 3);
+        assert_eq!(s.waited_requests, 2);
+        assert!((s.waited_fraction - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.mean_wait_secs, 200.0);
+        assert_eq!(s.max_wait_secs, 300.0);
+        assert!(!s.meets_paper_slo());
+    }
+
+    #[test]
+    fn slo_boundary_is_strict() {
+        let mut q = QosTracker::new();
+        // Exactly 5%: 1 of 20 → NOT meeting "< 5%".
+        q.record_start(SimDuration::from_secs(10));
+        for _ in 0..19 {
+            q.record_start(SimDuration::ZERO);
+        }
+        assert!(!q.summary().meets_paper_slo());
+        // 1 of 21 < 5% → meets.
+        q.record_start(SimDuration::ZERO);
+        assert!(q.summary().meets_paper_slo());
+    }
+
+    #[test]
+    fn never_started_counts_against_slo() {
+        let mut q = QosTracker::new();
+        q.record_start(SimDuration::ZERO);
+        q.record_never_started();
+        let s = q.summary();
+        assert_eq!(s.total_requests, 2);
+        assert_eq!(s.waited_requests, 1);
+        assert_eq!(s.never_started, 1);
+    }
+
+    #[test]
+    fn empty_tracker_summary() {
+        let s = QosTracker::new().summary();
+        assert_eq!(s.total_requests, 0);
+        assert_eq!(s.waited_fraction, 0.0);
+        assert!(s.meets_paper_slo());
+    }
+}

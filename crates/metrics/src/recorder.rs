@@ -1,0 +1,356 @@
+//! The event-driven simulation recorder and its final report.
+//!
+//! The simulator calls [`SimulationRecorder::sample_fleet`] after every
+//! event that changes fleet state; the recorder keeps exact step series of
+//! the quantities the paper's figures need and freezes them into a
+//! [`RunReport`] at the end of the run.
+
+use crate::energy::EnergyMeter;
+use crate::qos::{QosSummary, QosTracker};
+use dvmp_cluster::datacenter::Datacenter;
+use dvmp_simcore::series::{CountSeries, StepSeries};
+use dvmp_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A partition of the fleet for per-group power accounting — per region
+/// in the geo extension, or per hardware class for breakdown reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerGroups {
+    /// Group display names.
+    pub names: Vec<String>,
+    /// PM index → group index; must cover the whole fleet.
+    pub assignment: Vec<usize>,
+}
+
+impl PowerGroups {
+    /// Partition by hardware class, using the class table of `dc`.
+    pub fn by_class(dc: &Datacenter) -> Self {
+        PowerGroups {
+            names: dc.classes().iter().map(|c| c.name.clone()).collect(),
+            assignment: dc.pms().iter().map(|pm| pm.class_idx).collect(),
+        }
+    }
+
+    /// Validates the partition against a fleet size.
+    pub fn validate(&self, fleet_size: usize) -> Result<(), String> {
+        if self.assignment.len() != fleet_size {
+            return Err(format!(
+                "assignment covers {} PMs, fleet has {fleet_size}",
+                self.assignment.len()
+            ));
+        }
+        if let Some(&bad) = self.assignment.iter().find(|&&g| g >= self.names.len()) {
+            return Err(format!("group index {bad} out of range"));
+        }
+        Ok(())
+    }
+}
+
+/// Live recorder fed by the simulator.
+#[derive(Debug, Clone)]
+pub struct SimulationRecorder {
+    powered_servers: StepSeries,
+    non_idle_servers: StepSeries,
+    core_utilization: StepSeries,
+    energy: EnergyMeter,
+    groups: Option<(PowerGroups, Vec<StepSeries>)>,
+    arrivals: CountSeries,
+    departures: CountSeries,
+    migrations: CountSeries,
+    /// QoS tracker (public so the simulator can record starts directly).
+    pub qos: QosTracker,
+    skipped_migrations: u64,
+    pm_failures: u64,
+    served_core_seconds: f64,
+}
+
+impl Default for SimulationRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimulationRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        SimulationRecorder {
+            powered_servers: StepSeries::new(0.0),
+            non_idle_servers: StepSeries::new(0.0),
+            core_utilization: StepSeries::new(0.0),
+            energy: EnergyMeter::new(),
+            groups: None,
+            arrivals: CountSeries::new(),
+            departures: CountSeries::new(),
+            migrations: CountSeries::new(),
+            qos: QosTracker::new(),
+            skipped_migrations: 0,
+            pm_failures: 0,
+            served_core_seconds: 0.0,
+        }
+    }
+
+    /// Enables per-group power accounting. Call before the first sample.
+    ///
+    /// # Panics
+    /// Panics if the partition is invalid for fleets sampled later (the
+    /// per-sample assertion catches mismatches in debug builds).
+    pub fn set_groups(&mut self, groups: PowerGroups) {
+        let series = groups.names.iter().map(|_| StepSeries::new(0.0)).collect();
+        self.groups = Some((groups, series));
+    }
+
+    /// Samples the fleet after a state-changing event.
+    pub fn sample_fleet(&mut self, now: SimTime, dc: &Datacenter) {
+        self.powered_servers.record(now, dc.powered_count() as f64);
+        self.non_idle_servers.record(now, dc.non_idle_count() as f64);
+        self.core_utilization
+            .record(now, dc.powered_core_utilization());
+        self.energy.record(now, dc.total_power_w());
+        if let Some((groups, series)) = &mut self.groups {
+            debug_assert_eq!(groups.assignment.len(), dc.len());
+            let mut watts = vec![0.0; groups.names.len()];
+            for (i, pm) in dc.pms().iter().enumerate() {
+                watts[groups.assignment[i]] += pm.power_draw_w();
+            }
+            for (s, w) in series.iter_mut().zip(watts) {
+                s.record(now, w);
+            }
+        }
+    }
+
+    /// Records one request arrival.
+    pub fn record_arrival(&mut self, now: SimTime) {
+        self.arrivals.record(now);
+    }
+
+    /// Records one VM departure that served `core_seconds` of work
+    /// (cores × actual runtime) — the revenue-bearing throughput.
+    pub fn record_departure(&mut self, now: SimTime, core_seconds: f64) {
+        self.departures.record(now);
+        self.served_core_seconds += core_seconds;
+    }
+
+    /// Records one started live migration.
+    pub fn record_migration(&mut self, now: SimTime) {
+        self.migrations.record(now);
+    }
+
+    /// Records a planned migration that could not be applied (capacity was
+    /// consumed by in-flight reservations — DESIGN.md I9).
+    pub fn record_skipped_migration(&mut self) {
+        self.skipped_migrations += 1;
+    }
+
+    /// Records a PM failure.
+    pub fn record_pm_failure(&mut self) {
+        self.pm_failures += 1;
+    }
+
+    /// The integrating energy meter (read access for live inspection).
+    pub fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    /// Freezes the run into a report over `[0, horizon)`.
+    pub fn finish(&self, policy: &str, horizon: SimTime) -> RunReport {
+        const JOULES_PER_KWH: f64 = 3_600_000.0;
+        let (group_names, group_hourly_kwh) = match &self.groups {
+            None => (Vec::new(), Vec::new()),
+            Some((groups, series)) => (
+                groups.names.clone(),
+                series
+                    .iter()
+                    .map(|s| {
+                        s.bucket_integrals(SimDuration::HOUR, horizon)
+                            .into_iter()
+                            .map(|j| j / JOULES_PER_KWH)
+                            .collect()
+                    })
+                    .collect(),
+            ),
+        };
+        RunReport {
+            group_names,
+            group_hourly_kwh,
+            policy: policy.to_owned(),
+            horizon,
+            hourly_active_servers: self
+                .powered_servers
+                .bucket_means(SimDuration::HOUR, horizon),
+            hourly_non_idle_servers: self
+                .non_idle_servers
+                .bucket_means(SimDuration::HOUR, horizon),
+            hourly_core_utilization: self
+                .core_utilization
+                .bucket_means(SimDuration::HOUR, horizon),
+            peak_active_servers: self
+                .powered_servers
+                .max_over(SimTime::ZERO, horizon),
+            hourly_power_kwh: self.energy.hourly_kwh(horizon),
+            daily_power_kwh: self.energy.daily_kwh(horizon),
+            total_energy_kwh: self.energy.total_kwh(horizon),
+            mean_power_kw: self.energy.mean_power_w(horizon) / 1_000.0,
+            total_arrivals: self.arrivals.total() as u64,
+            total_departures: self.departures.total() as u64,
+            total_migrations: self.migrations.total() as u64,
+            skipped_migrations: self.skipped_migrations,
+            pm_failures: self.pm_failures,
+            served_core_hours: self.served_core_seconds / 3_600.0,
+            qos: self.qos.summary(),
+        }
+    }
+}
+
+/// Immutable results of one simulation run — everything Figs. 3–5 plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy name (figure legend).
+    pub policy: String,
+    /// Report horizon.
+    pub horizon: SimTime,
+    /// Time-weighted mean *powered* servers per hour (Fig. 3).
+    pub hourly_active_servers: Vec<f64>,
+    /// Time-weighted mean non-idle servers per hour.
+    pub hourly_non_idle_servers: Vec<f64>,
+    /// Time-weighted mean core utilization of the powered fleet per hour
+    /// (packing quality: how little capacity stays powered but unused).
+    pub hourly_core_utilization: Vec<f64>,
+    /// Peak powered-server count.
+    pub peak_active_servers: f64,
+    /// Energy per hour, kWh (Fig. 4).
+    pub hourly_power_kwh: Vec<f64>,
+    /// Energy per day, kWh (Fig. 5).
+    pub daily_power_kwh: Vec<f64>,
+    /// Total energy, kWh.
+    pub total_energy_kwh: f64,
+    /// Mean power, kW.
+    pub mean_power_kw: f64,
+    /// Requests that arrived.
+    pub total_arrivals: u64,
+    /// VMs that completed.
+    pub total_departures: u64,
+    /// Live migrations performed.
+    pub total_migrations: u64,
+    /// Planned migrations dropped at apply time.
+    pub skipped_migrations: u64,
+    /// PM failures injected.
+    pub pm_failures: u64,
+    /// Core·hours of completed work (the revenue-bearing throughput).
+    pub served_core_hours: f64,
+    /// Queue-wait summary.
+    pub qos: QosSummary,
+    /// Names of the power groups (empty unless grouping was enabled).
+    pub group_names: Vec<String>,
+    /// Per-group energy per hour, kWh (`group_hourly_kwh[g][h]`).
+    pub group_hourly_kwh: Vec<Vec<f64>>,
+}
+
+impl RunReport {
+    /// Mean of the hourly active-server series.
+    pub fn mean_active_servers(&self) -> f64 {
+        if self.hourly_active_servers.is_empty() {
+            return 0.0;
+        }
+        self.hourly_active_servers.iter().sum::<f64>() / self.hourly_active_servers.len() as f64
+    }
+
+    /// Energy saved relative to `other`, as a fraction of `other`'s total.
+    pub fn energy_saving_vs(&self, other: &RunReport) -> f64 {
+        if other.total_energy_kwh == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total_energy_kwh / other.total_energy_kwh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvmp_cluster::datacenter::FleetBuilder;
+    use dvmp_cluster::pm::{PmClass, PmId};
+    use dvmp_cluster::resources::ResourceVector;
+    use dvmp_cluster::vm::VmId;
+
+    fn fleet() -> Datacenter {
+        FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 2, 0.99)
+            .initially_on(true)
+            .build()
+    }
+
+    #[test]
+    fn sample_fleet_tracks_power_and_counts() {
+        let mut dc = fleet();
+        let mut rec = SimulationRecorder::new();
+        rec.sample_fleet(SimTime::ZERO, &dc); // 2 idle fast: 480 W
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(1, 512)).unwrap();
+        rec.sample_fleet(SimTime::from_mins(30), &dc); // 400 + 240 = 640 W
+
+        let report = rec.finish("test", SimTime::from_hours(1));
+        assert_eq!(report.hourly_active_servers, vec![2.0]);
+        assert_eq!(report.hourly_non_idle_servers, vec![0.5]);
+        // Energy: 480 W × 0.5 h + 640 W × 0.5 h = 560 Wh = 0.56 kWh.
+        assert!((report.total_energy_kwh - 0.56).abs() < 1e-9);
+        assert!((report.hourly_power_kwh[0] - 0.56).abs() < 1e-9);
+        assert!((report.mean_power_kw - 0.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_counters_aggregate() {
+        let dc = fleet();
+        let mut rec = SimulationRecorder::new();
+        rec.sample_fleet(SimTime::ZERO, &dc);
+        rec.record_arrival(SimTime::from_secs(10));
+        rec.record_arrival(SimTime::from_secs(20));
+        rec.record_departure(SimTime::from_secs(500), 7_200.0);
+        rec.record_migration(SimTime::from_secs(600));
+        rec.record_skipped_migration();
+        rec.record_pm_failure();
+        let r = rec.finish("test", SimTime::from_hours(1));
+        assert_eq!(r.total_arrivals, 2);
+        assert_eq!(r.total_departures, 1);
+        assert!((r.served_core_hours - 2.0).abs() < 1e-12);
+        assert_eq!(r.total_migrations, 1);
+        assert_eq!(r.skipped_migrations, 1);
+        assert_eq!(r.pm_failures, 1);
+    }
+
+    #[test]
+    fn energy_saving_comparison() {
+        let mk = |kwh: f64| RunReport {
+            policy: "x".into(),
+            horizon: SimTime::from_hours(1),
+            hourly_active_servers: vec![],
+            hourly_non_idle_servers: vec![],
+            hourly_core_utilization: vec![],
+            peak_active_servers: 0.0,
+            hourly_power_kwh: vec![],
+            daily_power_kwh: vec![],
+            total_energy_kwh: kwh,
+            mean_power_kw: 0.0,
+            total_arrivals: 0,
+            total_departures: 0,
+            total_migrations: 0,
+            skipped_migrations: 0,
+            pm_failures: 0,
+            served_core_hours: 0.0,
+            qos: QosTracker::new().summary(),
+            group_names: vec![],
+            group_hourly_kwh: vec![],
+        };
+        let dynamic = mk(70.0);
+        let static_ff = mk(100.0);
+        assert!((dynamic.energy_saving_vs(&static_ff) - 0.3).abs() < 1e-12);
+        assert_eq!(dynamic.energy_saving_vs(&mk(0.0)), 0.0);
+    }
+
+    #[test]
+    fn mean_active_servers_of_series() {
+        let mut rec = SimulationRecorder::new();
+        let dc = fleet();
+        rec.sample_fleet(SimTime::ZERO, &dc);
+        let r = rec.finish("t", SimTime::from_hours(3));
+        assert_eq!(r.hourly_active_servers.len(), 3);
+        assert_eq!(r.mean_active_servers(), 2.0);
+    }
+}

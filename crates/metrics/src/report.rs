@@ -1,0 +1,266 @@
+//! Plain-text and CSV rendering for the figure binaries.
+//!
+//! The paper's figures are line charts; the binaries in `dvmp-bench` print
+//! the same series as aligned text tables (one row per hour/day, one
+//! column per policy) plus machine-readable CSV, so the data can be
+//! re-plotted with any tool.
+
+use crate::recorder::RunReport;
+use std::fmt::Write as _;
+
+/// Renders a multi-series table: `rows` labels down the side, one column
+/// per `(name, series)`. Series shorter than `rows` render blank cells.
+pub fn render_table(
+    title: &str,
+    row_label: &str,
+    rows: usize,
+    series: &[(&str, &[f64])],
+    precision: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let mut header = format!("{row_label:>8}");
+    for (name, _) in series {
+        let _ = write!(header, " {name:>14}");
+    }
+    let _ = writeln!(out, "{header}");
+    for r in 0..rows {
+        let _ = write!(out, "{r:>8}");
+        for (_, s) in series {
+            match s.get(r) {
+                Some(v) => {
+                    let _ = write!(out, " {v:>14.precision$}");
+                }
+                None => {
+                    let _ = write!(out, " {:>14}", "");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the same data as CSV (`row_label,series...`).
+pub fn render_csv(row_label: &str, rows: usize, series: &[(&str, &[f64])]) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = series.iter().map(|(n, _)| *n).collect();
+    let _ = writeln!(out, "{row_label},{}", names.join(","));
+    for r in 0..rows {
+        let _ = write!(out, "{r}");
+        for (_, s) in series {
+            match s.get(r) {
+                Some(v) => {
+                    let _ = write!(out, ",{v}");
+                }
+                None => {
+                    let _ = write!(out, ",");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a multi-series line chart as terminal text: one row per value
+/// band (top = max), one column per sample, each series drawn with its
+/// own glyph. Intended for the figure binaries, whose originals are line
+/// charts; ~`width` columns are produced by averaging adjacent samples.
+pub fn render_ascii_chart(
+    title: &str,
+    series: &[(&str, &[f64])],
+    height: usize,
+    width: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut out = String::new();
+    let n = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    if n == 0 || height == 0 || width == 0 {
+        let _ = writeln!(out, "# {title} (no data)");
+        return out;
+    }
+    let cols = width.min(n);
+    // Downsample each series to `cols` buckets by mean.
+    let sampled: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(name, s)| {
+            let mut v = Vec::with_capacity(cols);
+            for c in 0..cols {
+                let lo = c * n / cols;
+                let hi = (((c + 1) * n) / cols).max(lo + 1).min(n);
+                let slice = &s[lo.min(s.len().saturating_sub(1))..hi.min(s.len())];
+                let mean = if slice.is_empty() {
+                    0.0
+                } else {
+                    slice.iter().sum::<f64>() / slice.len() as f64
+                };
+                v.push(mean);
+            }
+            (*name, v)
+        })
+        .collect();
+    let max = sampled
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    let _ = writeln!(out, "# {title}");
+    let mut grid = vec![vec![' '; cols]; height];
+    for (si, (_, v)) in sampled.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (c, &val) in v.iter().enumerate() {
+            let row = ((1.0 - (val / max).clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            grid[row][c] = glyph;
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:>8.1}")
+        } else if r == height - 1 {
+            format!("{:>8.1}", 0.0)
+        } else {
+            " ".repeat(8)
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label} |{line}");
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(8), "-".repeat(cols));
+    let mut legend = String::new();
+    for (si, (name, _)) in sampled.iter().enumerate() {
+        let _ = write!(legend, "  {} {}", GLYPHS[si % GLYPHS.len()], name);
+    }
+    let _ = writeln!(out, "{}{legend}", " ".repeat(8));
+    out
+}
+
+/// Renders the side-by-side summary block for a set of runs (totals,
+/// savings vs the first run, QoS) — the "who wins, by what factor" digest
+/// recorded in EXPERIMENTS.md.
+pub fn render_summary(reports: &[&RunReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:>14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "energy (kWh)", "vs first", "mean srv", "migrations", "waited %", "QoS<5%"
+    );
+    let baseline = reports.first();
+    for r in reports {
+        let saving = baseline
+            .map(|b| r.energy_saving_vs(b) * -100.0)
+            .unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{:>12} {:>14.1} {:>11.1}% {:>12.1} {:>12} {:>11.2}% {:>10}",
+            r.policy,
+            r.total_energy_kwh,
+            saving,
+            r.mean_active_servers(),
+            r.total_migrations,
+            r.qos.waited_fraction * 100.0,
+            if r.qos.meets_paper_slo() { "yes" } else { "NO" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosTracker;
+    use dvmp_simcore::SimTime;
+
+    fn report(name: &str, kwh: f64) -> RunReport {
+        RunReport {
+            policy: name.into(),
+            horizon: SimTime::from_hours(2),
+            hourly_active_servers: vec![3.0, 5.0],
+            hourly_non_idle_servers: vec![2.0, 4.0],
+            hourly_core_utilization: vec![],
+            peak_active_servers: 5.0,
+            hourly_power_kwh: vec![kwh / 2.0, kwh / 2.0],
+            daily_power_kwh: vec![kwh],
+            total_energy_kwh: kwh,
+            mean_power_kw: kwh / 2.0,
+            total_arrivals: 10,
+            total_departures: 8,
+            total_migrations: 4,
+            skipped_migrations: 0,
+            pm_failures: 0,
+            served_core_hours: 0.0,
+            qos: QosTracker::new().summary(),
+            group_names: vec![],
+            group_hourly_kwh: vec![],
+        }
+    }
+
+    #[test]
+    fn table_has_header_and_rows() {
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        let t = render_table("Fig X", "hour", 2, &[("dyn", &a), ("ff", &b)], 1);
+        assert!(t.starts_with("# Fig X\n"));
+        assert!(t.contains("dyn"));
+        assert!(t.contains("ff"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4); // title + header + 2 rows
+        assert!(lines[2].contains("1.0") && lines[2].contains("3.0"));
+        // Short series leaves a blank cell, not a crash.
+        assert!(lines[3].contains("2.0"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let a = [1.5, 2.5];
+        let csv = render_csv("hour", 2, &[("dyn", &a)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "hour,dyn");
+        assert_eq!(lines[1], "0,1.5");
+        assert_eq!(lines[2], "1,2.5");
+    }
+
+    #[test]
+    fn ascii_chart_shape_and_legend() {
+        let a: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..48).map(|i| 47.0 - i as f64).collect();
+        let chart = render_ascii_chart("Fig", &[("up", &a), ("down", &b)], 10, 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        // title + 10 rows + axis + legend
+        assert_eq!(lines.len(), 13, "{chart}");
+        assert!(lines[0].starts_with("# Fig"));
+        assert!(lines[1].contains("47.0"), "max label: {}", lines[1]);
+        assert!(lines[10].contains("0.0"), "zero label");
+        assert!(chart.contains("* up") && chart.contains("o down"));
+        // The rising series ends high: its glyph appears in the top row.
+        assert!(lines[1].contains('*'));
+        // The falling series starts high.
+        assert!(lines[1].contains('o'));
+    }
+
+    #[test]
+    fn ascii_chart_empty_series() {
+        let chart = render_ascii_chart("E", &[("x", &[])], 5, 10);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn ascii_chart_flat_series_renders() {
+        let flat = [5.0; 24];
+        let chart = render_ascii_chart("F", &[("flat", &flat)], 6, 24);
+        // Flat at the max → all glyphs on the top row.
+        let top = chart.lines().nth(1).unwrap();
+        assert_eq!(top.matches('*').count(), 24, "{chart}");
+    }
+
+    #[test]
+    fn summary_lists_all_policies_with_savings() {
+        let ff = report("first-fit", 100.0);
+        let dynr = report("dynamic", 70.0);
+        let s = render_summary(&[&ff, &dynr]);
+        assert!(s.contains("first-fit"));
+        assert!(s.contains("dynamic"));
+        assert!(s.contains("-30.0%"), "30% saving vs baseline:\n{s}");
+        assert!(s.contains("yes"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Configuration of the dynamic placement scheme.
+
+use dvmp_cluster::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// How Eq. 3 charges virtualization overheads (DESIGN.md I2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverheadMode {
+    /// Paper-faithful: subtract **both** `T_cre` and `T_mig` of the
+    /// destination PM, whether placing or migrating (Eq. 3 as printed).
+    PaperJoint,
+    /// Physically precise: charge only `T_cre` on first placement and only
+    /// `T_mig` on migration.
+    Split,
+}
+
+/// Tunables of [`crate::DynamicPlacement`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicConfig {
+    /// `MIG_threshold`: a migration is only taken when its normalized
+    /// probability exceeds this (paper example: 1.05).
+    pub mig_threshold: f64,
+    /// `MIG_round`: maximum migrations per triggering event.
+    pub mig_round: u32,
+    /// Overhead accounting mode for Eq. 3.
+    pub overhead_mode: OverheadMode,
+    /// The minimum VM request `R^MIN` used to derive each PM's slot count
+    /// `W_j` and utilization levels (Eq. 4).
+    pub min_vm: ResourceVector,
+    /// Ablation switch: include the virtualization-overhead factor `p^vir`.
+    pub use_vir: bool,
+    /// Ablation switch: include the reliability factor `p^rel`.
+    pub use_rel: bool,
+    /// Ablation switch: include the energy-efficiency factor `p^eff`.
+    pub use_eff: bool,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            mig_threshold: 1.05,
+            mig_round: 20,
+            overhead_mode: OverheadMode::PaperJoint,
+            min_vm: ResourceVector::cpu_mem(1, 256),
+            use_vir: true,
+            use_rel: true,
+            use_eff: true,
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mig_threshold.is_finite() && self.mig_threshold >= 1.0) {
+            return Err(format!(
+                "mig_threshold must be finite and >= 1.0, got {}",
+                self.mig_threshold
+            ));
+        }
+        if self.min_vm.is_zero() {
+            return Err("min_vm must be non-zero in at least one dimension".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = DynamicConfig::default();
+        assert_eq!(c.mig_threshold, 1.05);
+        assert_eq!(c.mig_round, 20);
+        assert_eq!(c.overhead_mode, OverheadMode::PaperJoint);
+        assert!(c.use_vir && c.use_rel && c.use_eff);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_threshold() {
+        let mut c = DynamicConfig::default();
+        c.mig_threshold = 0.5;
+        assert!(c.validate().is_err());
+        c.mig_threshold = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_min_vm() {
+        let mut c = DynamicConfig::default();
+        c.min_vm = ResourceVector::zero(2);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,445 @@
+//! The paper's contribution: statistical dynamic VM placement
+//! (Algorithm 1 + the new-arrival column of Section III-C).
+//!
+//! A triggering event (arrival, departure, PM failure) starts a planning
+//! pass:
+//!
+//! 1. build the joint probability matrix `P` over available PMs ×
+//!    migratable VMs;
+//! 2. normalize each column by the VM's current-host probability (`D`);
+//! 3. while some `d_ij > MIG_threshold` and fewer than `MIG_round` moves
+//!    have been taken: take the largest entry, apply the move to the plan,
+//!    and refresh only the two affected PM rows and the moved VM column.
+//!
+//! The argmax search keeps a per-column cache of the best candidate row so
+//! a round costs `O(N + M)` instead of `O(M·N)` — the incremental update
+//! the paper calls out at the end of Section III-C.
+
+use crate::config::DynamicConfig;
+use crate::factors::{self, EvalContext, ExtraFactor};
+use crate::matrix::ProbabilityMatrix;
+use crate::plan::PlanState;
+use crate::policy::{Migration, PlacementPolicy, PlacementView};
+use dvmp_cluster::pm::PmId;
+use dvmp_cluster::vm::VmSpec;
+use std::sync::Arc;
+
+/// The dynamic placement scheme.
+#[derive(Debug, Clone)]
+pub struct DynamicPlacement {
+    cfg: DynamicConfig,
+    /// User-supplied extension factors (Section III-B: "easy to be
+    /// extended to accommodate other constraints").
+    extras: Vec<Arc<dyn ExtraFactor>>,
+    /// Migration rounds executed across the scheme's lifetime (observability).
+    total_migrations: u64,
+    /// Planning passes that hit the `MIG_round` cap.
+    round_cap_hits: u64,
+}
+
+impl DynamicPlacement {
+    /// Creates the scheme with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`DynamicConfig::validate`]).
+    pub fn new(cfg: DynamicConfig) -> Self {
+        cfg.validate().expect("invalid DynamicConfig");
+        DynamicPlacement {
+            cfg,
+            extras: Vec::new(),
+            total_migrations: 0,
+            round_cap_hits: 0,
+        }
+    }
+
+    /// Registers an extension factor; it multiplies into every matrix
+    /// entry after the built-in four. Factors apply in registration order
+    /// (order only matters for debugging — multiplication commutes).
+    pub fn with_factor(mut self, factor: Arc<dyn ExtraFactor>) -> Self {
+        self.extras.push(factor);
+        self
+    }
+
+    /// The registered extension factors.
+    pub fn extra_factors(&self) -> &[Arc<dyn ExtraFactor>] {
+        &self.extras
+    }
+
+    /// The scheme with the paper's default parameters
+    /// (`MIG_threshold = 1.05`, `MIG_round = 20`).
+    pub fn paper_default() -> Self {
+        Self::new(DynamicConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.cfg
+    }
+
+    /// Total migrations proposed so far.
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Number of planning passes that were stopped by the round cap rather
+    /// than the threshold.
+    pub fn round_cap_hits(&self) -> u64 {
+        self.round_cap_hits
+    }
+
+    /// Algorithm 1 against an explicit plan state (exposed for tests and
+    /// benchmarks; [`PlacementPolicy::plan_migrations`] builds the state
+    /// from the live view).
+    pub fn plan_on(&mut self, plan: &mut PlanState) -> Vec<Migration> {
+        if plan.vms.is_empty() || plan.pms.len() < 2 {
+            return Vec::new();
+        }
+        let cfg = self.cfg.clone();
+        let extras = self.extras.clone();
+        let ctx = EvalContext::with_extras(&cfg, &extras);
+        let mut matrix = ProbabilityMatrix::build(plan, &ctx);
+        // Per-column cache of the best non-host candidate.
+        let mut best: Vec<Option<(usize, f64)>> = (0..plan.vms.len())
+            .map(|col| matrix.best_move_for(plan, col))
+            .collect();
+
+        let mut moves = Vec::new();
+        for _round in 0..self.cfg.mig_round {
+            // Global argmax over the cached per-column bests.
+            let mut winner: Option<(usize, usize, f64)> = None;
+            for (col, entry) in best.iter().enumerate() {
+                if let Some((row, d)) = *entry {
+                    if d > self.cfg.mig_threshold
+                        && winner.map_or(true, |(_, _, wd)| d > wd)
+                    {
+                        winner = Some((col, row, d));
+                    }
+                }
+            }
+            let Some((col, to_row, _d)) = winner else {
+                return moves; // threshold-terminated
+            };
+
+            let vm_id = plan.vms[col].id;
+            let (from_row, to_row) = plan.apply_migration(col, to_row);
+            debug_assert_eq!(plan.vms[col].host, to_row);
+            moves.push(Migration {
+                vm: vm_id,
+                from: plan.pms[from_row].id,
+                to: plan.pms[to_row].id,
+            });
+            self.total_migrations += 1;
+
+            // Targeted refresh: the two touched PM rows and the moved column.
+            matrix.recompute_row(plan, &ctx, from_row);
+            matrix.recompute_row(plan, &ctx, to_row);
+            matrix.recompute_col(plan, &ctx, col);
+
+            // Repair the per-column cache.
+            for (c, entry) in best.iter_mut().enumerate() {
+                let host = plan.vms[c].host;
+                let needs_rescan = c == col
+                    || host == from_row
+                    || host == to_row
+                    || entry.is_some_and(|(r, _)| r == from_row || r == to_row);
+                if needs_rescan {
+                    *entry = matrix.best_move_for(plan, c);
+                } else {
+                    // Only rows from/to changed; see if either now beats the
+                    // cached best.
+                    for row in [from_row, to_row] {
+                        if row == host {
+                            continue;
+                        }
+                        let d = matrix.normalized(plan, row, c);
+                        if d > 0.0 && entry.map_or(true, |(_, bd)| d > bd) {
+                            *entry = Some((row, d));
+                        }
+                    }
+                }
+            }
+        }
+        self.round_cap_hits += 1;
+        moves
+    }
+}
+
+impl PlacementPolicy for DynamicPlacement {
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    /// New-arrival placement (Section III-C): compute the new VM's column
+    /// and take the argmax. If virtualization overheads zero the whole
+    /// column while capacity exists (estimates shorter than `T_cre+T_mig`),
+    /// fall back to the overhead-free column so feasible requests are never
+    /// starved (DESIGN.md I9).
+    fn place(&mut self, view: &PlacementView<'_>, vm: &VmSpec) -> Option<PmId> {
+        let plan = PlanState::from_view(view, &self.cfg.min_vm);
+        let est = vm.estimated_runtime.as_secs();
+
+        let column = |cfg: &DynamicConfig| -> Option<(usize, f64)> {
+            let ctx = EvalContext::with_extras(cfg, &self.extras);
+            let mut best: Option<(usize, f64)> = None;
+            for (row, pm) in plan.pms.iter().enumerate() {
+                let p = factors::joint_new(
+                    pm,
+                    &vm.resources,
+                    est,
+                    plan.eff_of(row),
+                    &ctx,
+                    plan.now,
+                );
+                if p > 0.0 && best.map_or(true, |(_, bp)| p > bp) {
+                    best = Some((row, p));
+                }
+            }
+            best
+        };
+
+        let chosen = column(&self.cfg).or_else(|| {
+            let mut no_vir = self.cfg.clone();
+            no_vir.use_vir = false;
+            column(&no_vir)
+        })?;
+        Some(plan.pms[chosen.0].id)
+    }
+
+    fn plan_migrations(&mut self, view: &PlacementView<'_>) -> Vec<Migration> {
+        let mut plan = PlanState::from_view(view, &self.cfg.min_vm);
+        self.plan_on(&mut plan)
+    }
+
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dvmp_cluster::vm::VmId;
+    use dvmp_simcore::SimTime;
+    use std::collections::BTreeMap;
+
+    fn view_of<'a>(
+        dc: &'a dvmp_cluster::datacenter::Datacenter,
+        vms: &'a BTreeMap<VmId, dvmp_cluster::vm::Vm>,
+        now: u64,
+    ) -> PlacementView<'a> {
+        PlacementView {
+            dc,
+            vms,
+            now: SimTime::from_secs(now),
+        }
+    }
+
+    #[test]
+    fn consolidates_fragmented_fleet() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        // One long-lived VM on each of the four PMs: a maximally
+        // fragmented state that first-fit/best-fit would leave alone.
+        for (i, pm) in [0u32, 1, 2, 3].iter().enumerate() {
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i as u32 + 1, 512, 200_000),
+                PmId(*pm),
+                SimTime::ZERO,
+            );
+        }
+        let mut policy = DynamicPlacement::paper_default();
+        let moves = policy.plan_migrations(&view_of(&dc, &vms, 0));
+        assert_eq!(moves.len(), 3, "three of the four VMs consolidate");
+        // Eq. 5 rewards the highest utilization-*level* fraction, so the
+        // scheme packs everything onto one machine (here the slow PM that
+        // ends up completely full — w_j = W_j beats a half-filled fast PM).
+        let target = moves[0].to;
+        assert!(moves.iter().all(|m| m.to == target), "moves: {moves:?}");
+        // No VM moves twice.
+        let moved: Vec<VmId> = moves.iter().map(|m| m.vm).collect();
+        let mut dedup = moved.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(moved.len(), dedup.len());
+        // End state: exactly one PM hosts all four VMs.
+        let mut occupied: std::collections::BTreeSet<PmId> =
+            vms.values().filter_map(|v| v.current_host()).collect();
+        for m in &moves {
+            occupied.remove(&m.from);
+            occupied.insert(m.to);
+        }
+        assert_eq!(occupied.len(), 1, "fully consolidated");
+    }
+
+    #[test]
+    fn respects_round_cap() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        for (i, pm) in [0u32, 1, 2, 3].iter().enumerate() {
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i as u32 + 1, 512, 200_000),
+                PmId(*pm),
+                SimTime::ZERO,
+            );
+        }
+        let mut cfg = DynamicConfig::default();
+        cfg.mig_round = 1;
+        let mut policy = DynamicPlacement::new(cfg);
+        let moves = policy.plan_migrations(&view_of(&dc, &vms, 0));
+        assert_eq!(moves.len(), 1);
+        assert_eq!(policy.round_cap_hits(), 1);
+    }
+
+    #[test]
+    fn high_threshold_blocks_marginal_moves() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        for (i, pm) in [0u32, 1, 2, 3].iter().enumerate() {
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i as u32 + 1, 512, 200_000),
+                PmId(*pm),
+                SimTime::ZERO,
+            );
+        }
+        let mut cfg = DynamicConfig::default();
+        cfg.mig_threshold = 1e9; // nothing clears this bar
+        let mut policy = DynamicPlacement::new(cfg);
+        assert!(policy.plan_migrations(&view_of(&dc, &vms, 0)).is_empty());
+        assert_eq!(policy.round_cap_hits(), 0, "terminated by threshold");
+    }
+
+    #[test]
+    fn vms_about_to_finish_stay_put() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        // Two VMs, each alone on a PM, but with almost no remaining time:
+        // Eq. 3 zeroes every non-host entry.
+        install(&mut dc, &mut vms, spec(1, 512, 60), PmId(0), SimTime::ZERO);
+        install(&mut dc, &mut vms, spec(2, 512, 60), PmId(2), SimTime::ZERO);
+        let mut policy = DynamicPlacement::paper_default();
+        let moves = policy.plan_migrations(&view_of(&dc, &vms, 0));
+        assert!(moves.is_empty(), "no time to amortize a migration");
+    }
+
+    #[test]
+    fn already_consolidated_fleet_is_stable() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        for i in 0..4 {
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 512, 200_000),
+                PmId(0),
+                SimTime::ZERO,
+            );
+        }
+        let mut policy = DynamicPlacement::paper_default();
+        let moves = policy.plan_migrations(&view_of(&dc, &vms, 0));
+        assert!(moves.is_empty(), "a packed fleet has nothing above 1.05");
+    }
+
+    #[test]
+    fn place_prefers_fuller_efficient_pm() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        install(&mut dc, &mut vms, spec(1, 512, 100_000), PmId(0), SimTime::ZERO);
+        let mut policy = DynamicPlacement::paper_default();
+        let pm = policy
+            .place(&view_of(&dc, &vms, 0), &spec(2, 512, 100_000))
+            .unwrap();
+        assert_eq!(pm, PmId(0), "join the already-active fast PM");
+    }
+
+    #[test]
+    fn place_falls_back_for_ultra_short_jobs() {
+        let dc = small_fleet();
+        let vms = BTreeMap::new();
+        let mut policy = DynamicPlacement::paper_default();
+        // 50 s estimate < T_cre + T_mig on every class: the joint column is
+        // all-zero, but capacity exists → fallback must place it.
+        let pm = policy.place(&view_of(&dc, &vms, 0), &spec(1, 512, 50));
+        assert!(pm.is_some(), "DESIGN.md I9 fallback");
+    }
+
+    #[test]
+    fn place_returns_none_when_fleet_is_full() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        let mut id = 1;
+        for pm in 0..4u32 {
+            let cap = dc.pm(PmId(pm)).capacity().get(0);
+            for _ in 0..cap {
+                install(&mut dc, &mut vms, spec(id, 256, 100_000), PmId(pm), SimTime::ZERO);
+                id += 1;
+            }
+        }
+        let mut policy = DynamicPlacement::paper_default();
+        assert_eq!(
+            policy.place(&view_of(&dc, &vms, 0), &spec(id, 256, 100_000)),
+            None
+        );
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let build = || {
+            let mut dc = small_fleet();
+            let mut vms = BTreeMap::new();
+            for (i, pm) in [0u32, 1, 2, 3, 2, 3].iter().enumerate() {
+                install(
+                    &mut dc,
+                    &mut vms,
+                    spec(i as u32 + 1, 512, 150_000 + i as u64 * 1_000),
+                    PmId(*pm),
+                    SimTime::ZERO,
+                );
+            }
+            (dc, vms)
+        };
+        let (dc1, vms1) = build();
+        let (dc2, vms2) = build();
+        let mut p1 = DynamicPlacement::paper_default();
+        let mut p2 = DynamicPlacement::paper_default();
+        assert_eq!(
+            p1.plan_migrations(&view_of(&dc1, &vms1, 0)),
+            p2.plan_migrations(&view_of(&dc2, &vms2, 0))
+        );
+    }
+
+    #[test]
+    fn migrations_never_violate_capacity_in_plan() {
+        // Stress: 30 VMs over the fleet, then plan; PlanState panics if a
+        // move overfills a PM, so a clean return proves feasibility.
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        let mut id = 1u32;
+        for pm in [0u32, 1, 2, 3, 0, 1, 2, 3, 0, 1] {
+            for _ in 0..2 {
+                if dc.pm(PmId(pm)).can_host(&dvmp_cluster::resources::ResourceVector::cpu_mem(1, 512)) {
+                    install(&mut dc, &mut vms, spec(id, 512, 150_000), PmId(pm), SimTime::ZERO);
+                    id += 1;
+                }
+            }
+        }
+        let mut policy = DynamicPlacement::paper_default();
+        let moves = policy.plan_migrations(&view_of(&dc, &vms, 0));
+        assert!(moves.len() <= policy.config().mig_round as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DynamicConfig")]
+    fn invalid_config_is_rejected() {
+        let mut cfg = DynamicConfig::default();
+        cfg.mig_threshold = 0.0;
+        DynamicPlacement::new(cfg);
+    }
+}

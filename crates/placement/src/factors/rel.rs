@@ -1,0 +1,33 @@
+//! `p^rel` — server reliability (Section III-B-3).
+//!
+//! Every VM shares the hosting PM's reliability score:
+//! `p_ij^rel = p_j^rel`. The score itself is assigned by
+//! `dvmp-cluster::reliability`.
+
+use crate::plan::PlanPm;
+
+/// The reliability factor — simply the PM's score.
+pub fn p_rel(pm: &PlanPm) -> f64 {
+    pm.reliability
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvmp_cluster::pm::PmId;
+    use dvmp_cluster::resources::ResourceVector;
+
+    #[test]
+    fn factor_equals_pm_score() {
+        let pm = PlanPm {
+            id: PmId(3),
+            class_idx: 0,
+            capacity: ResourceVector::cpu_mem(4, 4_096),
+            used: ResourceVector::zero(2),
+            reliability: 0.87,
+            creation_secs: 40,
+            migration_secs: 45,
+        };
+        assert_eq!(p_rel(&pm), 0.87);
+    }
+}

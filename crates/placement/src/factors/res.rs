@@ -1,0 +1,68 @@
+//! `p^res` — resource feasibility (Eq. 2).
+//!
+//! ```text
+//! p_ij^res = 1  if ∀k: R_i(k) + C_j(k) ≤ C_j^max(k)
+//!            0  otherwise
+//! ```
+//!
+//! For the VM's *current* host its own demand is already inside `C_j`
+//! (DESIGN.md I5), so the test is trivially satisfied and the factor is 1.
+
+use crate::plan::PlanPm;
+use dvmp_cluster::resources::ResourceVector;
+
+/// Eq. 2. `hosted` marks the current-host row.
+pub fn p_res(pm: &PlanPm, demand: &ResourceVector, hosted: bool) -> f64 {
+    if hosted {
+        return 1.0;
+    }
+    if pm.used.fits_with(demand, &pm.capacity) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvmp_cluster::pm::PmId;
+
+    fn pm(used_cores: u64, used_mem: u64) -> PlanPm {
+        PlanPm {
+            id: PmId(0),
+            class_idx: 0,
+            capacity: ResourceVector::cpu_mem(4, 4_096),
+            used: ResourceVector::cpu_mem(used_cores, used_mem),
+            reliability: 1.0,
+            creation_secs: 40,
+            migration_secs: 45,
+        }
+    }
+
+    #[test]
+    fn feasible_is_one() {
+        assert_eq!(p_res(&pm(0, 0), &ResourceVector::cpu_mem(1, 512), false), 1.0);
+        assert_eq!(p_res(&pm(3, 3_584), &ResourceVector::cpu_mem(1, 512), false), 1.0);
+    }
+
+    #[test]
+    fn any_overflowing_dimension_is_zero() {
+        // CPU overflows.
+        assert_eq!(p_res(&pm(4, 0), &ResourceVector::cpu_mem(1, 1), false), 0.0);
+        // Memory overflows.
+        assert_eq!(p_res(&pm(0, 4_000), &ResourceVector::cpu_mem(1, 512), false), 0.0);
+    }
+
+    #[test]
+    fn current_host_is_always_feasible() {
+        // Even a "full" host: the VM's demand is already counted in used.
+        assert_eq!(p_res(&pm(4, 4_096), &ResourceVector::cpu_mem(1, 512), true), 1.0);
+    }
+
+    #[test]
+    fn exact_boundary_fits() {
+        assert_eq!(p_res(&pm(3, 3_584), &ResourceVector::cpu_mem(1, 512), false), 1.0);
+        assert_eq!(p_res(&pm(3, 3_585), &ResourceVector::cpu_mem(1, 512), false), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! `p^vir` — virtualization overhead (Eq. 3).
+//!
+//! ```text
+//! p_ij^vir = 1                                  if VM i hosted on PM j
+//!            ((T_re − T_cre − T_mig) / T_re)²   if T_re − T_cre − T_mig ≥ 0
+//!            0                                  otherwise
+//! ```
+//!
+//! The quadratic penalty makes the probability fall *faster* as the
+//! remaining time shrinks: a VM about to finish is a poor migration
+//! candidate because it will release its resources on its own.
+//!
+//! The paper charges both `T_cre` and `T_mig` regardless of whether the
+//! move is a first placement or a live migration; [`OverheadMode::Split`]
+//! charges only the physically incurred one (DESIGN.md I2).
+
+use crate::config::OverheadMode;
+
+/// Eq. 3.
+///
+/// * `remaining_secs` — `T_i^re`, the estimated remaining runtime.
+/// * `creation_secs` / `migration_secs` — the destination PM's overheads.
+/// * `hosted` — `true` on the current-host row (factor is 1).
+/// * `is_migration` — `true` when the VM is already running somewhere
+///   (used only by [`OverheadMode::Split`]).
+pub fn p_vir(
+    remaining_secs: u64,
+    creation_secs: u64,
+    migration_secs: u64,
+    hosted: bool,
+    is_migration: bool,
+    mode: OverheadMode,
+) -> f64 {
+    if hosted {
+        return 1.0;
+    }
+    let overhead = match mode {
+        OverheadMode::PaperJoint => creation_secs + migration_secs,
+        OverheadMode::Split => {
+            if is_migration {
+                migration_secs
+            } else {
+                creation_secs
+            }
+        }
+    };
+    if remaining_secs == 0 || remaining_secs < overhead {
+        return 0.0;
+    }
+    let frac = (remaining_secs - overhead) as f64 / remaining_secs as f64;
+    frac * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hosted_is_one_regardless_of_remaining_time() {
+        assert_eq!(p_vir(0, 30, 40, true, true, OverheadMode::PaperJoint), 1.0);
+        assert_eq!(p_vir(5, 30, 40, true, true, OverheadMode::Split), 1.0);
+    }
+
+    #[test]
+    fn quadratic_penalty_matches_equation() {
+        // T_re = 700, overhead = 70 → ((700-70)/700)² = 0.81.
+        let p = p_vir(700, 30, 40, false, true, OverheadMode::PaperJoint);
+        assert!((p - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insufficient_remaining_time_is_zero() {
+        assert_eq!(p_vir(69, 30, 40, false, true, OverheadMode::PaperJoint), 0.0);
+        // Exactly equal: the quadratic evaluates to 0 anyway.
+        assert_eq!(p_vir(70, 30, 40, false, true, OverheadMode::PaperJoint), 0.0);
+        assert_eq!(p_vir(0, 30, 40, false, true, OverheadMode::PaperJoint), 0.0);
+    }
+
+    #[test]
+    fn penalty_decreases_faster_than_linear() {
+        // Halving the remaining time more than halves the probability.
+        let p_long = p_vir(7_000, 30, 40, false, true, OverheadMode::PaperJoint);
+        let p_half = p_vir(3_500, 30, 40, false, true, OverheadMode::PaperJoint);
+        assert!(p_half < p_long);
+        let linear_long = 1.0 - 70.0 / 7_000.0;
+        assert!(p_long < linear_long, "quadratic sits below linear");
+    }
+
+    #[test]
+    fn split_mode_charges_only_the_incurred_overhead() {
+        // Migration: only T_mig = 40.
+        let pm = p_vir(400, 30, 40, false, true, OverheadMode::Split);
+        assert!((pm - (360.0f64 / 400.0).powi(2)).abs() < 1e-12);
+        // First placement: only T_cre = 30.
+        let pc = p_vir(400, 30, 40, false, false, OverheadMode::Split);
+        assert!((pc - (370.0f64 / 400.0).powi(2)).abs() < 1e-12);
+        // Split is never harsher than the paper's joint charge.
+        assert!(pm >= p_vir(400, 30, 40, false, true, OverheadMode::PaperJoint));
+    }
+
+    #[test]
+    fn monotone_in_remaining_time() {
+        let mut last = 0.0;
+        for t in [100u64, 200, 400, 1_000, 10_000, 1_000_000] {
+            let p = p_vir(t, 30, 40, false, true, OverheadMode::PaperJoint);
+            assert!(p >= last, "p_vir must be non-decreasing in T_re");
+            last = p;
+        }
+        assert!(last < 1.0 && last > 0.999, "approaches 1 asymptotically");
+    }
+}

@@ -1,0 +1,81 @@
+//! First-fit static baseline (Section V): *"the new arrival VM request will
+//! be placed to the first PM with available computation resources"*.
+//!
+//! PMs are scanned in id order; the scheme never migrates.
+
+use crate::policy::{PlacementPolicy, PlacementView};
+use dvmp_cluster::pm::PmId;
+use dvmp_cluster::vm::VmSpec;
+
+/// The first-fit baseline.
+#[derive(Debug, Clone, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn place(&mut self, view: &PlacementView<'_>, vm: &VmSpec) -> Option<PmId> {
+        view.dc
+            .pms()
+            .iter()
+            .find(|pm| pm.can_host(&vm.resources))
+            .map(|pm| pm.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dvmp_cluster::pm::PmState;
+    use dvmp_simcore::SimTime;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn picks_lowest_id_with_room() {
+        let dc = small_fleet();
+        let vms = BTreeMap::new();
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let mut ff = FirstFit;
+        assert_eq!(ff.place(&view, &spec(1, 512, 100)), Some(PmId(0)));
+    }
+
+    #[test]
+    fn skips_full_and_off_pms() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        // Fill pm0 (8 cores) and power off pm1.
+        for i in 0..8 {
+            install(&mut dc, &mut vms, spec(i + 1, 256, 1_000), PmId(0), SimTime::ZERO);
+        }
+        dc.pm_mut(PmId(1)).state = PmState::Off;
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let mut ff = FirstFit;
+        assert_eq!(ff.place(&view, &spec(99, 512, 100)), Some(PmId(2)));
+    }
+
+    #[test]
+    fn full_fleet_queues() {
+        let mut dc = small_fleet();
+        for id in 0..4u32 {
+            dc.pm_mut(PmId(id)).state = PmState::Off;
+        }
+        let vms = BTreeMap::new();
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let mut ff = FirstFit;
+        assert_eq!(ff.place(&view, &spec(1, 512, 100)), None);
+    }
+
+    #[test]
+    fn never_migrates() {
+        let dc = small_fleet();
+        let vms = BTreeMap::new();
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let mut ff = FirstFit;
+        assert!(ff.plan_migrations(&view).is_empty());
+        assert!(!ff.is_dynamic());
+        assert_eq!(ff.name(), "first-fit");
+    }
+}

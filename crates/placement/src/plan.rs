@@ -1,0 +1,233 @@
+//! The what-if state the dynamic scheme plans against.
+//!
+//! Algorithm 1 applies migrations *hypothetically* while it searches — each
+//! accepted move releases the source and reserves the destination before
+//! the next round is evaluated. Mutating the real datacenter would conflate
+//! planning with execution (real migrations take `T_mig` of wall-clock),
+//! so planning runs on this lightweight copy. The simulator then executes
+//! the returned batch, re-validating each move against live state.
+
+use crate::policy::PlacementView;
+use dvmp_cluster::pm::PmId;
+use dvmp_cluster::power::relative_efficiencies;
+use dvmp_cluster::resources::ResourceVector;
+use dvmp_cluster::vm::VmId;
+
+/// Planning copy of one available PM.
+#[derive(Debug, Clone)]
+pub struct PlanPm {
+    /// Real PM id.
+    pub id: PmId,
+    /// Index into the class/efficiency tables.
+    pub class_idx: usize,
+    /// `C_j^max`.
+    pub capacity: ResourceVector,
+    /// `C_j` under the plan (updated as moves are accepted).
+    pub used: ResourceVector,
+    /// `p_j^rel`.
+    pub reliability: f64,
+    /// `T^cre` in seconds.
+    pub creation_secs: u64,
+    /// `T^mig` in seconds (as destination).
+    pub migration_secs: u64,
+}
+
+/// Planning copy of one migratable VM.
+#[derive(Debug, Clone)]
+pub struct PlanVm {
+    /// Real VM id.
+    pub id: VmId,
+    /// Resource demand.
+    pub resources: ResourceVector,
+    /// Estimated remaining runtime `T_i^re`, in seconds, updated as planned
+    /// migrations charge their overhead.
+    pub remaining_secs: u64,
+    /// Index of the current host in [`PlanState::pms`].
+    pub host: usize,
+    /// The current host's real id (extension factors compare it against a
+    /// candidate row's id to detect cross-machine moves).
+    pub host_pm: PmId,
+}
+
+/// The complete planning state.
+#[derive(Debug, Clone)]
+pub struct PlanState {
+    /// Available PMs (matrix rows).
+    pub pms: Vec<PlanPm>,
+    /// Migratable VMs (matrix columns).
+    pub vms: Vec<PlanVm>,
+    /// Relative power efficiency `eff_c` per class index.
+    pub effs: Vec<f64>,
+    /// The instant the plan was taken (extension factors may be
+    /// time-varying, e.g. electricity prices).
+    pub now: dvmp_simcore::SimTime,
+}
+
+impl PlanState {
+    /// Builds the planning state from a live view.
+    ///
+    /// Rows are every *available* PM (on or booting — they can accept
+    /// reservations). Columns are every VM in the `Running` state; VMs
+    /// being created or already migrating are excluded from moves but
+    /// their reservations are still counted in `used`, because the view's
+    /// occupancy already includes them.
+    pub fn from_view(view: &PlacementView<'_>, min_vm: &ResourceVector) -> Self {
+        let effs = relative_efficiencies(view.dc.classes(), min_vm);
+        let mut pms = Vec::new();
+        let mut row_of = std::collections::HashMap::new();
+        for pm in view.dc.pms() {
+            if pm.is_available() {
+                row_of.insert(pm.id, pms.len());
+                pms.push(PlanPm {
+                    id: pm.id,
+                    class_idx: pm.class_idx,
+                    capacity: *pm.capacity(),
+                    used: *pm.used(),
+                    reliability: pm.reliability,
+                    creation_secs: pm.class.creation_time.as_secs(),
+                    migration_secs: pm.class.migration_time.as_secs(),
+                });
+            }
+        }
+        let mut vms = Vec::new();
+        for (vm, host) in view.migratable_vms() {
+            // A running VM's host is always available; skip defensively if
+            // the fleet is in a weird transitional state.
+            if let Some(&row) = row_of.get(&host) {
+                vms.push(PlanVm {
+                    id: vm.spec.id,
+                    resources: vm.spec.resources,
+                    remaining_secs: vm.estimated_remaining(view.now).as_secs(),
+                    host: row,
+                    host_pm: host,
+                });
+            }
+        }
+        PlanState {
+            pms,
+            vms,
+            effs,
+            now: view.now,
+        }
+    }
+
+    /// Applies a planned migration of VM (column) `vm_idx` to PM (row)
+    /// `to`: releases the source, reserves the destination, charges the
+    /// destination's migration overhead against the VM's remaining time,
+    /// and re-homes it.
+    ///
+    /// # Panics
+    /// Panics if the destination cannot fit the VM — callers must only
+    /// apply moves the probability matrix deemed feasible.
+    pub fn apply_migration(&mut self, vm_idx: usize, to: usize) -> (usize, usize) {
+        let from = self.vms[vm_idx].host;
+        assert_ne!(from, to, "migration to the current host is a no-op bug");
+        let res = self.vms[vm_idx].resources;
+        assert!(
+            self.pms[to].used.fits_with(&res, &self.pms[to].capacity),
+            "planned migration violates capacity"
+        );
+        self.pms[from].used = self.pms[from].used.saturating_sub(&res);
+        self.pms[to].used = self.pms[to].used.add(&res);
+        let overhead = self.pms[to].migration_secs;
+        let host_pm = self.pms[to].id;
+        let vm = &mut self.vms[vm_idx];
+        vm.remaining_secs = vm.remaining_secs.saturating_sub(overhead);
+        vm.host = to;
+        vm.host_pm = host_pm;
+        (from, to)
+    }
+
+    /// Relative efficiency of the PM at row `row`.
+    pub fn eff_of(&self, row: usize) -> f64 {
+        self.effs[self.pms[row].class_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use crate::policy::PlacementView;
+    use dvmp_cluster::pm::PmState;
+    use dvmp_cluster::vm::VmState;
+    use dvmp_simcore::SimTime;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn from_view_captures_available_pms_and_running_vms() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        install(&mut dc, &mut vms, spec(1, 512, 10_000), dvmp_cluster::pm::PmId(0), SimTime::ZERO);
+        install(&mut dc, &mut vms, spec(2, 512, 10_000), dvmp_cluster::pm::PmId(2), SimTime::ZERO);
+        dc.pm_mut(dvmp_cluster::pm::PmId(3)).state = PmState::Off;
+
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::from_secs(1_000) };
+        let plan = PlanState::from_view(&view, &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256));
+
+        assert_eq!(plan.pms.len(), 3, "pm3 is off");
+        assert_eq!(plan.vms.len(), 2);
+        // Remaining time reflects elapsed runtime.
+        assert_eq!(plan.vms[0].remaining_secs, 9_000);
+        // Hosts resolve to row indices.
+        assert_eq!(plan.pms[plan.vms[0].host].id, dvmp_cluster::pm::PmId(0));
+        assert_eq!(plan.pms[plan.vms[1].host].id, dvmp_cluster::pm::PmId(2));
+        // Efficiency table covers both classes; fast is the reference.
+        assert_eq!(plan.effs.len(), 2);
+        assert_eq!(plan.effs[0], 1.0);
+        assert!(plan.effs[1] < 1.0);
+    }
+
+    #[test]
+    fn creating_and_migrating_vms_occupy_but_do_not_move() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        install(&mut dc, &mut vms, spec(1, 512, 10_000), dvmp_cluster::pm::PmId(0), SimTime::ZERO);
+        vms.get_mut(&dvmp_cluster::vm::VmId(1)).unwrap().state = VmState::Creating {
+            pm: dvmp_cluster::pm::PmId(0),
+            ready_at: SimTime::from_secs(30),
+        };
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let plan = PlanState::from_view(&view, &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256));
+        assert!(plan.vms.is_empty(), "creating VM is not migratable");
+        // But its reservation still shows in the plan's used vector.
+        let row0 = plan.pms.iter().position(|p| p.id == dvmp_cluster::pm::PmId(0)).unwrap();
+        assert_eq!(plan.pms[row0].used.get(0), 1);
+    }
+
+    #[test]
+    fn apply_migration_moves_resources_and_charges_overhead() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        install(&mut dc, &mut vms, spec(1, 512, 10_000), dvmp_cluster::pm::PmId(0), SimTime::ZERO);
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let mut plan = PlanState::from_view(&view, &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256));
+
+        let from_row = plan.vms[0].host;
+        let to_row = (from_row + 1) % plan.pms.len();
+        let mig_secs = plan.pms[to_row].migration_secs;
+        let (f, t) = plan.apply_migration(0, to_row);
+        assert_eq!((f, t), (from_row, to_row));
+        assert!(plan.pms[from_row].used.is_zero());
+        assert_eq!(plan.pms[to_row].used.get(0), 1);
+        assert_eq!(plan.vms[0].host, to_row);
+        assert_eq!(plan.vms[0].remaining_secs, 10_000 - mig_secs);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn apply_migration_rejects_overfull_target() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        // Fill pm1 (fast, 8 cores) completely.
+        for i in 0..8 {
+            install(&mut dc, &mut vms, spec(10 + i, 512, 10_000), dvmp_cluster::pm::PmId(1), SimTime::ZERO);
+        }
+        install(&mut dc, &mut vms, spec(1, 512, 10_000), dvmp_cluster::pm::PmId(0), SimTime::ZERO);
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let mut plan = PlanState::from_view(&view, &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256));
+        let vm_idx = plan.vms.iter().position(|v| v.id == dvmp_cluster::vm::VmId(1)).unwrap();
+        let full_row = plan.pms.iter().position(|p| p.id == dvmp_cluster::pm::PmId(1)).unwrap();
+        plan.apply_migration(vm_idx, full_row);
+    }
+}

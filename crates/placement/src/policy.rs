@@ -1,0 +1,154 @@
+//! The policy interface between the simulator and the placement schemes.
+//!
+//! The simulator exposes a read-only [`PlacementView`] of the world; a
+//! policy answers two questions: *where does a new VM go?* and *which live
+//! migrations improve the mapping?* Static schemes answer the second with
+//! "none" — that is the entire difference the paper's evaluation measures.
+
+use dvmp_cluster::datacenter::Datacenter;
+use dvmp_cluster::pm::PmId;
+use dvmp_cluster::vm::{Vm, VmId, VmSpec};
+use dvmp_simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// A read-only snapshot of everything a policy may observe.
+#[derive(Clone, Copy)]
+pub struct PlacementView<'a> {
+    /// The fleet (states, occupancy, classes, reliability).
+    pub dc: &'a Datacenter,
+    /// Every VM the simulator knows about, keyed by id.
+    pub vms: &'a BTreeMap<VmId, Vm>,
+    /// Current simulation time.
+    pub now: SimTime,
+}
+
+impl<'a> PlacementView<'a> {
+    /// Iterates the VMs eligible for live migration: running (not mid-
+    /// creation, not already migrating) with a known host.
+    pub fn migratable_vms(&self) -> impl Iterator<Item = (&'a Vm, PmId)> + '_ {
+        self.vms.values().filter_map(|vm| match vm.state {
+            dvmp_cluster::vm::VmState::Running { pm } => Some((vm, pm)),
+            _ => None,
+        })
+    }
+}
+
+/// One live-migration decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The VM to move.
+    pub vm: VmId,
+    /// Its current host.
+    pub from: PmId,
+    /// The destination.
+    pub to: PmId,
+}
+
+/// A VM-placement scheme.
+///
+/// Implementations must be deterministic given the view (the random
+/// baseline owns a seeded RNG, so *it* is deterministic per scenario too).
+pub trait PlacementPolicy {
+    /// Short machine-readable name ("first-fit", "dynamic", ...), used in
+    /// reports and figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Chooses a host for a new request among the currently available PMs,
+    /// or `None` to queue the request. The simulator guarantees the
+    /// returned PM can host the request at decision time.
+    fn place(&mut self, view: &PlacementView<'_>, vm: &VmSpec) -> Option<PmId>;
+
+    /// Proposes an ordered batch of live migrations in response to a
+    /// triggering event (arrival, departure or PM failure — Section III-C).
+    /// The default (static schemes) never migrates.
+    fn plan_migrations(&mut self, _view: &PlacementView<'_>) -> Vec<Migration> {
+        Vec::new()
+    }
+
+    /// `true` for schemes that react to departures with consolidation; the
+    /// simulator uses this to skip needless planning calls for baselines.
+    fn is_dynamic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for the policy tests in this crate.
+    use dvmp_cluster::datacenter::{Datacenter, FleetBuilder};
+    use dvmp_cluster::pm::{PmClass, PmId};
+    use dvmp_cluster::resources::ResourceVector;
+    use dvmp_cluster::vm::{Vm, VmId, VmSpec, VmState};
+    use dvmp_simcore::{SimDuration, SimTime};
+    use std::collections::BTreeMap;
+
+    /// 2 fast + 2 slow PMs, all on.
+    pub fn small_fleet() -> Datacenter {
+        FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 2, 0.99)
+            .add_class(PmClass::paper_slow(), 2, 0.95)
+            .initially_on(true)
+            .build()
+    }
+
+    /// A 1-core / `mem` MiB spec with the given estimated runtime.
+    pub fn spec(id: u32, mem: u64, est_secs: u64) -> VmSpec {
+        VmSpec::exact(
+            VmId(id),
+            SimTime::ZERO,
+            ResourceVector::cpu_mem(1, mem),
+            SimDuration::from_secs(est_secs),
+        )
+    }
+
+    /// Places `spec` as Running on `pm` in both the datacenter and the VM map.
+    pub fn install(
+        dc: &mut Datacenter,
+        vms: &mut BTreeMap<VmId, Vm>,
+        spec: VmSpec,
+        pm: PmId,
+        started_at: SimTime,
+    ) {
+        dc.place(spec.id, pm, spec.resources).unwrap();
+        let mut vm = Vm::new(spec);
+        vm.state = VmState::Running { pm };
+        vm.started_at = Some(started_at);
+        vms.insert(vm.spec.id, vm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use dvmp_cluster::pm::PmId;
+    use dvmp_cluster::vm::VmState;
+
+    #[test]
+    fn migratable_vms_filters_states() {
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        install(&mut dc, &mut vms, spec(1, 512, 1_000), PmId(0), SimTime::ZERO);
+        install(&mut dc, &mut vms, spec(2, 512, 1_000), PmId(1), SimTime::ZERO);
+        // VM 2 is mid-migration: not migratable.
+        vms.get_mut(&VmId(2)).unwrap().state = VmState::Migrating {
+            from: PmId(1),
+            to: PmId(0),
+            done_at: SimTime::from_secs(40),
+        };
+        // VM 3 is queued: not migratable.
+        vms.insert(VmId(3), Vm::new(spec(3, 512, 1_000)));
+
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
+        let ids: Vec<VmId> = view.migratable_vms().map(|(vm, _)| vm.spec.id).collect();
+        assert_eq!(ids, vec![VmId(1)]);
+        let (_, host) = view.migratable_vms().next().unwrap();
+        assert_eq!(host, PmId(0));
+    }
+
+    use dvmp_cluster::vm::{Vm, VmId};
+}

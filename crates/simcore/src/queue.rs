@@ -1,0 +1,207 @@
+//! Cancellable priority event queue.
+//!
+//! Cancellation is lazy: the heap keeps stale entries, and liveness is
+//! tracked by a `pending` id set — an entry popped off the heap counts
+//! only if its id is still pending. This makes `schedule`/`pop` O(log n),
+//! `cancel` O(1), and (crucially) makes cancelling an id that already
+//! fired a correct no-op instead of corrupting the live count.
+
+use crate::event::{EventEntry, EventId};
+use crate::time::SimTime;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A future-event list: the classic discrete-event simulation core.
+///
+/// ```
+/// use dvmp_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(30), "late");
+/// let token = q.schedule(SimTime::from_secs(10), "cancelled");
+/// q.schedule(SimTime::from_secs(20), "early");
+/// q.cancel(token);
+///
+/// assert_eq!(q.pop().unwrap().payload, "early");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    pending: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`; returns a token usable with
+    /// [`EventQueue::cancel`].
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(EventEntry { time, id, payload });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` only when the
+    /// event was still pending — cancelling an id that already fired (or
+    /// was already cancelled) is a no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Removes and returns the earliest live event, skipping cancelled
+    /// entries.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.id) {
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    /// Time of the earliest live event, if any, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            match self.heap.peek() {
+                None => return None,
+                Some(entry) if !self.pending.contains(&entry.id) => {
+                    self.heap.pop();
+                }
+                Some(entry) => return Some(entry.time),
+            }
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "b");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(9), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(3);
+        for name in ["first", "second", "third"] {
+            q.schedule(t, name);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_secs(1), "keep");
+        let drop = q.schedule(SimTime::from_secs(2), "drop");
+        assert!(q.cancel(drop));
+        assert!(!q.cancel(drop), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        let only = q.pop().unwrap();
+        assert_eq!(only.id, keep);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_no_op() {
+        // The regression the model-based test exposed: a fired event's id
+        // must not be cancellable, and the live count must stay exact.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.id, a);
+        assert!(!q.cancel(a), "already fired");
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let early = q.schedule(SimTime::from_secs(1), "x");
+        q.schedule(SimTime::from_secs(7), "y");
+        q.cancel(early);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn len_tracks_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), ());
+        let b = q.schedule(SimTime::from_secs(1), ());
+        assert!(b.raw() > a.raw());
+    }
+}

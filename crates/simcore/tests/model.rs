@@ -1,0 +1,144 @@
+//! Model-based property tests: the event queue and the step series are
+//! checked against trivially correct reference implementations under
+//! random operation sequences.
+
+use dvmp_simcore::series::StepSeries;
+use dvmp_simcore::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Operations on the event queue.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule at the given time.
+    Schedule(u32),
+    /// Cancel the n-th still-tracked event (mod live count).
+    Cancel(u8),
+    /// Pop one event.
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..10_000).prop_map(QueueOp::Schedule),
+            any::<u8>().prop_map(QueueOp::Cancel),
+            Just(QueueOp::Pop),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The queue behaves exactly like a sorted reference list under any
+    /// interleaving of schedule / cancel / pop.
+    #[test]
+    fn event_queue_matches_reference_model(ops in arb_ops()) {
+        let mut q = EventQueue::new();
+        // Reference: Vec of (time, seq, id) kept sorted by (time, seq).
+        let mut model: Vec<(u64, u64, dvmp_simcore::EventId)> = Vec::new();
+        let mut retired: Vec<dvmp_simcore::EventId> = Vec::new();
+        let mut seq = 0u64;
+
+        for op in ops {
+            match op {
+                QueueOp::Schedule(t) => {
+                    let id = q.schedule(SimTime::from_secs(t as u64), seq);
+                    model.push((t as u64, seq, id));
+                    seq += 1;
+                }
+                QueueOp::Cancel(n) => {
+                    if !model.is_empty() {
+                        let idx = n as usize % model.len();
+                        let (_, _, id) = model.remove(idx);
+                        prop_assert!(q.cancel(id), "live event must cancel");
+                        retired.push(id);
+                    } else if let Some(&id) = retired.last() {
+                        // Cancelling something already popped or cancelled
+                        // must be a rejected no-op.
+                        prop_assert!(!q.cancel(id));
+                    }
+                }
+                QueueOp::Pop => {
+                    model.sort_by_key(|&(t, s, _)| (t, s));
+                    let expect = if model.is_empty() {
+                        None
+                    } else {
+                        let e = model.remove(0);
+                        retired.push(e.2);
+                        Some(e)
+                    };
+                    match (q.pop(), expect) {
+                        (None, None) => {}
+                        (Some(got), Some((t, s, id))) => {
+                            prop_assert_eq!(got.time, SimTime::from_secs(t));
+                            prop_assert_eq!(got.payload, s);
+                            prop_assert_eq!(got.id, id);
+                        }
+                        (got, expect) => {
+                            prop_assert!(false, "pop mismatch: got {got:?}, expected {expect:?}");
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len(), "live count tracks the model");
+        }
+    }
+
+    /// StepSeries integration equals a brute-force per-second sum.
+    #[test]
+    fn step_series_matches_naive_integration(
+        changes in prop::collection::vec((0u64..500, 0u32..100), 1..40),
+        window in (0u64..520, 0u64..520),
+    ) {
+        let mut sorted = changes.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+
+        let mut series = StepSeries::new(0.0);
+        for &(t, v) in &sorted {
+            series.record(SimTime::from_secs(t), v as f64);
+        }
+
+        // Naive model: value at each second.
+        let naive_value_at = |t: u64| -> f64 {
+            sorted
+                .iter()
+                .rev()
+                .find(|&&(ct, _)| ct <= t)
+                .map_or(0.0, |&(_, v)| v as f64)
+        };
+        let (a, b) = window;
+        let (from, to) = (a.min(b), a.max(b));
+        let naive: f64 = (from..to).map(naive_value_at).sum();
+        let got = series.integral(SimTime::from_secs(from), SimTime::from_secs(to));
+        prop_assert!((got - naive).abs() < 1e-9, "integral {got} vs naive {naive}");
+
+        // Point lookups agree everywhere.
+        for t in [from, to, (from + to) / 2] {
+            prop_assert_eq!(series.value_at(SimTime::from_secs(t)), naive_value_at(t));
+        }
+    }
+
+    /// Bucketed integrals tile the total exactly for any bucket width.
+    #[test]
+    fn bucket_integrals_tile_the_total(
+        changes in prop::collection::vec((0u64..2_000, 0u32..50), 1..30),
+        bucket in 1u64..400,
+        horizon in 1u64..2_200,
+    ) {
+        let mut sorted = changes;
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut series = StepSeries::new(1.0);
+        for &(t, v) in &sorted {
+            series.record(SimTime::from_secs(t), v as f64);
+        }
+        let h = SimTime::from_secs(horizon);
+        let total = series.integral(SimTime::ZERO, h);
+        let parts: f64 = series
+            .bucket_integrals(SimDuration::from_secs(bucket), h)
+            .iter()
+            .sum();
+        prop_assert!((total - parts).abs() < 1e-9, "{total} vs {parts}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Bootstrap workload generation: synthesize new weeks *from a real
+//! trace* instead of from parametric distributions.
+//!
+//! When a real SWF log is available (e.g. the actual LPC log), the
+//! parametric [`SyntheticGenerator`](crate::SyntheticGenerator) is no
+//! longer the best model: resampling preserves every marginal and joint
+//! quirk of the source — the heavy tails, the correlation between memory
+//! and runtime, the odd spikes. The [`BootstrapGenerator`]:
+//!
+//! 1. estimates the source's hourly arrival-rate profile (empirical
+//!    counts, optionally smoothed over the configured cycle), and
+//! 2. draws per-hour Poisson counts from it, attaching to each arrival
+//!    the `(cores, memory, runtime, estimate)` tuple of a uniformly
+//!    resampled source job.
+//!
+//! The result is a *new* trace — different seed, different week — that is
+//! statistically exchangeable with the source. This is the standard
+//! trace-bootstrap technique used to extend short logs for simulation
+//! studies.
+
+use crate::job::{Job, JobStatus};
+use crate::trace::Trace;
+use dvmp_simcore::dist::poisson;
+use dvmp_simcore::rng::{stream_rng, Stream};
+use dvmp_simcore::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Resampling generator seeded from a source trace.
+#[derive(Debug)]
+pub struct BootstrapGenerator {
+    /// `(cores, memory_mib, runtime, requested_runtime)` of source jobs.
+    pool: Vec<(u32, u64, SimDuration, SimDuration)>,
+    /// Expected arrivals per hour over the target horizon.
+    hourly_rates: Vec<f64>,
+    seed: u64,
+}
+
+impl BootstrapGenerator {
+    /// Builds a generator that replays `source`'s hourly arrival profile
+    /// over `horizon_days` days (tiling or truncating the source's span
+    /// as needed).
+    ///
+    /// # Panics
+    /// Panics if the source trace is empty.
+    pub fn new(source: &Trace, horizon_days: u64, seed: u64) -> Self {
+        assert!(!source.is_empty(), "bootstrap needs a non-empty source trace");
+        let pool: Vec<_> = source
+            .jobs()
+            .iter()
+            .map(|j| (j.cores, j.memory_mib, j.runtime, j.requested_runtime))
+            .collect();
+
+        // Empirical hourly counts over the source span.
+        let span_hours = (source
+            .span()
+            .expect("non-empty")
+            .hour_index()
+            + 1) as usize;
+        let mut counts = vec![0f64; span_hours];
+        for j in source.jobs() {
+            counts[j.submit.hour_index() as usize] += 1.0;
+        }
+        // Tile/truncate to the target horizon.
+        let target_hours = (horizon_days * 24) as usize;
+        let hourly_rates = (0..target_hours)
+            .map(|h| counts[h % span_hours])
+            .collect();
+
+        BootstrapGenerator {
+            pool,
+            hourly_rates,
+            seed,
+        }
+    }
+
+    /// Expected total arrivals over the horizon.
+    pub fn expected_total(&self) -> f64 {
+        self.hourly_rates.iter().sum()
+    }
+
+    /// Generates a fresh trace. Deterministic in `(source, horizon, seed)`.
+    pub fn generate(&self) -> Trace {
+        let mut rng = stream_rng(self.seed, Stream::Custom(7_001));
+        let mut jobs = Vec::with_capacity(self.expected_total() as usize + 16);
+        let mut id = 1u64;
+        for (h, &rate) in self.hourly_rates.iter().enumerate() {
+            let n = poisson(&mut rng, rate);
+            let hour_start = h as u64 * 3_600;
+            let mut offsets: Vec<u64> = (0..n).map(|_| rng.gen_range(0..3_600)).collect();
+            offsets.sort_unstable();
+            for off in offsets {
+                let (cores, mem, runtime, req) = self.pool[rng.gen_range(0..self.pool.len())];
+                jobs.push(Job {
+                    id,
+                    submit: SimTime::from_secs(hour_start + off),
+                    runtime,
+                    cores,
+                    memory_mib: mem,
+                    requested_runtime: req,
+                    status: JobStatus::Completed,
+                });
+                id += 1;
+            }
+        }
+        Trace::new(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{LpcProfile, SyntheticGenerator};
+
+    fn source() -> Trace {
+        SyntheticGenerator::new(LpcProfile::light(), 9).generate()
+    }
+
+    #[test]
+    fn preserves_volume_on_same_horizon() {
+        let src = source();
+        let gen = BootstrapGenerator::new(&src, 7, 42);
+        let out = gen.generate();
+        let expect = src.len() as f64;
+        assert!(
+            (out.len() as f64 - expect).abs() < expect * 0.10,
+            "bootstrap volume {} vs source {}",
+            out.len(),
+            src.len()
+        );
+    }
+
+    #[test]
+    fn resampled_attributes_come_from_the_pool() {
+        let src = source();
+        let pool: std::collections::HashSet<(u32, u64, u64)> = src
+            .jobs()
+            .iter()
+            .map(|j| (j.cores, j.memory_mib, j.runtime.as_secs()))
+            .collect();
+        let out = BootstrapGenerator::new(&src, 2, 1).generate();
+        assert!(!out.is_empty());
+        for j in out.jobs() {
+            assert!(
+                pool.contains(&(j.cores, j.memory_mib, j.runtime.as_secs())),
+                "job attributes must be resampled from the source"
+            );
+        }
+    }
+
+    #[test]
+    fn tiles_shorter_sources_over_longer_horizons() {
+        let src = source(); // 7-day source
+        let gen = BootstrapGenerator::new(&src, 14, 3);
+        let out = gen.generate();
+        // Two weeks ≈ double the volume.
+        let expect = 2.0 * src.len() as f64;
+        assert!(
+            (out.len() as f64 - expect).abs() < expect * 0.10,
+            "{} vs {}",
+            out.len(),
+            expect
+        );
+        assert!(out.span().unwrap() >= SimTime::from_days(13));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let src = source();
+        let a = BootstrapGenerator::new(&src, 3, 5).generate();
+        let b = BootstrapGenerator::new(&src, 3, 5).generate();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.jobs().iter().zip(b.jobs()) {
+            assert_eq!(x, y);
+        }
+        let c = BootstrapGenerator::new(&src, 3, 6).generate();
+        assert_ne!(
+            a.jobs().first().map(|j| j.submit),
+            c.jobs().first().map(|j| j.submit)
+        );
+    }
+
+    #[test]
+    fn hourly_shape_follows_the_source() {
+        let src = source();
+        let out = BootstrapGenerator::new(&src, 7, 11).generate();
+        // Compare busiest vs quietest 6-hour band of day 2 between source
+        // and bootstrap: the diurnal shape must carry over.
+        let band = |t: &Trace, lo: u64, hi: u64| -> usize {
+            t.jobs()
+                .iter()
+                .filter(|j| {
+                    let h = j.submit.hour_index() % 24;
+                    j.submit.day_index() == 2 && h >= lo && h < hi
+                })
+                .count()
+        };
+        let src_ratio = band(&src, 12, 18) as f64 / band(&src, 0, 6).max(1) as f64;
+        let out_ratio = band(&out, 12, 18) as f64 / band(&out, 0, 6).max(1) as f64;
+        assert!(src_ratio > 1.5, "source is diurnal: {src_ratio}");
+        assert!(out_ratio > 1.2, "bootstrap keeps the shape: {out_ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_source_is_rejected() {
+        BootstrapGenerator::new(&Trace::default(), 1, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Cluster job records, mirroring the fields of the Parallel Workloads
+//! Archive's Standard Workload Format that the paper's preprocessing uses:
+//! job number, submit time, run time, processor count, per-processor memory
+//! and completion status, plus the user's requested (estimated) runtime.
+
+use dvmp_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Completion status, following SWF conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Job failed (SWF status 0).
+    Failed,
+    /// Job completed (SWF status 1).
+    Completed,
+    /// Partial-execution statuses (SWF 2–4); treated as completed work.
+    Partial,
+    /// Job was cancelled before/while running (SWF status 5).
+    Cancelled,
+    /// Status unknown (SWF −1).
+    Unknown,
+}
+
+impl JobStatus {
+    /// Parses the SWF status column.
+    pub fn from_swf(code: i64) -> Self {
+        match code {
+            0 => JobStatus::Failed,
+            1 => JobStatus::Completed,
+            2..=4 => JobStatus::Partial,
+            5 => JobStatus::Cancelled,
+            _ => JobStatus::Unknown,
+        }
+    }
+
+    /// The SWF status column value.
+    pub fn to_swf(self) -> i64 {
+        match self {
+            JobStatus::Failed => 0,
+            JobStatus::Completed => 1,
+            JobStatus::Partial => 2,
+            JobStatus::Cancelled => 5,
+            JobStatus::Unknown => -1,
+        }
+    }
+}
+
+/// One job as recorded by the cluster's batch system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Job number (SWF field 1).
+    pub id: u64,
+    /// Submission instant relative to the trace start (SWF field 2).
+    pub submit: SimTime,
+    /// Actual runtime (SWF field 4).
+    pub runtime: SimDuration,
+    /// Number of allocated processors/cores (SWF field 5).
+    pub cores: u32,
+    /// Total memory used by the job, MiB (derived from SWF field 7, which
+    /// is KB *per processor*).
+    pub memory_mib: u64,
+    /// User-requested runtime — the estimate the scheduler sees (SWF
+    /// field 9). Falls back to `runtime` when the log has no estimate.
+    pub requested_runtime: SimDuration,
+    /// Completion status (SWF field 11).
+    pub status: JobStatus,
+}
+
+impl Job {
+    /// `true` for jobs the paper's preprocessing keeps: not cancelled, ran
+    /// for a positive time on at least one core.
+    pub fn is_usable(&self) -> bool {
+        self.status != JobStatus::Cancelled
+            && self.cores > 0
+            && !self.runtime.is_zero()
+    }
+
+    /// Memory per core in MiB (the paper's normalization divides a job's
+    /// memory equally among its cores). At least 1 MiB so a kept job is
+    /// never zero-sized.
+    pub fn memory_per_core_mib(&self) -> u64 {
+        if self.cores == 0 {
+            return self.memory_mib.max(1);
+        }
+        (self.memory_mib / self.cores as u64).max(1)
+    }
+
+    /// The runtime estimate exposed to the placement scheme: the user
+    /// request when present and sane, else the actual runtime.
+    pub fn estimate(&self) -> SimDuration {
+        if self.requested_runtime.is_zero() {
+            self.runtime
+        } else {
+            self.requested_runtime
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(cores: u32, mem: u64, runtime: u64, status: JobStatus) -> Job {
+        Job {
+            id: 1,
+            submit: SimTime::from_secs(0),
+            runtime: SimDuration::from_secs(runtime),
+            cores,
+            memory_mib: mem,
+            requested_runtime: SimDuration::from_secs(runtime * 2),
+            status,
+        }
+    }
+
+    #[test]
+    fn status_round_trips_swf_codes() {
+        for code in [-1i64, 0, 1, 2, 3, 4, 5] {
+            let s = JobStatus::from_swf(code);
+            let back = s.to_swf();
+            // 3 and 4 collapse to 2 (Partial); everything else round-trips.
+            if (2..=4).contains(&code) {
+                assert_eq!(s, JobStatus::Partial);
+            } else {
+                assert_eq!(back, code);
+            }
+        }
+        assert_eq!(JobStatus::from_swf(99), JobStatus::Unknown);
+    }
+
+    #[test]
+    fn usable_filters_cancelled_and_degenerate() {
+        assert!(job(4, 1024, 100, JobStatus::Completed).is_usable());
+        assert!(!job(4, 1024, 100, JobStatus::Cancelled).is_usable());
+        assert!(!job(0, 1024, 100, JobStatus::Completed).is_usable());
+        assert!(!job(4, 1024, 0, JobStatus::Completed).is_usable());
+        assert!(job(4, 1024, 100, JobStatus::Failed).is_usable(), "failed jobs still consumed resources");
+    }
+
+    #[test]
+    fn memory_split_is_equal_division() {
+        assert_eq!(job(4, 1024, 100, JobStatus::Completed).memory_per_core_mib(), 256);
+        assert_eq!(job(3, 1000, 100, JobStatus::Completed).memory_per_core_mib(), 333);
+        // Tiny memory never rounds to zero.
+        assert_eq!(job(8, 4, 100, JobStatus::Completed).memory_per_core_mib(), 1);
+    }
+
+    #[test]
+    fn estimate_prefers_request() {
+        let j = job(1, 100, 500, JobStatus::Completed);
+        assert_eq!(j.estimate(), SimDuration::from_secs(1_000));
+        let mut no_req = j.clone();
+        no_req.requested_runtime = SimDuration::ZERO;
+        assert_eq!(no_req.estimate(), SimDuration::from_secs(500));
+    }
+}

@@ -1,0 +1,181 @@
+//! Workload characterisation — the data behind Fig. 2.
+//!
+//! Fig. 2 of the paper shows, for the one-week trace: (a) arrivals per day,
+//! (b) the memory-requirement histogram, and (c) the runtime histogram.
+//! [`WorkloadStats`] computes all three plus the headline numbers quoted in
+//! the text (total jobs, peak day, jobs under one day).
+
+use crate::trace::Trace;
+use dvmp_simcore::stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Total number of jobs.
+    pub total_jobs: usize,
+    /// Arrivals per day (index 0 = first day).
+    pub arrivals_per_day: Vec<usize>,
+    /// Per-core memory histogram (MiB bins).
+    pub memory_hist: Histogram,
+    /// Runtime histogram (hour bins).
+    pub runtime_hist: Histogram,
+    /// Jobs with runtime strictly under one day (the paper quotes 2 077).
+    pub jobs_under_one_day: usize,
+    /// Mean runtime in seconds.
+    pub mean_runtime_secs: f64,
+    /// Total core·seconds of offered work.
+    pub offered_core_seconds: f64,
+}
+
+impl WorkloadStats {
+    /// Characterises `trace`, assuming it spans `days` days.
+    pub fn from_trace(trace: &Trace, days: usize) -> Self {
+        let mut arrivals_per_day = vec![0usize; days];
+        // Memory bins: 0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4 GiB edges (MiB).
+        let mut memory_hist = Histogram::new(vec![
+            0.0, 256.0, 512.0, 768.0, 1_024.0, 1_536.0, 2_048.0, 3_072.0, 4_096.0,
+        ]);
+        // Runtime bins: 1 h, 6 h, 12 h, 1 d, 2 d, 3 d, 4 d (seconds).
+        let mut runtime_hist = Histogram::new(vec![
+            0.0,
+            3_600.0,
+            21_600.0,
+            43_200.0,
+            86_400.0,
+            172_800.0,
+            259_200.0,
+            345_600.0,
+        ]);
+        let mut under_day = 0usize;
+        let mut runtime_sum = 0.0;
+        let mut core_seconds = 0.0;
+
+        for job in trace.jobs() {
+            let day = job.submit.day_index() as usize;
+            if day < days {
+                arrivals_per_day[day] += 1;
+            }
+            memory_hist.push(job.memory_per_core_mib() as f64);
+            let rt = job.runtime.as_secs_f64();
+            runtime_hist.push(rt);
+            if job.runtime.as_secs() < 86_400 {
+                under_day += 1;
+            }
+            runtime_sum += rt;
+            core_seconds += rt * job.cores as f64;
+        }
+
+        WorkloadStats {
+            total_jobs: trace.len(),
+            arrivals_per_day,
+            memory_hist,
+            runtime_hist,
+            jobs_under_one_day: under_day,
+            mean_runtime_secs: if trace.is_empty() {
+                0.0
+            } else {
+                runtime_sum / trace.len() as f64
+            },
+            offered_core_seconds: core_seconds,
+        }
+    }
+
+    /// The busiest day's `(index, count)`.
+    pub fn peak_day(&self) -> Option<(usize, usize)> {
+        self.arrivals_per_day
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+    }
+
+    /// Fraction of jobs whose per-core memory is below 1 GiB.
+    pub fn fraction_memory_below_1gib(&self) -> f64 {
+        if self.total_jobs == 0 {
+            return 0.0;
+        }
+        self.memory_hist.count_below(1_024.0) as f64 / self.total_jobs as f64
+    }
+
+    /// Mean offered concurrency over a horizon of `horizon_secs`
+    /// (core·seconds / horizon) — the load the fleet must absorb.
+    pub fn mean_offered_concurrency(&self, horizon_secs: f64) -> f64 {
+        if horizon_secs <= 0.0 {
+            return 0.0;
+        }
+        self.offered_core_seconds / horizon_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobStatus};
+    use crate::synthetic::{LpcProfile, SyntheticGenerator};
+    use dvmp_simcore::{SimDuration, SimTime};
+
+    fn tiny_trace() -> Trace {
+        let mk = |id, day, runtime, mem| Job {
+            id,
+            submit: SimTime::from_days(day),
+            runtime: SimDuration::from_secs(runtime),
+            cores: 1,
+            memory_mib: mem,
+            requested_runtime: SimDuration::from_secs(runtime),
+            status: JobStatus::Completed,
+        };
+        Trace::new(vec![
+            mk(1, 0, 3_000, 512),
+            mk(2, 0, 90_000, 2_048),
+            mk(3, 1, 50_000, 256),
+        ])
+    }
+
+    #[test]
+    fn counts_and_buckets() {
+        let s = WorkloadStats::from_trace(&tiny_trace(), 7);
+        assert_eq!(s.total_jobs, 3);
+        assert_eq!(s.arrivals_per_day, vec![2, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(s.peak_day(), Some((0, 2)));
+        assert_eq!(s.jobs_under_one_day, 2);
+        assert!((s.mean_runtime_secs - (3_000.0 + 90_000.0 + 50_000.0) / 3.0).abs() < 1e-9);
+        assert_eq!(s.offered_core_seconds, 143_000.0);
+    }
+
+    #[test]
+    fn memory_fraction() {
+        let s = WorkloadStats::from_trace(&tiny_trace(), 7);
+        // 512 and 256 are below 1 GiB; 2048 is not.
+        assert!((s.fraction_memory_below_1gib() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offered_concurrency() {
+        let s = WorkloadStats::from_trace(&tiny_trace(), 7);
+        assert!((s.mean_offered_concurrency(143_000.0) - 1.0).abs() < 1e-12);
+        assert_eq!(s.mean_offered_concurrency(0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = WorkloadStats::from_trace(&Trace::default(), 7);
+        assert_eq!(s.total_jobs, 0);
+        assert_eq!(s.mean_runtime_secs, 0.0);
+        assert_eq!(s.fraction_memory_below_1gib(), 0.0);
+        assert_eq!(s.peak_day().map(|(_, c)| c), Some(0));
+    }
+
+    #[test]
+    fn synthetic_week_reproduces_fig2_headlines() {
+        let trace = SyntheticGenerator::new(LpcProfile::paper_calibrated(), 42).generate();
+        let s = WorkloadStats::from_trace(&trace, 7);
+        assert!((s.total_jobs as f64 - 4_574.0).abs() < 4_574.0 * 0.05);
+        let (_, peak) = s.peak_day().unwrap();
+        assert!((peak as f64 - 982.0).abs() < 982.0 * 0.12);
+        assert!((s.fraction_memory_below_1gib() - 0.72).abs() < 0.06);
+        // Histogram totals equal job count.
+        assert_eq!(s.memory_hist.total() as usize, s.total_jobs);
+        assert_eq!(s.runtime_hist.total() as usize, s.total_jobs);
+    }
+}

@@ -1,0 +1,258 @@
+//! Standard Workload Format (SWF) reader and writer.
+//!
+//! SWF is the Parallel Workloads Archive's interchange format: one job per
+//! line, 18 whitespace-separated numeric fields, `;` starting header and
+//! comment lines. The paper's LPC log ships in this format; this module
+//! lets the real log be used verbatim while the synthetic generator can
+//! also *export* SWF so any external tool sees identical inputs.
+//!
+//! Field map (1-based, as documented by the archive):
+//!
+//! | # | Field                    | Use here                        |
+//! |---|--------------------------|---------------------------------|
+//! | 1 | job number               | [`Job::id`]                     |
+//! | 2 | submit time (s)          | [`Job::submit`]                 |
+//! | 3 | wait time (s)            | ignored (scheduler-specific)    |
+//! | 4 | run time (s)             | [`Job::runtime`]                |
+//! | 5 | allocated processors     | [`Job::cores`]                  |
+//! | 6 | average CPU time         | ignored                         |
+//! | 7 | used memory (KB/proc)    | [`Job::memory_mib`] (total)     |
+//! | 8 | requested processors     | fallback for field 5            |
+//! | 9 | requested time (s)       | [`Job::requested_runtime`]      |
+//! |10 | requested memory         | fallback for field 7            |
+//! |11 | status                   | [`Job::status`]                 |
+//! |12–18| user/group/app/queue/partition/dependency/think time | ignored |
+
+use crate::job::{Job, JobStatus};
+use dvmp_simcore::{SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+/// A parse failure, with the 1-based line number where it happened.
+#[derive(Debug)]
+pub struct SwfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Option<Job>, SwfError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with(';') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 11 {
+        return Err(SwfError {
+            line: lineno,
+            message: format!("expected at least 11 fields, found {}", fields.len()),
+        });
+    }
+    let num = |i: usize| -> Result<i64, SwfError> {
+        fields[i].parse::<f64>().map(|v| v as i64).map_err(|e| SwfError {
+            line: lineno,
+            message: format!("field {} ({:?}): {e}", i + 1, fields[i]),
+        })
+    };
+
+    let id = num(0)?;
+    let submit = num(1)?.max(0) as u64;
+    let runtime = num(3)?.max(0) as u64;
+    let alloc_procs = num(4)?;
+    let used_mem_kb_per_proc = num(6)?;
+    let req_procs = num(7)?;
+    let req_time = num(8)?.max(0) as u64;
+    let req_mem = num(9)?;
+    let status = num(10)?;
+
+    let cores = if alloc_procs > 0 {
+        alloc_procs as u32
+    } else if req_procs > 0 {
+        req_procs as u32
+    } else {
+        0
+    };
+    // Memory fields are KB per processor; −1 means unknown. Fall back from
+    // used to requested.
+    let mem_kb_per_proc = if used_mem_kb_per_proc > 0 {
+        used_mem_kb_per_proc
+    } else if req_mem > 0 {
+        req_mem
+    } else {
+        0
+    };
+    let memory_mib = (mem_kb_per_proc as u64 / 1_024) * cores.max(1) as u64;
+
+    Ok(Some(Job {
+        id: id.max(0) as u64,
+        submit: SimTime::from_secs(submit),
+        runtime: SimDuration::from_secs(runtime),
+        cores,
+        memory_mib,
+        requested_runtime: SimDuration::from_secs(req_time),
+        status: JobStatus::from_swf(status),
+    }))
+}
+
+/// Parses an SWF document from a reader. Comment and header lines are
+/// skipped; any malformed data line aborts with a positioned error.
+pub fn read_swf<R: BufRead>(reader: R) -> Result<Vec<Job>, SwfError> {
+    let mut jobs = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| SwfError {
+            line: i + 1,
+            message: format!("I/O error: {e}"),
+        })?;
+        if let Some(job) = parse_line(&line, i + 1)? {
+            jobs.push(job);
+        }
+    }
+    Ok(jobs)
+}
+
+/// Parses an SWF document from a string.
+pub fn parse_swf(text: &str) -> Result<Vec<Job>, SwfError> {
+    let mut jobs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(job) = parse_line(line, i + 1)? {
+            jobs.push(job);
+        }
+    }
+    Ok(jobs)
+}
+
+/// Renders jobs as an SWF document (18 fields; unknown fields written as
+/// −1 per the archive convention). The inverse of [`parse_swf`] for the
+/// fields this crate models.
+pub fn to_swf_string(jobs: &[Job], header_comment: &str) -> String {
+    let mut out = String::new();
+    for line in header_comment.lines() {
+        let _ = writeln!(out, "; {line}");
+    }
+    for j in jobs {
+        let mem_kb_per_proc = if j.cores > 0 {
+            (j.memory_mib * 1_024) / j.cores as u64
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{} {} -1 {} {} -1 {} {} {} -1 {} -1 -1 -1 -1 -1 -1 -1",
+            j.id,
+            j.submit.as_secs(),
+            j.runtime.as_secs(),
+            j.cores,
+            mem_kb_per_proc,
+            j.cores,
+            j.requested_runtime.as_secs(),
+            j.status.to_swf(),
+        );
+    }
+    out
+}
+
+/// Writes jobs as SWF to an `io::Write`.
+pub fn write_swf<W: Write>(mut w: W, jobs: &[Job], header_comment: &str) -> std::io::Result<()> {
+    w.write_all(to_swf_string(jobs, header_comment).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; SWF header
+; MaxJobs: 3
+1 0 5 3600 4 -1 524288 4 7200 -1 1 1 1 -1 1 -1 -1 -1
+2 60 0 120 1 -1 -1 1 600 262144 5 1 1 -1 1 -1 -1 -1
+3 120 2 86400 2 -1 1048576 2 90000 -1 0 2 1 -1 2 -1 -1 -1
+";
+
+    #[test]
+    fn parses_sample_jobs() {
+        let jobs = parse_swf(SAMPLE).unwrap();
+        assert_eq!(jobs.len(), 3);
+
+        let j1 = &jobs[0];
+        assert_eq!(j1.id, 1);
+        assert_eq!(j1.submit.as_secs(), 0);
+        assert_eq!(j1.runtime.as_secs(), 3_600);
+        assert_eq!(j1.cores, 4);
+        // 524288 KB/proc = 512 MiB/proc × 4 procs = 2048 MiB total.
+        assert_eq!(j1.memory_mib, 2_048);
+        assert_eq!(j1.requested_runtime.as_secs(), 7_200);
+        assert_eq!(j1.status, JobStatus::Completed);
+
+        let j2 = &jobs[1];
+        assert_eq!(j2.status, JobStatus::Cancelled);
+        // Used memory unknown (−1): falls back to requested 262144 KB = 256 MiB.
+        assert_eq!(j2.memory_mib, 256);
+
+        let j3 = &jobs[2];
+        assert_eq!(j3.status, JobStatus::Failed);
+        assert_eq!(j3.memory_mib, 2_048);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let jobs = parse_swf("; only comments\n\n;\n").unwrap();
+        assert!(jobs.is_empty());
+    }
+
+    #[test]
+    fn reports_positioned_errors() {
+        let err = parse_swf("1 0 5\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("11 fields"));
+
+        let err = parse_swf("; ok\nx 0 0 1 1 -1 1 1 1 -1 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn accepts_fractional_fields() {
+        // Some archive logs carry fractional seconds; they truncate.
+        let jobs = parse_swf("1 10.7 0 99.9 1 -1 1024 1 100 -1 1\n").unwrap();
+        assert_eq!(jobs[0].submit.as_secs(), 10);
+        assert_eq!(jobs[0].runtime.as_secs(), 99);
+    }
+
+    #[test]
+    fn falls_back_to_requested_processors() {
+        let jobs = parse_swf("1 0 0 100 -1 -1 1024 8 100 -1 1\n").unwrap();
+        assert_eq!(jobs[0].cores, 8);
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let jobs = parse_swf(SAMPLE).unwrap();
+        let text = to_swf_string(&jobs, "round-trip test");
+        assert!(text.starts_with("; round-trip test\n"));
+        let back = parse_swf(&text).unwrap();
+        assert_eq!(back.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.cores, b.cores);
+            assert_eq!(a.requested_runtime, b.requested_runtime);
+            // Memory round-trips up to the KiB→MiB truncation.
+            assert_eq!(a.memory_mib, b.memory_mib);
+        }
+    }
+
+    #[test]
+    fn read_swf_from_reader() {
+        let jobs = read_swf(std::io::Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(jobs.len(), 3);
+    }
+}

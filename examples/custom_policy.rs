@@ -1,0 +1,94 @@
+//! Writing your own placement policy.
+//!
+//! The simulator accepts anything implementing `PlacementPolicy`, so new
+//! schemes compare against the paper's on identical inputs with no
+//! simulator changes. This example implements **power-aware best-fit
+//! decreasing-style packing** ("cheapest watt first"): place each request
+//! on the feasible PM whose *marginal power cost* of accepting it is
+//! lowest (an idle machine costs its idle→active step; an active machine
+//! costs nothing extra under the two-level model, so packing is free).
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+
+use dvmp::prelude::*;
+use dvmp_cluster::pm::PmState;
+
+/// Place where the marginal wattage of saying "yes" is smallest.
+#[derive(Debug, Default)]
+struct CheapestWatt;
+
+impl PlacementPolicy for CheapestWatt {
+    fn name(&self) -> &'static str {
+        "cheapest-watt"
+    }
+
+    fn place(&mut self, view: &PlacementView<'_>, vm: &VmSpec) -> Option<PmId> {
+        let mut best: Option<(PmId, f64, f64)> = None;
+        for pm in view.dc.pms() {
+            if !pm.can_host(&vm.resources) {
+                continue;
+            }
+            // Marginal watts of hosting one more VM here, two-level model:
+            // active already → 0; idle-but-on → the idle→active step,
+            // amortized over the machine's core slots (activating a fast
+            // node costs 160 W but buys 8 future slots → 20 W/slot; a slow
+            // node costs 120 W for 4 slots → 30 W/slot).
+            let marginal = match pm.state {
+                PmState::On | PmState::Booting { .. } if !pm.is_idle() => 0.0,
+                _ => {
+                    (pm.class.active_power_w - pm.class.idle_power_w)
+                        / pm.capacity().get(0).max(1) as f64
+                }
+            };
+            // Tie-break: higher prospective utilization (pack tighter).
+            let util = pm
+                .used()
+                .add(&vm.resources)
+                .joint_utilization(pm.capacity());
+            let better = match best {
+                None => true,
+                Some((_, bm, bu)) => marginal < bm || (marginal == bm && util > bu),
+            };
+            if better {
+                best = Some((pm.id, marginal, util));
+            }
+        }
+        best.map(|(id, _, _)| id)
+    }
+}
+
+fn main() {
+    let scenario = Scenario::paper(42).with_days(2);
+    println!(
+        "{} requests over 2 days — custom policy vs the paper's schemes\n",
+        scenario.requests().len()
+    );
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "energy kWh", "mean active", "migrations", "waited %"
+    );
+    let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+        Box::new(CheapestWatt),
+        Box::new(DynamicPlacement::paper_default()),
+        Box::new(FirstFit),
+        Box::new(BestFit),
+    ];
+    for policy in policies {
+        let report = scenario.run(policy);
+        println!(
+            "{:>14} {:>12.1} {:>12.1} {:>12} {:>10.2}",
+            report.policy,
+            report.total_energy_kwh,
+            report.mean_active_servers(),
+            report.total_migrations,
+            report.qos.waited_fraction * 100.0
+        );
+    }
+    println!(
+        "\ncheapest-watt packs well on arrival but — like every static scheme — \
+         cannot undo fragmentation as jobs depart; the dynamic scheme's \
+         migrations are what close that gap."
+    );
+}

@@ -1,0 +1,52 @@
+//! Server reliability under failure injection (Section III-B-3).
+//!
+//! Gives every PM a jittered reliability score, arms an exponential
+//! failure process whose per-PM rate follows `1 − reliability`, and
+//! compares the full dynamic scheme against a variant with the `rel`
+//! factor knocked out. With the factor on, VMs gravitate toward reliable
+//! machines, so fewer of them are hit by crashes and restarted.
+//!
+//! ```sh
+//! cargo run --release --example failure_injection
+//! ```
+
+use dvmp::prelude::*;
+use dvmp_cluster::reliability::ReliabilityModel;
+
+fn scenario() -> Scenario {
+    let mut sim = SimConfig::default();
+    sim.horizon = SimTime::from_days(3);
+    sim.failures = Some(FailureConfig {
+        base_rate: 5e-4, // a reliability-0.9 PM fails ~every 5.5 h
+        repair_time: SimDuration::from_hours(4),
+    });
+    let mut p = LpcProfile::light();
+    p.daily_arrivals.truncate(3);
+    Scenario::from_profile("failure-injection", p, 42)
+        .with_sim(sim)
+        .with_reliability(ReliabilityModel::Jittered { spread: 0.09 })
+}
+
+fn main() {
+    println!(
+        "{:>18} {:>10} {:>12} {:>12} {:>10}",
+        "variant", "failures", "energy kWh", "migrations", "waited %"
+    );
+    for (name, use_rel) in [("with rel factor", true), ("without rel", false)] {
+        let mut cfg = DynamicConfig::default();
+        cfg.use_rel = use_rel;
+        let report = scenario().run(Box::new(DynamicPlacement::new(cfg)));
+        println!(
+            "{name:>18} {:>10} {:>12.1} {:>12} {:>10.2}",
+            report.pm_failures,
+            report.total_energy_kwh,
+            report.total_migrations,
+            report.qos.waited_fraction * 100.0
+        );
+    }
+    println!(
+        "\nnote: failures strike PMs at rate base_rate · (1 − reliability); the rel \
+         factor steers load toward reliable machines, trading a little packing \
+         efficiency for fewer disrupted VMs."
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate one day of the paper's datacenter under the
+//! dynamic placement scheme and print what it cost.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dvmp::prelude::*;
+
+fn main() {
+    // The paper's setup: 25 fast + 75 slow machines (Table II), a
+    // synthetic LPC-like workload (Section V-A), hourly spare-server
+    // control with a 5% QoS bound (Section IV). Deterministic in the seed.
+    let scenario = Scenario::paper(42).with_days(1);
+    println!(
+        "scenario: {} — {} VM requests over {} day(s)",
+        scenario.name,
+        scenario.requests().len(),
+        scenario.days()
+    );
+
+    // The paper's contribution: probability-matrix placement with
+    // MIG_threshold = 1.05 and MIG_round = 20.
+    let report = scenario.run(Box::new(DynamicPlacement::paper_default()));
+
+    println!("policy:            {}", report.policy);
+    println!("energy:            {:.1} kWh", report.total_energy_kwh);
+    println!("mean active PMs:   {:.1} of 100", report.mean_active_servers());
+    println!("live migrations:   {}", report.total_migrations);
+    println!(
+        "requests queued:   {:.2}% (paper bound: < 5%) → {}",
+        report.qos.waited_fraction * 100.0,
+        if report.qos.meets_paper_slo() { "OK" } else { "VIOLATED" }
+    );
+
+    // Against the static first-fit baseline on the *same* inputs:
+    let baseline = scenario.run(Box::new(FirstFit));
+    println!(
+        "vs first-fit:      {:.1} kWh → {:.1}% energy saved",
+        baseline.total_energy_kwh,
+        report.energy_saving_vs(&baseline) * 100.0
+    );
+}

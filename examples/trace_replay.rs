@@ -1,0 +1,56 @@
+//! Replaying a real batch log: the SWF pipeline end to end.
+//!
+//! The paper evaluates on the LPC log from the Parallel Workloads Archive.
+//! That file cannot ship with this repository, so the example (1) exports
+//! a synthetic week *as SWF*, (2) reads it back through the same parser a
+//! real archive log would use, (3) applies the paper's preprocessing
+//! (drop cancelled jobs, drop tiny-memory jobs, split n-core jobs into n
+//! single-core VM requests), and (4) replays it. Point `SWF_PATH` at a
+//! real `.swf` file to reproduce on the genuine trace.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! SWF_PATH=/path/to/LPC-EGEE-2004-1.2-cln.swf cargo run --release --example trace_replay
+//! ```
+
+use dvmp::prelude::*;
+use dvmp_workload::swf;
+
+fn main() {
+    let text = match std::env::var("SWF_PATH") {
+        Ok(path) => {
+            println!("reading {path}");
+            std::fs::read_to_string(&path).expect("SWF file readable")
+        }
+        Err(_) => {
+            println!("SWF_PATH not set — exporting a synthetic week as SWF and reading it back");
+            let trace = SyntheticGenerator::new(LpcProfile::light(), 42).generate();
+            swf::to_swf_string(trace.jobs(), "synthetic LPC-like week (dvmp)")
+        }
+    };
+
+    let jobs = swf::parse_swf(&text).expect("valid SWF");
+    println!("parsed {} jobs", jobs.len());
+
+    // The paper's preprocessing (Section V-A).
+    let trace = Trace::new(jobs)
+        .filter_usable() // drop cancelled / degenerate jobs
+        .filter_min_memory(64) // drop tiny-memory jobs
+        .extract_window(SimTime::ZERO, SimDuration::WEEK);
+    let stats = WorkloadStats::from_trace(&trace, 7);
+    println!(
+        "after preprocessing: {} jobs, {:.0} mean offered VM slots",
+        trace.len(),
+        stats.mean_offered_concurrency(SimDuration::WEEK.as_secs_f64())
+    );
+
+    let scenario = Scenario::from_trace("swf-replay", paper_fleet(), &trace, SimConfig::default());
+    let report = scenario.run(Box::new(DynamicPlacement::paper_default()));
+    println!(
+        "dynamic: {:.1} kWh, {:.1} mean active PMs, {} migrations, {:.2}% waited",
+        report.total_energy_kwh,
+        report.mean_active_servers(),
+        report.total_migrations,
+        report.qos.waited_fraction * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! Failure injection: Section III-C's third trigger. PMs crash, their VMs
+//! are re-queued as fresh requests, repairs bring machines back — and no
+//! request is ever lost.
+
+use dvmp::prelude::*;
+use dvmp_cluster::reliability::ReliabilityModel;
+
+fn failing_scenario(seed: u64, base_rate: f64) -> Scenario {
+    let mut p = LpcProfile::light();
+    p.daily_arrivals.truncate(1);
+    let mut sim = SimConfig::default();
+    sim.horizon = SimTime::from_days(1);
+    sim.failures = Some(FailureConfig {
+        base_rate,
+        repair_time: SimDuration::from_hours(3),
+    });
+    sim.seed = seed;
+    Scenario::from_profile("failures", p, seed)
+        .with_sim(sim)
+        .with_reliability(ReliabilityModel::Jittered { spread: 0.08 })
+}
+
+#[test]
+fn failures_fire_and_nothing_is_lost() {
+    let scenario = failing_scenario(42, 1e-3);
+    for policy in [
+        Box::new(DynamicPlacement::paper_default()) as Box<dyn PlacementPolicy>,
+        Box::new(FirstFit),
+    ] {
+        let name = policy.name();
+        let r = scenario.run(policy);
+        assert!(r.pm_failures > 0, "{name}: failure process must fire");
+        assert_eq!(
+            r.qos.total_requests, r.total_arrivals,
+            "{name}: every request accounted for despite crashes"
+        );
+        assert!(r.total_departures > 0, "{name}: the system keeps serving");
+    }
+}
+
+#[test]
+fn failure_runs_are_deterministic() {
+    let a = failing_scenario(9, 1e-3).run(Box::new(DynamicPlacement::paper_default()));
+    let b = failing_scenario(9, 1e-3).run(Box::new(DynamicPlacement::paper_default()));
+    assert_eq!(a.pm_failures, b.pm_failures);
+    assert_eq!(a.total_departures, b.total_departures);
+    assert_eq!(a.total_energy_kwh, b.total_energy_kwh);
+}
+
+#[test]
+fn higher_failure_rate_hurts_more() {
+    let calm = failing_scenario(42, 1e-5).run(Box::new(FirstFit));
+    let hostile = failing_scenario(42, 2e-3).run(Box::new(FirstFit));
+    assert!(
+        hostile.pm_failures > calm.pm_failures,
+        "hostile {} vs calm {}",
+        hostile.pm_failures,
+        calm.pm_failures
+    );
+    assert!(
+        hostile.total_departures <= calm.total_departures,
+        "crashes cannot increase throughput"
+    );
+}
+
+#[test]
+fn no_failures_when_disabled() {
+    let mut scenario = failing_scenario(42, 1e-3);
+    let mut sim = scenario.sim.clone();
+    sim.failures = None;
+    scenario = scenario.with_sim(sim);
+    let r = scenario.run(Box::new(FirstFit));
+    assert_eq!(r.pm_failures, 0);
+}

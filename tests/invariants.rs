@@ -1,0 +1,141 @@
+//! Cross-crate invariants under stress: capacity is never violated, no
+//! request is lost, queue accounting balances — checked under every
+//! policy, including the adversarial random baseline and deliberate
+//! overload. (The simulator additionally asserts datacenter consistency
+//! after *every* event in debug builds, so simply completing these runs
+//! exercises thousands of invariant checks.)
+
+use dvmp::prelude::*;
+
+fn run(scenario: &Scenario, policy: Box<dyn PlacementPolicy>) -> RunReport {
+    scenario.run(policy)
+}
+
+fn policies(seed: u64) -> Vec<Box<dyn PlacementPolicy>> {
+    vec![
+        Box::new(DynamicPlacement::paper_default()),
+        Box::new(FirstFit),
+        Box::new(BestFit),
+        Box::new(WorstFit),
+        Box::new(RandomFit::new(seed)),
+    ]
+}
+
+#[test]
+fn request_conservation_under_all_policies() {
+    let scenario = Scenario::from_profile("inv", LpcProfile::light(), 42).with_days(1);
+    for policy in policies(42) {
+        let name = policy.name();
+        let r = run(&scenario, policy);
+        assert_eq!(
+            r.total_arrivals as usize,
+            scenario.requests().len(),
+            "{name}: every request arrives"
+        );
+        assert!(r.total_departures <= r.total_arrivals, "{name}");
+        assert_eq!(r.qos.total_requests, r.total_arrivals, "{name}: QoS covers all");
+        assert!(r.qos.waited_requests <= r.qos.total_requests, "{name}");
+    }
+}
+
+#[test]
+fn overload_degrades_gracefully() {
+    // 600 long VMs at t=0 against 500 slots: 100+ must queue, none may be
+    // lost, and capacity must hold throughout (debug assertions).
+    let mut scenario = Scenario::paper(42).with_days(1);
+    scenario.requests_mut().clear();
+    for i in 0..600u32 {
+        scenario.requests_mut().push(VmSpec::exact(
+            VmId(i + 1),
+            SimTime::from_secs(i as u64), // 1/s arrival burst
+            ResourceVector::cpu_mem(1, 512),
+            SimDuration::from_days(2), // never finishes inside the horizon
+        ));
+    }
+    for policy in policies(7) {
+        let name = policy.name();
+        let r = run(&scenario, policy);
+        assert_eq!(r.total_arrivals, 600, "{name}");
+        assert_eq!(r.total_departures, 0, "{name}: nothing completes");
+        assert!(
+            r.qos.never_started >= 90,
+            "{name}: overflow must queue, got {}",
+            r.qos.never_started
+        );
+        assert!(!r.qos.meets_paper_slo(), "{name}: overload must show in QoS");
+    }
+}
+
+#[test]
+fn tiny_fleet_saturates_consistently() {
+    // One fast PM, eight slots, twelve identical VMs: exactly eight run,
+    // four queue.
+    let fleet = FleetBuilder::new()
+        .add_class(PmClass::paper_fast(), 1, 0.99)
+        .build();
+    let requests: Vec<VmSpec> = (0..12)
+        .map(|i| {
+            VmSpec::exact(
+                VmId(i + 1),
+                SimTime::from_secs(i as u64 * 10),
+                ResourceVector::cpu_mem(1, 512),
+                SimDuration::from_days(2),
+            )
+        })
+        .collect();
+    let mut sim = SimConfig::default();
+    sim.horizon = SimTime::from_days(1);
+    let scenario = Scenario::new("tiny", fleet, requests, sim);
+    let r = scenario.run(Box::new(FirstFit));
+    assert_eq!(r.total_arrivals, 12);
+    assert_eq!(r.qos.never_started, 4, "8 slots → 4 never start");
+}
+
+#[test]
+fn zero_requests_run_is_clean() {
+    let fleet = paper_fleet();
+    let mut sim = SimConfig::default();
+    sim.horizon = SimTime::from_days(1);
+    let scenario = Scenario::new("empty", fleet, Vec::new(), sim);
+    for policy in policies(1) {
+        let r = scenario.run(policy);
+        assert_eq!(r.total_arrivals, 0);
+        assert_eq!(r.total_migrations, 0);
+        // With nothing to serve and adaptive bootstrap the fleet should
+        // draw almost nothing after warm-up.
+        assert!(r.total_energy_kwh < 60.0, "idle-week energy {}", r.total_energy_kwh);
+    }
+}
+
+#[test]
+fn huge_request_is_queued_forever_not_crashing() {
+    // A VM bigger than any machine can never start; it must sit in the
+    // queue and be reported, not crash or spin.
+    let mut scenario = Scenario::paper(42).with_days(1);
+    scenario.requests_mut().clear();
+    scenario.requests_mut().push(VmSpec::exact(
+        VmId(1),
+        SimTime::ZERO,
+        ResourceVector::cpu_mem(64, 1 << 20),
+        SimDuration::from_hours(1),
+    ));
+    let r = scenario.run(Box::new(DynamicPlacement::paper_default()));
+    assert_eq!(r.qos.never_started, 1);
+    assert_eq!(r.total_departures, 0);
+}
+
+#[test]
+fn hourly_series_lengths_match_horizon() {
+    let scenario = Scenario::from_profile("len", LpcProfile::light(), 42).with_days(2);
+    let r = scenario.run(Box::new(FirstFit));
+    assert_eq!(r.hourly_active_servers.len(), 48);
+    assert_eq!(r.hourly_power_kwh.len(), 48);
+    assert_eq!(r.daily_power_kwh.len(), 2);
+    let hourly_sum: f64 = r.hourly_power_kwh.iter().sum();
+    assert!(
+        (hourly_sum - r.total_energy_kwh).abs() < 1e-6,
+        "hourly buckets must sum to the total"
+    );
+    let daily_sum: f64 = r.daily_power_kwh.iter().sum();
+    assert!((daily_sum - r.total_energy_kwh).abs() < 1e-6);
+}

@@ -1,0 +1,195 @@
+//! Property-based integration tests: randomized fleets, VM populations
+//! and request streams, checked against the invariants the paper's
+//! algorithm must uphold no matter the input.
+
+use dvmp::prelude::*;
+use dvmp_cluster::datacenter::Datacenter;
+use dvmp_cluster::vm::{Vm, VmState};
+use dvmp_placement::plan::PlanState;
+use dvmp_placement::policy::PlacementView;
+use dvmp_placement::factors::EvalContext;
+use dvmp_placement::ProbabilityMatrix;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random small fleet: 1–3 fast + 1–4 slow machines, all on.
+fn arb_fleet() -> impl Strategy<Value = Datacenter> {
+    (1usize..=3, 1usize..=4).prop_map(|(fast, slow)| {
+        let mut dc = FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), fast, 0.99)
+            .add_class(PmClass::paper_slow(), slow, 0.95)
+            .initially_on(true)
+            .build();
+        let _ = &mut dc;
+        dc
+    })
+}
+
+/// Random VM loads: (pm_choice, mem MiB, estimated seconds).
+fn arb_loads(max: usize) -> impl Strategy<Value = Vec<(u8, u16, u32)>> {
+    prop::collection::vec(
+        (any::<u8>(), 128u16..2_048, 120u32..200_000),
+        1..=max,
+    )
+}
+
+/// Installs loads onto the fleet wherever they fit (round-robin from the
+/// random pm choice), returning the VM map.
+fn populate(dc: &mut Datacenter, loads: &[(u8, u16, u32)]) -> BTreeMap<VmId, Vm> {
+    let mut vms = BTreeMap::new();
+    let m = dc.len() as u32;
+    for (i, &(pm0, mem, est)) in loads.iter().enumerate() {
+        let spec = VmSpec::exact(
+            VmId(i as u32 + 1),
+            SimTime::ZERO,
+            ResourceVector::cpu_mem(1, mem as u64),
+            SimDuration::from_secs(est as u64),
+        );
+        // First PM (scanning from the random start) that fits.
+        for k in 0..m {
+            let pm = PmId((pm0 as u32 + k) % m);
+            if dc.pm(pm).can_host(&spec.resources) {
+                dc.place(spec.id, pm, spec.resources).unwrap();
+                let mut vm = Vm::new(spec.clone());
+                vm.state = VmState::Running { pm };
+                vm.started_at = Some(SimTime::ZERO);
+                vms.insert(spec.id, vm);
+                break;
+            }
+        }
+    }
+    vms
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 never breaks capacity, never exceeds its round budget,
+    /// and leaves the datacenter consistent when its moves are applied.
+    #[test]
+    fn planned_migrations_respect_capacity_and_budget(
+        fleet in arb_fleet(),
+        loads in arb_loads(24),
+        threshold in 1.0f64..2.0,
+        rounds in 1u32..30,
+    ) {
+        let mut dc = fleet;
+        let vms = populate(&mut dc, &loads);
+        dc.assert_consistent();
+
+        let mut cfg = DynamicConfig::default();
+        cfg.mig_threshold = threshold;
+        cfg.mig_round = rounds;
+        let mut policy = DynamicPlacement::new(cfg);
+        let moves = policy.plan_migrations(&PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        });
+
+        prop_assert!(moves.len() <= rounds as usize);
+
+        // Apply the plan the way the simulator would (sequentially with
+        // immediate source release — the plan's own semantics) and verify
+        // capacity at every step.
+        for m in &moves {
+            prop_assert_ne!(m.from, m.to, "self-migration is forbidden");
+            let host = dc.host_of(m.vm);
+            prop_assert_eq!(host, Some(m.from), "plan tracks hosts correctly");
+            let res = *dc.pm(m.from).reservation_of(m.vm).unwrap();
+            dc.remove_vm(m.vm);
+            prop_assert!(
+                dc.pm(m.to).can_host(&res),
+                "move of {} to {} violates capacity", m.vm, m.to
+            );
+            dc.place(m.vm, m.to, res).unwrap();
+        }
+        dc.assert_consistent();
+    }
+
+    /// The probability matrix is always within [0, 1], exactly 1-normalized
+    /// on host rows, and targeted row/column refreshes agree with a full
+    /// rebuild after any single migration.
+    #[test]
+    fn matrix_entries_are_probabilities_and_updates_are_exact(
+        fleet in arb_fleet(),
+        loads in arb_loads(16),
+        move_choice in any::<u16>(),
+    ) {
+        let mut dc = fleet;
+        let vms = populate(&mut dc, &loads);
+        let cfg = DynamicConfig::default();
+        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let mut plan = PlanState::from_view(&view, &cfg.min_vm);
+        prop_assume!(!plan.vms.is_empty() && plan.pms.len() >= 2);
+
+        let mut matrix = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+        for row in 0..matrix.rows() {
+            for col in 0..matrix.cols() {
+                let p = matrix.get(row, col);
+                prop_assert!((0.0..=1.0).contains(&p), "p[{row}][{col}] = {p}");
+            }
+        }
+        for col in 0..matrix.cols() {
+            let host = plan.vms[col].host;
+            if matrix.get(host, col) > 0.0 {
+                prop_assert!((matrix.normalized(&plan, host, col) - 1.0).abs() < 1e-12);
+            }
+        }
+
+        // Apply one feasible move (if any) and check targeted refresh.
+        let col = (move_choice as usize) % plan.vms.len();
+        if let Some((to, _)) = matrix.best_move_for(&plan, col) {
+            let res = plan.vms[col].resources;
+            if plan.pms[to].used.fits_with(&res, &plan.pms[to].capacity) {
+                let (from, to) = plan.apply_migration(col, to);
+                matrix.recompute_row(&plan, &EvalContext::new(&cfg), from);
+                matrix.recompute_row(&plan, &EvalContext::new(&cfg), to);
+                matrix.recompute_col(&plan, &EvalContext::new(&cfg), col);
+                let fresh = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+                for row in 0..matrix.rows() {
+                    for c in 0..matrix.cols() {
+                        prop_assert!(
+                            (matrix.get(row, c) - fresh.get(row, c)).abs() < 1e-12,
+                            "stale entry at ({row},{c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-to-end conservation on random request streams under the
+    /// dynamic policy: every request is accounted for, series lengths
+    /// match, hourly energy sums to the total.
+    #[test]
+    fn random_streams_conserve_requests(
+        seeds in prop::collection::vec(any::<u32>(), 3..40),
+    ) {
+        let mut requests = Vec::new();
+        for (i, s) in seeds.iter().enumerate() {
+            requests.push(VmSpec::exact(
+                VmId(i as u32 + 1),
+                SimTime::from_secs((*s as u64) % 40_000),
+                ResourceVector::cpu_mem(1, 128 + (*s as u64 % 1_500)),
+                SimDuration::from_secs(300 + (*s as u64 % 50_000)),
+            ));
+        }
+        let n = requests.len() as u64;
+        let fleet = FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 3, 0.99)
+            .add_class(PmClass::paper_slow(), 3, 0.95)
+            .build();
+        let mut sim = SimConfig::default();
+        sim.horizon = SimTime::from_days(1);
+        let scenario = Scenario::new("prop", fleet, requests, sim);
+        let r = scenario.run(Box::new(DynamicPlacement::paper_default()));
+
+        prop_assert_eq!(r.total_arrivals, n);
+        prop_assert_eq!(r.qos.total_requests, n);
+        prop_assert!(r.total_departures <= n);
+        prop_assert_eq!(r.hourly_active_servers.len(), 24);
+        let hourly: f64 = r.hourly_power_kwh.iter().sum();
+        prop_assert!((hourly - r.total_energy_kwh).abs() < 1e-6);
+    }
+}

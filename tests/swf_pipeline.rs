@@ -1,0 +1,82 @@
+//! SWF round-trip pipeline: generate → export as SWF → parse → preprocess
+//! with the paper's filters → simulate. Proves a real Parallel Workloads
+//! Archive log can be dropped in unchanged.
+
+use dvmp::prelude::*;
+use dvmp_workload::swf;
+use dvmp_workload::Job;
+
+#[test]
+fn synthetic_week_survives_swf_round_trip() {
+    let original = SyntheticGenerator::new(LpcProfile::light(), 42).generate();
+    let text = swf::to_swf_string(original.jobs(), "round trip");
+    let parsed = swf::parse_swf(&text).expect("valid SWF");
+    assert_eq!(parsed.len(), original.len());
+    let round = Trace::new(parsed);
+    for (a, b) in original.jobs().iter().zip(round.jobs()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.submit, b.submit);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.cores, b.cores);
+        assert_eq!(a.memory_mib, b.memory_mib);
+        assert_eq!(a.status, b.status);
+    }
+}
+
+#[test]
+fn preprocessing_pipeline_matches_paper_description() {
+    // Hand-built log with every category the paper filters.
+    let text = "\
+; test log
+1 0 0 7200 1 -1 1048576 1 7200 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 100 0 3600 4 -1 524288 4 3600 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 200 0 1000 1 -1 1048576 1 1000 -1 5 -1 -1 -1 -1 -1 -1 -1
+4 300 0 1000 1 -1 1024 1 1000 -1 1 -1 -1 -1 -1 -1 -1 -1
+5 700000 0 1000 1 -1 1048576 1 1000 -1 1 -1 -1 -1 -1 -1 -1 -1
+";
+    let jobs = swf::parse_swf(text).unwrap();
+    assert_eq!(jobs.len(), 5);
+    let trace = Trace::new(jobs)
+        .filter_usable() // drops job 3 (cancelled)
+        .filter_min_memory(64) // drops job 4 (1 MiB)
+        .extract_window(SimTime::ZERO, SimDuration::WEEK); // drops job 5
+    assert_eq!(trace.len(), 2);
+
+    // Normalization: job 2 has 4 cores → 4 single-core VM requests with
+    // memory divided equally (512 MiB each).
+    let vms = trace.to_vm_requests(1);
+    assert_eq!(vms.len(), 1 + 4);
+    let job2_vms: Vec<_> = vms.iter().filter(|v| v.job_id == 2).collect();
+    assert_eq!(job2_vms.len(), 4);
+    for v in job2_vms {
+        assert_eq!(v.spec.resources, ResourceVector::cpu_mem(1, 512));
+        assert_eq!(v.spec.actual_runtime, SimDuration::from_secs(3_600));
+    }
+}
+
+#[test]
+fn swf_scenario_runs_end_to_end() {
+    let trace = {
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| Job {
+                id: i + 1,
+                submit: SimTime::from_secs(i * 600),
+                runtime: SimDuration::from_hours(2),
+                cores: if i % 5 == 0 { 2 } else { 1 },
+                memory_mib: 512 * if i % 5 == 0 { 2 } else { 1 },
+                requested_runtime: SimDuration::from_hours(2),
+                status: dvmp_workload::JobStatus::Completed,
+            })
+            .collect();
+        let text = swf::to_swf_string(&jobs, "generated");
+        Trace::new(swf::parse_swf(&text).unwrap())
+    };
+    let mut sim = SimConfig::default();
+    sim.horizon = SimTime::from_days(1);
+    let scenario = Scenario::from_trace("swf-e2e", paper_fleet(), &trace, sim);
+    let r = scenario.run(Box::new(DynamicPlacement::paper_default()));
+    // 50 jobs, 10 of them 2-core → 60 VM requests.
+    assert_eq!(r.total_arrivals, 60);
+    assert_eq!(r.total_departures, 60, "all finish inside the day");
+    assert!(r.qos.meets_paper_slo());
+}
