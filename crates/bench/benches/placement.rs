@@ -4,50 +4,17 @@
 //! for the dynamic scheme vs the static baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dvmp_cluster::datacenter::{paper_fleet, Datacenter};
-use dvmp_cluster::pm::PmId;
+use dvmp_bench::fragmented_fixture as fixture;
 use dvmp_cluster::resources::ResourceVector;
-use dvmp_cluster::vm::{Vm, VmId, VmSpec, VmState};
-use dvmp_placement::plan::PlanState;
+use dvmp_cluster::vm::VmId;
+use dvmp_cluster::vm::VmSpec;
 use dvmp_placement::factors::EvalContext;
+use dvmp_placement::plan::PlanState;
 use dvmp_placement::{
-    BestFit, DynamicConfig, DynamicPlacement, FirstFit, PlacementPolicy, PlacementView,
-    ProbabilityMatrix,
+    BestFit, DynamicConfig, DynamicPlacement, FirstFit, MatrixKernel, PlacementPolicy,
+    PlacementView, ProbabilityMatrix,
 };
 use dvmp_simcore::{SimDuration, SimTime};
-use std::collections::BTreeMap;
-
-/// A paper-scale fixture: the Table II fleet, all on, hosting `n` VMs
-/// spread round-robin (a fragmented state with consolidation headroom).
-fn fixture(n: u32) -> (Datacenter, BTreeMap<VmId, Vm>) {
-    let mut dc = paper_fleet();
-    for id in dc.pm_ids().collect::<Vec<_>>() {
-        dc.pm_mut(id).state = dvmp_cluster::pm::PmState::On;
-    }
-    let mut vms = BTreeMap::new();
-    let m = dc.len() as u32;
-    let mut placed = 0u32;
-    let mut i = 0u32;
-    while placed < n {
-        let pm = PmId(i % m);
-        i += 1;
-        let spec = VmSpec::exact(
-            VmId(placed + 1),
-            SimTime::ZERO,
-            ResourceVector::cpu_mem(1, 512),
-            SimDuration::from_secs(50_000 + placed as u64),
-        );
-        if dc.pm(pm).can_host(&spec.resources) {
-            dc.place(spec.id, pm, spec.resources).unwrap();
-            let mut vm = Vm::new(spec);
-            vm.state = VmState::Running { pm };
-            vm.started_at = Some(SimTime::ZERO);
-            vms.insert(vm.spec.id, vm);
-            placed += 1;
-        }
-    }
-    (dc, vms)
-}
 
 fn bench_matrix_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("matrix_build");
@@ -60,8 +27,22 @@ fn bench_matrix_build(c: &mut Criterion) {
             now: SimTime::from_secs(1_000),
         };
         let plan = PlanState::from_view(&view, &cfg.min_vm);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, _| {
             b.iter(|| ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg)));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| {
+                ProbabilityMatrix::build_with_kernel(
+                    &plan,
+                    &EvalContext::new(&cfg),
+                    MatrixKernel::Reference,
+                )
+            });
+        });
+        let mut par_cfg = cfg.clone();
+        par_cfg.par_rows_cutoff = 1;
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| ProbabilityMatrix::build(&plan, &EvalContext::new(&par_cfg)));
         });
     }
     group.finish();
@@ -87,9 +68,19 @@ fn bench_plan_pass(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[100u32, 300] {
         let (dc, vms) = fixture(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("fresh_policy", n), &n, |b, _| {
             b.iter(|| {
                 let mut policy = DynamicPlacement::paper_default();
+                policy.plan_migrations(&PlacementView {
+                    dc: &dc,
+                    vms: &vms,
+                    now: SimTime::from_secs(1_000),
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reused_arena", n), &n, |b, _| {
+            let mut policy = DynamicPlacement::paper_default();
+            b.iter(|| {
                 policy.plan_migrations(&PlacementView {
                     dc: &dc,
                     vms: &vms,

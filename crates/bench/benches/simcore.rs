@@ -49,7 +49,10 @@ fn bench_step_series(c: &mut Criterion) {
         b.iter(|| s.integral(SimTime::ZERO, SimTime::from_days(7)))
     });
     c.bench_function("step_series_hourly_buckets", |b| {
-        b.iter(|| s.bucket_integrals(SimDuration::HOUR, SimTime::from_days(7)).len())
+        b.iter(|| {
+            s.bucket_integrals(SimDuration::HOUR, SimTime::from_days(7))
+                .len()
+        })
     });
 }
 

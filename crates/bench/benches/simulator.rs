@@ -12,12 +12,8 @@ fn bench_one_day(c: &mut Criterion) {
     group.bench_function("dynamic", |b| {
         b.iter(|| scenario.run(Box::new(DynamicPlacement::paper_default())))
     });
-    group.bench_function("first_fit", |b| {
-        b.iter(|| scenario.run(Box::new(FirstFit)))
-    });
-    group.bench_function("best_fit", |b| {
-        b.iter(|| scenario.run(Box::new(BestFit)))
-    });
+    group.bench_function("first_fit", |b| b.iter(|| scenario.run(Box::new(FirstFit))));
+    group.bench_function("best_fit", |b| b.iter(|| scenario.run(Box::new(BestFit))));
     group.finish();
 }
 
@@ -28,9 +24,7 @@ fn bench_paper_day(c: &mut Criterion) {
     group.bench_function("dynamic", |b| {
         b.iter(|| scenario.run(Box::new(DynamicPlacement::paper_default())))
     });
-    group.bench_function("first_fit", |b| {
-        b.iter(|| scenario.run(Box::new(FirstFit)))
-    });
+    group.bench_function("first_fit", |b| b.iter(|| scenario.run(Box::new(FirstFit))));
     group.finish();
 }
 

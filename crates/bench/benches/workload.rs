@@ -6,7 +6,11 @@ use dvmp_workload::{swf, LpcProfile, SyntheticGenerator, Trace, WorkloadStats};
 
 fn bench_generate_week(c: &mut Criterion) {
     c.bench_function("generate_synthetic_week", |b| {
-        b.iter(|| SyntheticGenerator::new(LpcProfile::paper_calibrated(), 42).generate().len())
+        b.iter(|| {
+            SyntheticGenerator::new(LpcProfile::paper_calibrated(), 42)
+                .generate()
+                .len()
+        })
     });
 }
 

@@ -12,7 +12,10 @@ use dvmp_bench::FigureArgs;
 
 fn main() {
     let args = FigureArgs::parse();
-    println!("# Ablation — runtime-estimate inflation (seed {})\n", args.seed);
+    println!(
+        "# Ablation — runtime-estimate inflation (seed {})\n",
+        args.seed
+    );
     println!(
         "{:>14} {:>12} {:>12} {:>12} {:>10}",
         "over-estimate", "energy kWh", "mean active", "migrations", "waited %"
@@ -20,8 +23,8 @@ fn main() {
     for over in [1.0f64, 1.5, 2.0, 3.0, 5.0] {
         let mut profile = LpcProfile::paper_calibrated();
         profile.estimate_over_max = over;
-        let scenario = Scenario::from_profile(format!("est-{over}"), profile, args.seed)
-            .with_days(args.days);
+        let scenario =
+            Scenario::from_profile(format!("est-{over}"), profile, args.seed).with_days(args.days);
         let report = scenario.run(Box::new(DynamicPlacement::paper_default()));
         println!(
             "{:>13}x {:>12.1} {:>12.1} {:>12} {:>10.2}",

@@ -17,9 +17,8 @@ fn main() {
         ("calibrated", LpcProfile::paper_calibrated()),
         ("strict (overload)", LpcProfile::paper_strict()),
     ] {
-        let scenario =
-            Scenario::from_profile(format!("ablation-{label}"), profile, args.seed)
-                .with_days(args.days);
+        let scenario = Scenario::from_profile(format!("ablation-{label}"), profile, args.seed)
+            .with_days(args.days);
         println!(
             "\n# {label}: {} requests, offered load {:.0} of 500 slots",
             scenario.requests().len(),

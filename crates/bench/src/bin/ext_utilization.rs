@@ -26,6 +26,10 @@ fn main() {
     for r in &reports {
         let mean: f64 = r.hourly_core_utilization.iter().sum::<f64>()
             / r.hourly_core_utilization.len().max(1) as f64;
-        println!("{:>12}: mean powered-core utilization {:.1}%", r.policy, mean * 100.0);
+        println!(
+            "{:>12}: mean powered-core utilization {:.1}%",
+            r.policy,
+            mean * 100.0
+        );
     }
 }

@@ -14,7 +14,10 @@ fn main() {
     let trace = SyntheticGenerator::new(profile, args.seed).generate();
     let stats = WorkloadStats::from_trace(&trace, 7);
 
-    println!("# Figure 2 — workload characteristics (seed {})\n", args.seed);
+    println!(
+        "# Figure 2 — workload characteristics (seed {})\n",
+        args.seed
+    );
     println!("total jobs: {} (paper: 4574)", stats.total_jobs);
     let (peak_day, peak) = stats.peak_day().unwrap();
     println!("peak day: day {peak_day} with {peak} arrivals (paper: 982)");
@@ -44,7 +47,12 @@ fn main() {
     for (lo, hi, c) in stats.memory_hist.iter_bins() {
         println!("{lo:>8.0} {hi:>8.0} {c:>8}");
     }
-    println!("{:>8} {:>8} {:>8}", "4096", "inf", stats.memory_hist.overflow());
+    println!(
+        "{:>8} {:>8} {:>8}",
+        "4096",
+        "inf",
+        stats.memory_hist.overflow()
+    );
 
     println!("\n## (c) runtime distribution");
     println!("{:>10} {:>10} {:>8}", "lo (h)", "hi (h)", "jobs");

@@ -19,7 +19,13 @@ fn main() {
     );
     println!(
         "{}",
-        render_table("Figure 3 — active servers per hour", "hour", hours, &series, 1)
+        render_table(
+            "Figure 3 — active servers per hour",
+            "hour",
+            hours,
+            &series,
+            1
+        )
     );
     println!("## CSV\n{}", render_csv("hour", hours, &series));
     print_summary(&reports);

@@ -1,0 +1,264 @@
+//! Performance evidence for the planning fast path.
+//!
+//! Measures, at paper scale (the Table II fleet: 100 PMs, 500+ VMs):
+//!
+//! 1. full probability-matrix builds — reference kernel vs the
+//!    class-cached fast kernel vs the parallel chunked build;
+//! 2. complete planning passes — a fresh `DynamicPlacement` per pass
+//!    (re-allocating plan, matrix and caches) vs one policy reusing its
+//!    planning arena;
+//! 3. an end-to-end week simulation with the dynamic scheme under both
+//!    kernels, asserting the reported energy is identical.
+//!
+//! Results go to stdout and to `BENCH_placement.json` in the working
+//! directory (schema documented in DESIGN.md §8). `--smoke` shrinks the
+//! workload for CI.
+//!
+//! Usage: `perf_report [--smoke] [seed]`
+
+use dvmp::prelude::*;
+use dvmp_bench::fragmented_fixture;
+use dvmp_placement::factors::EvalContext;
+use dvmp_placement::matrix::MatrixKernel;
+use dvmp_placement::plan::PlanState;
+use dvmp_placement::ProbabilityMatrix;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct MatrixBuildBench {
+    pms: usize,
+    vms: usize,
+    iters: usize,
+    reference_ns: f64,
+    fast_ns: f64,
+    parallel_ns: f64,
+    speedup_fast_vs_reference: f64,
+    speedup_parallel_vs_reference: f64,
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct PlanPassBench {
+    pms: usize,
+    vms: usize,
+    iters: usize,
+    fresh_policy_ns: f64,
+    reused_arena_ns: f64,
+    speedup_reuse: f64,
+}
+
+#[derive(Serialize)]
+struct EndToEndBench {
+    seed: u64,
+    days: u64,
+    fast_seconds: f64,
+    reference_seconds: f64,
+    speedup: f64,
+    energy_identical: bool,
+    dynamic_energy_kwh: f64,
+}
+
+#[derive(Serialize)]
+struct PerfReport {
+    schema: &'static str,
+    smoke: bool,
+    host_threads: usize,
+    matrix_build: Vec<MatrixBuildBench>,
+    plan_pass: PlanPassBench,
+    end_to_end: EndToEndBench,
+}
+
+/// Median wall time of `iters` runs of `f`, in nanoseconds.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+fn bench_matrix_build(n_vms: u32, iters: usize) -> MatrixBuildBench {
+    let (dc, vms) = fragmented_fixture(n_vms);
+    let view = PlacementView {
+        dc: &dc,
+        vms: &vms,
+        now: dvmp_simcore::SimTime::from_secs(1_000),
+    };
+    let mut cfg = DynamicConfig::default();
+    let plan = PlanState::from_view(&view, &cfg.min_vm);
+
+    // Sequential reference vs sequential fast: cutoff above the fleet.
+    cfg.par_rows_cutoff = usize::MAX;
+    let reference_ns = median_ns(iters, || {
+        ProbabilityMatrix::build_with_kernel(
+            &plan,
+            &EvalContext::new(&cfg),
+            MatrixKernel::Reference,
+        );
+    });
+    let fast_ns = median_ns(iters, || {
+        ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+    });
+    let seq_ref = ProbabilityMatrix::build_with_kernel(
+        &plan,
+        &EvalContext::new(&cfg),
+        MatrixKernel::Reference,
+    );
+    let seq_fast = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+
+    // Parallel chunked fast build: cutoff 1 forces chunking.
+    cfg.par_rows_cutoff = 1;
+    let parallel_ns = median_ns(iters, || {
+        ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+    });
+    let par_fast = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+
+    let mut bit_identical = true;
+    for row in 0..seq_ref.rows() {
+        for col in 0..seq_ref.cols() {
+            let r = seq_ref.get(row, col).to_bits();
+            bit_identical &=
+                r == seq_fast.get(row, col).to_bits() && r == par_fast.get(row, col).to_bits();
+        }
+    }
+
+    MatrixBuildBench {
+        pms: plan.pms.len(),
+        vms: plan.vms.len(),
+        iters,
+        reference_ns,
+        fast_ns,
+        parallel_ns,
+        speedup_fast_vs_reference: reference_ns / fast_ns,
+        speedup_parallel_vs_reference: reference_ns / parallel_ns,
+        bit_identical,
+    }
+}
+
+fn bench_plan_pass(n_vms: u32, iters: usize) -> PlanPassBench {
+    let (dc, vms) = fragmented_fixture(n_vms);
+    let view = PlacementView {
+        dc: &dc,
+        vms: &vms,
+        now: dvmp_simcore::SimTime::from_secs(1_000),
+    };
+    let fresh_policy_ns = median_ns(iters, || {
+        let mut policy = DynamicPlacement::paper_default();
+        policy.plan_migrations(&view);
+    });
+    let mut reused = DynamicPlacement::paper_default();
+    reused.plan_migrations(&view); // warm the arena
+    let reused_arena_ns = median_ns(iters, || {
+        reused.plan_migrations(&view);
+    });
+    PlanPassBench {
+        pms: dc.len(),
+        vms: vms.len(),
+        iters,
+        fresh_policy_ns,
+        reused_arena_ns,
+        speedup_reuse: fresh_policy_ns / reused_arena_ns,
+    }
+}
+
+fn bench_end_to_end(seed: u64, days: u64) -> EndToEndBench {
+    let scenario = Scenario::paper(seed).with_days(days);
+    let run = |kernel: MatrixKernel| {
+        let t = Instant::now();
+        let report = scenario.run(Box::new(
+            DynamicPlacement::paper_default().with_kernel(kernel),
+        ));
+        (t.elapsed().as_secs_f64(), report)
+    };
+    let (fast_seconds, fast_report) = run(MatrixKernel::Fast);
+    let (reference_seconds, reference_report) = run(MatrixKernel::Reference);
+    EndToEndBench {
+        seed,
+        days,
+        fast_seconds,
+        reference_seconds,
+        speedup: reference_seconds / fast_seconds,
+        energy_identical: fast_report.total_energy_kwh.to_bits()
+            == reference_report.total_energy_kwh.to_bits()
+            && fast_report.hourly_active_servers == reference_report.hourly_active_servers,
+        dynamic_energy_kwh: fast_report.total_energy_kwh,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(42);
+    let (scales, iters, days): (&[u32], usize, u64) = if smoke {
+        (&[100], 5, 1)
+    } else {
+        (&[100, 300, 500], 51, 7)
+    };
+
+    eprintln!("# perf_report{}", if smoke { " (smoke)" } else { "" });
+    let matrix_build: Vec<MatrixBuildBench> = scales
+        .iter()
+        .map(|&n| {
+            let b = bench_matrix_build(n, iters);
+            eprintln!(
+                "matrix build {}x{}: reference {:.2} ms, fast {:.2} ms ({:.2}x), parallel {:.2} ms ({:.2}x), bit-identical: {}",
+                b.pms,
+                b.vms,
+                b.reference_ns / 1e6,
+                b.fast_ns / 1e6,
+                b.speedup_fast_vs_reference,
+                b.parallel_ns / 1e6,
+                b.speedup_parallel_vs_reference,
+                b.bit_identical
+            );
+            b
+        })
+        .collect();
+
+    let plan_pass = bench_plan_pass(*scales.last().unwrap(), iters);
+    eprintln!(
+        "plan pass {}x{}: fresh {:.2} ms, reused arena {:.2} ms ({:.2}x)",
+        plan_pass.pms,
+        plan_pass.vms,
+        plan_pass.fresh_policy_ns / 1e6,
+        plan_pass.reused_arena_ns / 1e6,
+        plan_pass.speedup_reuse
+    );
+
+    let end_to_end = bench_end_to_end(seed, days);
+    eprintln!(
+        "end-to-end {}d sim: fast {:.2} s, reference {:.2} s ({:.2}x), energy identical: {}",
+        end_to_end.days,
+        end_to_end.fast_seconds,
+        end_to_end.reference_seconds,
+        end_to_end.speedup,
+        end_to_end.energy_identical
+    );
+
+    let report = PerfReport {
+        schema: "dvmp/perf-report/v1",
+        smoke,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        matrix_build,
+        plan_pass,
+        end_to_end,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_placement.json", &json).expect("write BENCH_placement.json");
+    println!("{json}");
+
+    let healthy =
+        report.matrix_build.iter().all(|b| b.bit_identical) && report.end_to_end.energy_identical;
+    if !healthy {
+        eprintln!("FAIL: fast path is not bit-identical to the reference");
+        std::process::exit(1);
+    }
+}

@@ -12,24 +12,31 @@ use dvmp_simcore::stats::OnlineStats;
 fn main() {
     let args = FigureArgs::parse();
     let seeds: Vec<u64> = (0..5).map(|i| args.seed + i * 1_000).collect();
-    println!("# Seed sweep — dynamic vs first-fit over {} seeds\n", seeds.len());
+    println!(
+        "# Seed sweep — dynamic vs first-fit over {} seeds\n",
+        seeds.len()
+    );
     println!(
         "{:>8} {:>14} {:>14} {:>10} {:>10}",
         "seed", "dynamic kWh", "first-fit kWh", "saving %", "waited %"
     );
     let mut savings = OnlineStats::new();
     let mut dynamic_energy = OnlineStats::new();
-    for &seed in &seeds {
-        let scenario = Scenario::paper(seed).with_days(args.days);
-        let reports = compare_policies(
-            &scenario,
-            &[
-                PolicyFactory::new("dynamic", || {
-                    Box::new(DynamicPlacement::paper_default())
-                }),
-                PolicyFactory::new("first-fit", || Box::new(FirstFit)),
-            ],
-        );
+    // All seeds × policies run in parallel; reports come back in input
+    // order and are identical to a sequential loop (bit-for-bit — the
+    // determinism test in dvmp::experiment pins this).
+    let scenarios: Vec<Scenario> = seeds
+        .iter()
+        .map(|&seed| Scenario::paper(seed).with_days(args.days))
+        .collect();
+    let swept = sweep_scenarios(
+        &scenarios,
+        &[
+            PolicyFactory::new("dynamic", || Box::new(DynamicPlacement::paper_default())),
+            PolicyFactory::new("first-fit", || Box::new(FirstFit)),
+        ],
+    );
+    for (&seed, reports) in seeds.iter().zip(&swept) {
         let saving = reports[0].energy_saving_vs(&reports[1]) * 100.0;
         println!(
             "{seed:>8} {:>14.1} {:>14.1} {:>9.1}% {:>10.2}",

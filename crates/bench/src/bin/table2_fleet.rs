@@ -60,9 +60,6 @@ fn main() {
     println!(
         "\nFleet total: {} PMs, {} single-core VM slots",
         dc.len(),
-        dc.pms()
-            .iter()
-            .map(|p| p.capacity().get(0))
-            .sum::<u64>()
+        dc.pms().iter().map(|p| p.capacity().get(0)).sum::<u64>()
     );
 }

@@ -21,10 +21,7 @@ impl FigureArgs {
     /// Parses `[seed] [days]` from `std::env::args`, with defaults 42 / 7.
     pub fn parse() -> Self {
         let mut args = std::env::args().skip(1);
-        let seed = args
-            .next()
-            .and_then(|a| a.parse().ok())
-            .unwrap_or(42);
+        let seed = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
         let days = args
             .next()
             .and_then(|a| a.parse().ok())
@@ -37,6 +34,58 @@ impl FigureArgs {
     pub fn scenario(&self) -> Scenario {
         Scenario::paper(self.seed).with_days(self.days)
     }
+}
+
+/// A paper-scale fixture shared by the Criterion benches and
+/// `perf_report`: the Table II fleet at vCPU granularity (two hardware
+/// threads per core, so the 100 machines expose 1 000 vCPUs), all on,
+/// hosting `n` single-vCPU VMs spread round-robin — a fragmented state in
+/// which 500+ VMs still leave consolidation headroom on every machine, so
+/// matrix builds and planning passes exercise the live-entry path rather
+/// than degenerating into all-full feasibility rejections.
+pub fn fragmented_fixture(
+    n: u32,
+) -> (
+    dvmp_cluster::datacenter::Datacenter,
+    std::collections::BTreeMap<dvmp_cluster::vm::VmId, dvmp_cluster::vm::Vm>,
+) {
+    use dvmp_cluster::pm::{PmClass, PmId};
+    use dvmp_cluster::resources::ResourceVector;
+    use dvmp_cluster::vm::{Vm, VmId, VmSpec, VmState};
+    use dvmp_simcore::{SimDuration, SimTime};
+
+    let mut fast = PmClass::paper_fast();
+    fast.capacity = ResourceVector::cpu_mem(16, 8_192);
+    let mut slow = PmClass::paper_slow();
+    slow.capacity = ResourceVector::cpu_mem(8, 4_096);
+    let mut dc = dvmp_cluster::datacenter::FleetBuilder::new()
+        .add_class(fast, 25, 0.99)
+        .add_class(slow, 75, 0.99)
+        .initially_on(true)
+        .build();
+    let mut vms = std::collections::BTreeMap::new();
+    let m = dc.len() as u32;
+    let mut placed = 0u32;
+    let mut i = 0u32;
+    while placed < n {
+        let pm = PmId(i % m);
+        i += 1;
+        let spec = VmSpec::exact(
+            VmId(placed + 1),
+            SimTime::ZERO,
+            ResourceVector::cpu_mem(1, 512),
+            SimDuration::from_secs(50_000 + placed as u64),
+        );
+        if dc.pm(pm).can_host(&spec.resources) {
+            dc.place(spec.id, pm, spec.resources).unwrap();
+            let mut vm = Vm::new(spec);
+            vm.state = VmState::Running { pm };
+            vm.started_at = Some(SimTime::ZERO);
+            vms.insert(vm.spec.id, vm);
+            placed += 1;
+        }
+    }
+    (dc, vms)
 }
 
 /// Runs the paper's three schemes (dynamic, first-fit, best-fit) on the
@@ -59,10 +108,7 @@ pub fn series_of<'a, F>(reports: &'a [RunReport], f: F) -> Vec<(&'a str, &'a [f6
 where
     F: Fn(&'a RunReport) -> &'a [f64],
 {
-    reports
-        .iter()
-        .map(|r| (r.policy.as_str(), f(r)))
-        .collect()
+    reports.iter().map(|r| (r.policy.as_str(), f(r))).collect()
 }
 
 /// Prints the standard summary digest (also used by EXPERIMENTS.md).

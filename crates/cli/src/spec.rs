@@ -189,9 +189,7 @@ impl ScenarioSpec {
                 SyntheticGenerator::new(LpcProfile::paper_strict(), self.seed).generate()
             }
             "light" => SyntheticGenerator::new(LpcProfile::light(), self.seed).generate(),
-            "hpc_mixed" => {
-                SyntheticGenerator::new(LpcProfile::hpc_mixed(), self.seed).generate()
-            }
+            "hpc_mixed" => SyntheticGenerator::new(LpcProfile::hpc_mixed(), self.seed).generate(),
             "swf" => {
                 let path = self
                     .workload

@@ -417,7 +417,8 @@ mod tests {
         let mut dc = on_fleet();
         // 2 fast (8 cores) + 3 slow (4 cores) available = 28 cores.
         assert_eq!(dc.powered_core_utilization(), 0.0);
-        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(7, 512)).unwrap();
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(7, 512))
+            .unwrap();
         assert!((dc.powered_core_utilization() - 7.0 / 28.0).abs() < 1e-12);
         // Powering a slow PM off shrinks the denominator.
         dc.pm_mut(PmId(4)).state = PmState::Off;

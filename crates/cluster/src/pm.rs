@@ -238,7 +238,10 @@ impl Pm {
 
     /// Releases `vm`'s reservation, returning it.
     pub fn release(&mut self, vm: VmId) -> Result<ResourceVector, PmError> {
-        let demand = self.reservations.remove(&vm).ok_or(PmError::NotHosted(vm))?;
+        let demand = self
+            .reservations
+            .remove(&vm)
+            .ok_or(PmError::NotHosted(vm))?;
         self.used = self
             .used
             .checked_sub(&demand)

@@ -33,7 +33,8 @@ impl PowerModel {
                 }
             }
             PowerModel::Linear => {
-                class.idle_power_w + (class.active_power_w - class.idle_power_w) * util.clamp(0.0, 1.0)
+                class.idle_power_w
+                    + (class.active_power_w - class.idle_power_w) * util.clamp(0.0, 1.0)
             }
         }
     }
@@ -112,10 +113,7 @@ mod tests {
     #[test]
     fn fast_nodes_are_more_efficient_per_vm() {
         let min_vm = ResourceVector::cpu_mem(1, 512);
-        let effs = relative_efficiencies(
-            &[PmClass::paper_fast(), PmClass::paper_slow()],
-            &min_vm,
-        );
+        let effs = relative_efficiencies(&[PmClass::paper_fast(), PmClass::paper_slow()], &min_vm);
         assert_eq!(effs[0], 1.0, "fast class is the efficiency reference");
         assert!((effs[1] - 50.0 / 75.0).abs() < 1e-12);
     }

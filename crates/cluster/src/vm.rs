@@ -171,7 +171,8 @@ impl Vm {
 
     /// Time spent waiting in the queue before starting (for QoS accounting).
     pub fn queue_wait(&self) -> Option<SimDuration> {
-        self.started_at.map(|s| s.saturating_since(self.spec.submit_time))
+        self.started_at
+            .map(|s| s.saturating_since(self.spec.submit_time))
     }
 }
 
@@ -237,10 +238,7 @@ mod tests {
             vm.estimated_remaining(SimTime::from_secs(1_000)),
             SimDuration::from_secs(40)
         );
-        assert_eq!(
-            vm.projected_departure(),
-            Some(SimTime::from_secs(1_040))
-        );
+        assert_eq!(vm.projected_departure(), Some(SimTime::from_secs(1_040)));
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl PolicyFactory {
 /// Runs `scenario` under every policy, in parallel, returning reports in
 /// the factories' order.
 pub fn compare_policies(scenario: &Scenario, policies: &[PolicyFactory]) -> Vec<RunReport> {
-    let slots: Vec<Mutex<Option<RunReport>>> =
-        policies.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<RunReport>>> = policies.iter().map(|_| Mutex::new(None)).collect();
     crossbeam::scope(|s| {
         for (i, factory) in policies.iter().enumerate() {
             let slot = &slots[i];
@@ -68,6 +67,39 @@ pub fn compare_policies(scenario: &Scenario, policies: &[PolicyFactory]) -> Vec<
     slots
         .into_iter()
         .map(|m| m.into_inner().expect("every thread stored its report"))
+        .collect()
+}
+
+/// Runs every (scenario × policy) pair in parallel — one thread per pair —
+/// returning, for each scenario in input order, the policy reports in
+/// factory order. This parallelizes multi-seed sweeps the same way
+/// [`compare_policies`] parallelizes a single comparison; each pair gets a
+/// fresh policy instance and its own scenario reference, so results are
+/// identical to running the pairs sequentially.
+pub fn sweep_scenarios(scenarios: &[Scenario], policies: &[PolicyFactory]) -> Vec<Vec<RunReport>> {
+    let slots: Vec<Vec<Mutex<Option<RunReport>>>> = scenarios
+        .iter()
+        .map(|_| policies.iter().map(|_| Mutex::new(None)).collect())
+        .collect();
+    crossbeam::scope(|s| {
+        for (si, scenario) in scenarios.iter().enumerate() {
+            for (pi, factory) in policies.iter().enumerate() {
+                let slot = &slots[si][pi];
+                s.spawn(move |_| {
+                    let report = scenario.run(factory.build());
+                    *slot.lock() = Some(report);
+                });
+            }
+        }
+    })
+    .expect("sweep threads must not panic");
+    slots
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|m| m.into_inner().expect("every thread stored its report"))
+                .collect()
+        })
         .collect()
 }
 
@@ -103,6 +135,35 @@ mod tests {
             parallel[0].hourly_active_servers,
             sequential.hourly_active_servers
         );
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_to_sequential_runs() {
+        let scenarios: Vec<Scenario> = [3u64, 11]
+            .iter()
+            .map(|&s| Scenario::paper(s).with_days(1))
+            .collect();
+        let factories = vec![
+            PolicyFactory::new("first-fit", || Box::new(FirstFit)),
+            PolicyFactory::new("worst-fit", || Box::new(WorstFit)),
+        ];
+        let swept = sweep_scenarios(&scenarios, &factories);
+        assert_eq!(swept.len(), 2);
+        for (scenario, reports) in scenarios.iter().zip(&swept) {
+            assert_eq!(reports.len(), 2);
+            let seq_ff = scenario.run(Box::new(FirstFit));
+            let seq_wf = scenario.run(Box::new(WorstFit));
+            assert_eq!(reports[0].total_energy_kwh, seq_ff.total_energy_kwh);
+            assert_eq!(
+                reports[0].hourly_active_servers,
+                seq_ff.hourly_active_servers
+            );
+            assert_eq!(reports[1].total_energy_kwh, seq_wf.total_energy_kwh);
+            assert_eq!(
+                reports[1].hourly_active_servers,
+                seq_wf.hourly_active_servers
+            );
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use timeline::{Milestone, Timeline};
 /// Convenient glob import for examples and downstream users.
 pub mod prelude {
     pub use crate::config::{FailureConfig, SimConfig};
-    pub use crate::experiment::{compare_policies, PolicyFactory};
+    pub use crate::experiment::{compare_policies, sweep_scenarios, PolicyFactory};
     pub use crate::scenario::Scenario;
     pub use crate::simulator::Simulation;
     pub use dvmp_cluster::datacenter::{paper_fleet, Datacenter, FleetBuilder};

@@ -32,7 +32,12 @@ pub struct Scenario {
 
 impl Scenario {
     /// Builds a scenario from explicit parts.
-    pub fn new(name: impl Into<String>, fleet: Datacenter, requests: Vec<VmSpec>, sim: SimConfig) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        fleet: Datacenter,
+        requests: Vec<VmSpec>,
+        sim: SimConfig,
+    ) -> Self {
         Scenario {
             name: name.into(),
             fleet,

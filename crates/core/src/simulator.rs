@@ -116,7 +116,10 @@ impl SimWorld {
         let ready = boot_ready + self.dc.pm(pm).class.creation_time;
         vm.started_at = Some(now);
         vm.overhead = ready - now;
-        vm.state = VmState::Creating { pm, ready_at: ready };
+        vm.state = VmState::Creating {
+            pm,
+            ready_at: ready,
+        };
         if self.qos_started.insert(id) {
             self.recorder
                 .qos
@@ -197,19 +200,35 @@ impl SimWorld {
     /// its whole queue on every event.
     fn drain_queue(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
         const MAX_CONSECUTIVE_FAILURES: u32 = 32;
-        let pending: Vec<VmId> = self.queue.iter().copied().collect();
+        // Single in-place compaction pass: placed entries leave a hole,
+        // failed entries shift down to fill it. FIFO order is preserved
+        // and each event costs O(queue) total instead of the snapshot
+        // Vec + O(queue) retain *per placed VM* it used to.
+        let len = self.queue.len();
+        let (mut read, mut write) = (0usize, 0usize);
         let mut failures = 0u32;
-        for id in pending {
+        while read < len {
+            let id = self.queue[read];
             if self.try_place(id, now, sched) {
-                self.queue.retain(|&q| q != id);
                 failures = 0;
+                read += 1;
             } else {
+                self.queue.swap(write, read);
+                write += 1;
+                read += 1;
                 failures += 1;
                 if failures >= MAX_CONSECUTIVE_FAILURES {
                     break;
                 }
             }
         }
+        // Early stop: keep the unscanned tail, in order.
+        while read < len {
+            self.queue.swap(write, read);
+            write += 1;
+            read += 1;
+        }
+        self.queue.truncate(write);
     }
 
     /// Runs a dynamic-migration pass and applies the planned moves.
@@ -455,11 +474,9 @@ impl World for SimWorld {
                     sched.cancel(ev);
                 }
                 self.dc.remove_vm(id);
-                self.vms.get_mut(&id).expect("VM exists").state =
-                    VmState::Completed { at: now };
+                self.vms.get_mut(&id).expect("VM exists").state = VmState::Completed { at: now };
                 let spec = &self.vms[&id].spec;
-                let core_seconds =
-                    spec.actual_runtime.as_secs_f64() * spec.resources.get(0) as f64;
+                let core_seconds = spec.actual_runtime.as_secs_f64() * spec.resources.get(0) as f64;
                 self.recorder.record_departure(now, core_seconds);
                 self.mark(now, Milestone::Departed(id));
                 self.drain_queue(now, sched);
@@ -474,8 +491,7 @@ impl World for SimWorld {
                     self.dc
                         .finish_migration(id, from)
                         .expect("migration bookkeeping consistent");
-                    self.vms.get_mut(&id).expect("VM exists").state =
-                        VmState::Running { pm: to };
+                    self.vms.get_mut(&id).expect("VM exists").state = VmState::Running { pm: to };
                     self.mark(now, Milestone::MigrationFinished(id));
                     self.drain_queue(now, sched);
                     self.enforce_power(now, sched);
@@ -570,7 +586,9 @@ impl Simulation {
         // before the first arrival), then every arrival, then failure
         // clocks for initially-on machines.
         if engine.world().cfg.spare.is_some() {
-            engine.scheduler_mut().schedule_at(SimTime::ZERO, Event::ControlPeriod);
+            engine
+                .scheduler_mut()
+                .schedule_at(SimTime::ZERO, Event::ControlPeriod);
         }
         for idx in 0..engine.world().requests.len() {
             let at = engine.world().requests[idx].submit_time;
@@ -694,12 +712,7 @@ mod tests {
         let mut cfg = base_cfg();
         cfg.consolidate_on_arrival = false;
         cfg.consolidate_on_departure = false;
-        let sim = Simulation::new(
-            small_fleet(),
-            requests,
-            Box::new(FirstFit),
-            cfg,
-        );
+        let sim = Simulation::new(small_fleet(), requests, Box::new(FirstFit), cfg);
         let report = sim.run();
         assert_eq!(report.total_departures, 1);
         // The recorder saw a non-idle PM for exactly the VM's residency.
@@ -710,7 +723,12 @@ mod tests {
     fn all_on_when_spare_control_disabled() {
         let mut cfg = base_cfg();
         cfg.spare = None;
-        let sim = Simulation::new(small_fleet(), vec![spec(1, 0, 100)], Box::new(FirstFit), cfg);
+        let sim = Simulation::new(
+            small_fleet(),
+            vec![spec(1, 0, 100)],
+            Box::new(FirstFit),
+            cfg,
+        );
         let report = sim.run();
         // All 4 PMs powered the whole day.
         assert_eq!(report.hourly_active_servers[0], 4.0);
@@ -735,7 +753,11 @@ mod tests {
         // servers must be well under the full fleet.
         let late = report.hourly_active_servers[20];
         assert!(late < 4.0, "late-day powered {late}");
-        assert!(report.total_energy_kwh < 20.0, "{}", report.total_energy_kwh);
+        assert!(
+            report.total_energy_kwh < 20.0,
+            "{}",
+            report.total_energy_kwh
+        );
     }
 
     #[test]
@@ -787,8 +809,9 @@ mod tests {
 
     #[test]
     fn static_policy_never_migrates() {
-        let requests: Vec<VmSpec> =
-            (0..20).map(|i| spec(i + 1, i as u64 * 60, 30_000)).collect();
+        let requests: Vec<VmSpec> = (0..20)
+            .map(|i| spec(i + 1, i as u64 * 60, 30_000))
+            .collect();
         let sim = Simulation::new(small_fleet(), requests, Box::new(FirstFit), base_cfg());
         let report = sim.run();
         assert_eq!(report.total_migrations, 0);
@@ -831,8 +854,9 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let mk = || {
-            let requests: Vec<VmSpec> =
-                (0..12).map(|i| spec(i + 1, i as u64 * 500, 20_000)).collect();
+            let requests: Vec<VmSpec> = (0..12)
+                .map(|i| spec(i + 1, i as u64 * 500, 20_000))
+                .collect();
             Simulation::new(
                 small_fleet(),
                 requests,
@@ -879,16 +903,8 @@ mod tests {
         use super::*;
         use dvmp_placement::Migration;
 
-        pub fn world_with(
-            requests: Vec<VmSpec>,
-            cfg: SimConfig,
-        ) -> Engine<SimWorld> {
-            let mut sim = Simulation::new(
-                small_fleet(),
-                requests,
-                Box::new(FirstFit),
-                cfg,
-            );
+        pub fn world_with(requests: Vec<VmSpec>, cfg: SimConfig) -> Engine<SimWorld> {
+            let mut sim = Simulation::new(small_fleet(), requests, Box::new(FirstFit), cfg);
             sim.engine.world_mut().initial_sample();
             sim.engine
         }
@@ -900,12 +916,7 @@ mod tests {
             }
         }
 
-        pub fn force_migration(
-            engine: &mut Engine<SimWorld>,
-            vm: VmId,
-            to: PmId,
-            now: SimTime,
-        ) {
+        pub fn force_migration(engine: &mut Engine<SimWorld>, vm: VmId, to: PmId, now: SimTime) {
             let from = running_on(engine, vm).expect("vm running");
             let (world, sched) = engine.world_and_scheduler();
             world.apply_migration(Migration { vm, from, to }, now, sched);
@@ -929,9 +940,7 @@ mod tests {
         let source = surgical::running_on(&engine, VmId(1)).expect("running");
         let dest = PmId(if source.0 == 0 { 1 } else { 0 });
 
-        let dep_before = engine.world().vms[&VmId(1)]
-            .projected_departure()
-            .unwrap();
+        let dep_before = engine.world().vms[&VmId(1)].projected_departure().unwrap();
         surgical::force_migration(&mut engine, VmId(1), dest, SimTime::from_secs(100));
         let dep_mid = engine.world().vms[&VmId(1)].projected_departure().unwrap();
         assert!(dep_mid > dep_before, "migration overhead charged");
@@ -941,7 +950,11 @@ mod tests {
         world.handle_pm_failure(dest, SimTime::from_secs(110), sched);
 
         let vm = &engine.world().vms[&VmId(1)];
-        assert_eq!(vm.state, VmState::Running { pm: source }, "reverted to source");
+        assert_eq!(
+            vm.state,
+            VmState::Running { pm: source },
+            "reverted to source"
+        );
         assert_eq!(
             vm.projected_departure().unwrap(),
             dep_before,
@@ -1017,7 +1030,10 @@ mod tests {
         }
         engine.run_until(SimTime::from_days(1));
         let world = engine.world();
-        assert!(matches!(world.vms[&VmId(1)].state, VmState::Completed { .. }));
+        assert!(matches!(
+            world.vms[&VmId(1)].state,
+            VmState::Completed { .. }
+        ));
         // Departure no earlier than boot (50) + create (30) + run (1000).
         if let VmState::Completed { at } = world.vms[&VmId(1)].state {
             assert!(at >= SimTime::from_secs(1_080), "at = {at}");
@@ -1042,7 +1058,15 @@ mod tests {
             PmState::Off,
             "stale failure must not mark an off machine failed"
         );
-        assert_eq!(engine.world().recorder.clone().finish("x", SimTime::from_hours(1)).pm_failures, 0);
+        assert_eq!(
+            engine
+                .world()
+                .recorder
+                .clone()
+                .finish("x", SimTime::from_hours(1))
+                .pm_failures,
+            0
+        );
     }
 
     #[test]

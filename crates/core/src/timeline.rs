@@ -73,10 +73,7 @@ impl Timeline {
     /// Appends a milestone (times must be non-decreasing; the simulator's
     /// clock guarantees it).
     pub fn push(&mut self, at: SimTime, m: Milestone) {
-        debug_assert!(self
-            .entries
-            .last()
-            .map_or(true, |&(t, _)| t <= at));
+        debug_assert!(self.entries.last().map_or(true, |&(t, _)| t <= at));
         self.entries.push((at, m));
     }
 

@@ -12,10 +12,7 @@ pub fn departures_within<I>(remaining: I, window: SimDuration) -> u64
 where
     I: IntoIterator<Item = SimDuration>,
 {
-    remaining
-        .into_iter()
-        .filter(|r| *r <= window)
-        .count() as u64
+    remaining.into_iter().filter(|r| *r <= window).count() as u64
 }
 
 #[cfg(test)]

@@ -158,7 +158,11 @@ impl LeemisEstimator {
         // indexes t_(i) ≤ t < t_(i+1); use partition point on ≤.
         let i = self.merged.partition_point(|&e| e <= s);
         let t_i = if i == 0 { 0 } else { self.merged[i - 1] };
-        let t_next = if i < n { self.merged[i] } else { self.cycle_secs };
+        let t_next = if i < n {
+            self.merged[i]
+        } else {
+            self.cycle_secs
+        };
         let frac = if t_next > t_i {
             (s - t_i) as f64 / (t_next - t_i) as f64
         } else {
@@ -187,8 +191,7 @@ impl LeemisEstimator {
             let start = from.as_secs() % self.cycle_secs;
             let end = start + rem;
             if end <= self.cycle_secs {
-                total += self.cumulative_at_offset(end)?
-                    - self.cumulative_at_offset(start)?;
+                total += self.cumulative_at_offset(end)? - self.cumulative_at_offset(start)?;
             } else {
                 // Wraps: tail of this cycle + head of the next.
                 total += per_cycle - self.cumulative_at_offset(start)?;
@@ -213,7 +216,10 @@ mod tests {
     fn no_estimate_before_first_cycle_completes() {
         let mut e = LeemisEstimator::new(day());
         e.record_arrival(SimTime::from_secs(100));
-        assert_eq!(e.expected_in(SimTime::from_secs(200), SimDuration::HOUR), None);
+        assert_eq!(
+            e.expected_in(SimTime::from_secs(200), SimDuration::HOUR),
+            None
+        );
         assert_eq!(e.completed_cycles(), 0);
     }
 
@@ -259,7 +265,10 @@ mod tests {
         let mut e = LeemisEstimator::new(day());
         e.roll_to(SimTime::from_days(2));
         assert_eq!(e.completed_cycles(), 2);
-        assert_eq!(e.expected_in(SimTime::from_days(2), SimDuration::HOUR), Some(0.0));
+        assert_eq!(
+            e.expected_in(SimTime::from_days(2), SimDuration::HOUR),
+            Some(0.0)
+        );
     }
 
     #[test]
@@ -288,7 +297,9 @@ mod tests {
         // first-hour mass.
         let from = SimTime::from_days(1) - SimDuration::from_mins(30);
         let est = e.expected_in(from, SimDuration::HOUR).unwrap();
-        let head = e.expected_in(SimTime::from_days(1), SimDuration::from_mins(30)).unwrap();
+        let head = e
+            .expected_in(SimTime::from_days(1), SimDuration::from_mins(30))
+            .unwrap();
         assert!(est >= head, "wrap window includes the head of the next day");
         assert!(head > 20.0, "first 30 min hold ~half the events: {head}");
     }
@@ -300,8 +311,12 @@ mod tests {
             e.record_arrival(SimTime::from_secs(s));
         }
         e.roll_to(SimTime::from_days(1));
-        let one = e.expected_in(SimTime::from_days(1), SimDuration::DAY).unwrap();
-        let three = e.expected_in(SimTime::from_days(1), SimDuration::from_days(3)).unwrap();
+        let one = e
+            .expected_in(SimTime::from_days(1), SimDuration::DAY)
+            .unwrap();
+        let three = e
+            .expected_in(SimTime::from_days(1), SimDuration::from_days(3))
+            .unwrap();
         assert!((three - 3.0 * one).abs() < 1e-9);
     }
 

@@ -165,15 +165,24 @@ mod tests {
     #[test]
     fn cumulative_integrates_exactly() {
         let r = PiecewiseRate::hourly(&[3_600.0, 7_200.0]);
-        assert_eq!(r.cumulative(SimTime::ZERO, SimTime::from_hours(2)), 10_800.0);
+        assert_eq!(
+            r.cumulative(SimTime::ZERO, SimTime::from_hours(2)),
+            10_800.0
+        );
         // Half of the first hour + half of the second.
         assert_eq!(
             r.cumulative(SimTime::from_secs(1_800), SimTime::from_secs(5_400)),
             1_800.0 + 3_600.0
         );
         // Degenerate and out-of-support windows.
-        assert_eq!(r.cumulative(SimTime::from_hours(2), SimTime::from_hours(3)), 0.0);
-        assert_eq!(r.cumulative(SimTime::from_hours(1), SimTime::from_hours(1)), 0.0);
+        assert_eq!(
+            r.cumulative(SimTime::from_hours(2), SimTime::from_hours(3)),
+            0.0
+        );
+        assert_eq!(
+            r.cumulative(SimTime::from_hours(1), SimTime::from_hours(1)),
+            0.0
+        );
     }
 
     #[test]

@@ -118,10 +118,7 @@ mod tests {
             let n = upper_quantile(lambda, 0.05);
             assert!(sf(lambda, n) <= 0.05, "λ={lambda}");
             if n > 0 {
-                assert!(
-                    sf(lambda, n - 1) > 0.05,
-                    "λ={lambda}: n={n} not minimal"
-                );
+                assert!(sf(lambda, n - 1) > 0.05, "λ={lambda}: n={n} not minimal");
             }
         }
     }
@@ -133,7 +130,10 @@ mod tests {
         assert!(q50 > q5);
         // ~ λ + 1.645 √λ for large λ.
         let approx = 50.0 + 1.645 * 50.0_f64.sqrt();
-        assert!((q50 as f64 - approx).abs() < 4.0, "q50={q50}, approx={approx}");
+        assert!(
+            (q50 as f64 - approx).abs() < 4.0,
+            "q50={q50}, approx={approx}"
+        );
     }
 
     #[test]

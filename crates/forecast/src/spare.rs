@@ -272,7 +272,7 @@ mod tests {
     fn surge_floor_reacts_within_one_period() {
         let mut c = controller();
         feed_uniform_day(&mut c, 240); // calm history: 10/hour
-        // A 20× burst lands in the current period.
+                                       // A 20× burst lands in the current period.
         for i in 0..200u64 {
             c.record_arrival(SimTime::from_days(1) + SimDuration::from_secs(i * 10));
         }

@@ -101,8 +101,7 @@ impl PriceSignal {
     /// hours *behind*: its local 17:00 peak happens `hours` later in
     /// simulation time).
     pub fn shifted_hours(mut self, hours: u64) -> Self {
-        self.shift_secs = (self.shift_secs + self.period_secs
-            - (hours * 3_600) % self.period_secs)
+        self.shift_secs = (self.shift_secs + self.period_secs - (hours * 3_600) % self.period_secs)
             % self.period_secs;
         self
     }
@@ -190,7 +189,10 @@ mod tests {
         let west = base.clone().shifted_hours(8);
         // The base peak at 17:00–21:00 must appear at 01:00–05:00 +? No:
         // shifted 8 h later → simulation hour 17+8 = 25 ≡ 1:00 next day.
-        assert_eq!(west.price_at(SimTime::from_hours(18)), base.price_at(SimTime::from_hours(10)));
+        assert_eq!(
+            west.price_at(SimTime::from_hours(18)),
+            base.price_at(SimTime::from_hours(10))
+        );
         assert_eq!(
             west.price_at(SimTime::from_hours(17 + 8)),
             0.30,

@@ -102,7 +102,8 @@ impl SimulationRecorder {
     /// Samples the fleet after a state-changing event.
     pub fn sample_fleet(&mut self, now: SimTime, dc: &Datacenter) {
         self.powered_servers.record(now, dc.powered_count() as f64);
-        self.non_idle_servers.record(now, dc.non_idle_count() as f64);
+        self.non_idle_servers
+            .record(now, dc.non_idle_count() as f64);
         self.core_utilization
             .record(now, dc.powered_core_utilization());
         self.energy.record(now, dc.total_power_w());
@@ -183,9 +184,7 @@ impl SimulationRecorder {
             hourly_core_utilization: self
                 .core_utilization
                 .bucket_means(SimDuration::HOUR, horizon),
-            peak_active_servers: self
-                .powered_servers
-                .max_over(SimTime::ZERO, horizon),
+            peak_active_servers: self.powered_servers.max_over(SimTime::ZERO, horizon),
             hourly_power_kwh: self.energy.hourly_kwh(horizon),
             daily_power_kwh: self.energy.daily_kwh(horizon),
             total_energy_kwh: self.energy.total_kwh(horizon),
@@ -283,7 +282,8 @@ mod tests {
         let mut dc = fleet();
         let mut rec = SimulationRecorder::new();
         rec.sample_fleet(SimTime::ZERO, &dc); // 2 idle fast: 480 W
-        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(1, 512)).unwrap();
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(1, 512))
+            .unwrap();
         rec.sample_fleet(SimTime::from_mins(30), &dc); // 400 + 240 = 640 W
 
         let report = rec.finish("test", SimTime::from_hours(1));

@@ -47,13 +47,29 @@ mod tests {
         let mut vms = BTreeMap::new();
         // pm2 (slow, 4 cores) holds 3 VMs → adding one fills it to 100% CPU.
         for i in 0..3 {
-            install(&mut dc, &mut vms, spec(i + 1, 256, 1_000), PmId(2), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 256, 1_000),
+                PmId(2),
+                SimTime::ZERO,
+            );
         }
         // pm0 (fast, 8 cores) holds 3 VMs → adding one reaches 50% CPU.
         for i in 3..6 {
-            install(&mut dc, &mut vms, spec(i + 1, 256, 1_000), PmId(0), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 256, 1_000),
+                PmId(0),
+                SimTime::ZERO,
+            );
         }
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut bf = BestFit;
         assert_eq!(bf.place(&view, &spec(99, 256, 100)), Some(PmId(2)));
     }
@@ -62,7 +78,11 @@ mod tests {
     fn empty_fleet_ties_break_to_lowest_id() {
         let dc = small_fleet();
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut bf = BestFit;
         // Slow PMs reach higher relative utilization for the same VM
         // (smaller capacity), so best-fit picks the first slow PM.
@@ -74,9 +94,25 @@ mod tests {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
         // Fill both slow PMs' memory.
-        install(&mut dc, &mut vms, spec(1, 4_096, 1_000), PmId(2), SimTime::ZERO);
-        install(&mut dc, &mut vms, spec(2, 4_096, 1_000), PmId(3), SimTime::ZERO);
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 4_096, 1_000),
+            PmId(2),
+            SimTime::ZERO,
+        );
+        install(
+            &mut dc,
+            &mut vms,
+            spec(2, 4_096, 1_000),
+            PmId(3),
+            SimTime::ZERO,
+        );
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut bf = BestFit;
         let target = bf.place(&view, &spec(3, 1_024, 100)).unwrap();
         assert!(target == PmId(0) || target == PmId(1), "must use a fast PM");
@@ -86,7 +122,11 @@ mod tests {
     fn never_migrates() {
         let dc = small_fleet();
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut bf = BestFit;
         assert!(bf.plan_migrations(&view).is_empty());
         assert!(!bf.is_dynamic());

@@ -33,6 +33,17 @@ pub struct DynamicConfig {
     pub use_rel: bool,
     /// Ablation switch: include the energy-efficiency factor `p^eff`.
     pub use_eff: bool,
+    /// Row count at or above which a full matrix (re)build is chunked
+    /// across worker threads. Below it the sequential path runs — thread
+    /// spawn overhead dwarfs the win on small fleets. The parallel build is
+    /// bit-identical to the sequential one (DESIGN.md §8), so this is a
+    /// pure performance knob.
+    #[serde(default = "default_par_rows_cutoff")]
+    pub par_rows_cutoff: usize,
+}
+
+fn default_par_rows_cutoff() -> usize {
+    256
 }
 
 impl Default for DynamicConfig {
@@ -45,6 +56,7 @@ impl Default for DynamicConfig {
             use_vir: true,
             use_rel: true,
             use_eff: true,
+            par_rows_cutoff: default_par_rows_cutoff(),
         }
     }
 }
@@ -77,7 +89,20 @@ mod tests {
         assert_eq!(c.mig_round, 20);
         assert_eq!(c.overhead_mode, OverheadMode::PaperJoint);
         assert!(c.use_vir && c.use_rel && c.use_eff);
+        assert_eq!(c.par_rows_cutoff, 256);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn par_rows_cutoff_defaults_when_absent_from_serialized_form() {
+        // Configs serialized before the knob existed must still load with
+        // the default cutoff: strip the field from a serialized default
+        // config and parse what remains.
+        let full = serde_json::to_string(&DynamicConfig::default()).unwrap();
+        let legacy = full.replace(",\"par_rows_cutoff\":256", "");
+        assert_ne!(legacy, full, "the knob serializes");
+        let c: DynamicConfig = serde_json::from_str(&legacy).expect("legacy config parses");
+        assert_eq!(c, DynamicConfig::default());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::config::DynamicConfig;
 use crate::factors::{self, EvalContext, ExtraFactor};
-use crate::matrix::ProbabilityMatrix;
+use crate::matrix::{MatrixKernel, ProbabilityMatrix};
 use crate::plan::PlanState;
 use crate::policy::{Migration, PlacementPolicy, PlacementView};
 use dvmp_cluster::pm::PmId;
@@ -25,6 +25,11 @@ use dvmp_cluster::vm::VmSpec;
 use std::sync::Arc;
 
 /// The dynamic placement scheme.
+///
+/// The scheme owns a reusable planning arena — the [`PlanState`], the
+/// [`ProbabilityMatrix`] and the per-column best cache — so steady-state
+/// planning passes reuse their buffers instead of reallocating an M×N
+/// matrix (plus row maps and caches) on every triggering event.
 #[derive(Debug, Clone)]
 pub struct DynamicPlacement {
     cfg: DynamicConfig,
@@ -35,6 +40,12 @@ pub struct DynamicPlacement {
     total_migrations: u64,
     /// Planning passes that hit the `MIG_round` cap.
     round_cap_hits: u64,
+    /// Arena: planning state refilled from the live view each pass.
+    plan_arena: PlanState,
+    /// Arena: the probability matrix, rebuilt in place each pass.
+    matrix: ProbabilityMatrix,
+    /// Arena: Algorithm 1's per-column best-candidate cache.
+    best: Vec<Option<(usize, f64)>>,
 }
 
 impl DynamicPlacement {
@@ -50,7 +61,19 @@ impl DynamicPlacement {
             extras: Vec::new(),
             total_migrations: 0,
             round_cap_hits: 0,
+            plan_arena: PlanState::default(),
+            matrix: ProbabilityMatrix::default(),
+            best: Vec::new(),
         }
+    }
+
+    /// Switches the matrix evaluation kernel (default:
+    /// [`MatrixKernel::Fast`]). The kernels are bit-identical; the
+    /// reference kernel exists for differential tests and for measuring
+    /// the fast path honestly (`perf_report`).
+    pub fn with_kernel(mut self, kernel: MatrixKernel) -> Self {
+        self.matrix.set_kernel(kernel);
+        self
     }
 
     /// Registers an extension factor; it multiplies into every matrix
@@ -95,24 +118,30 @@ impl DynamicPlacement {
         if plan.vms.is_empty() || plan.pms.len() < 2 {
             return Vec::new();
         }
-        let cfg = self.cfg.clone();
-        let extras = self.extras.clone();
-        let ctx = EvalContext::with_extras(&cfg, &extras);
-        let mut matrix = ProbabilityMatrix::build(plan, &ctx);
+        // Disjoint field borrows: the context reads cfg/extras while the
+        // matrix and cache are mutated — no per-pass clones needed.
+        let DynamicPlacement {
+            cfg,
+            extras,
+            total_migrations,
+            round_cap_hits,
+            matrix,
+            best,
+            ..
+        } = self;
+        let ctx = EvalContext::with_extras(cfg, extras);
+        matrix.rebuild(plan, &ctx);
         // Per-column cache of the best non-host candidate.
-        let mut best: Vec<Option<(usize, f64)>> = (0..plan.vms.len())
-            .map(|col| matrix.best_move_for(plan, col))
-            .collect();
+        best.clear();
+        best.extend((0..plan.vms.len()).map(|col| matrix.best_move_for(plan, col)));
 
         let mut moves = Vec::new();
-        for _round in 0..self.cfg.mig_round {
+        for _round in 0..cfg.mig_round {
             // Global argmax over the cached per-column bests.
             let mut winner: Option<(usize, usize, f64)> = None;
             for (col, entry) in best.iter().enumerate() {
                 if let Some((row, d)) = *entry {
-                    if d > self.cfg.mig_threshold
-                        && winner.map_or(true, |(_, _, wd)| d > wd)
-                    {
+                    if d > cfg.mig_threshold && winner.map_or(true, |(_, _, wd)| d > wd) {
                         winner = Some((col, row, d));
                     }
                 }
@@ -129,7 +158,7 @@ impl DynamicPlacement {
                 from: plan.pms[from_row].id,
                 to: plan.pms[to_row].id,
             });
-            self.total_migrations += 1;
+            *total_migrations += 1;
 
             // Targeted refresh: the two touched PM rows and the moved column.
             matrix.recompute_row(plan, &ctx, from_row);
@@ -160,7 +189,7 @@ impl DynamicPlacement {
                 }
             }
         }
-        self.round_cap_hits += 1;
+        *round_cap_hits += 1;
         moves
     }
 }
@@ -176,21 +205,15 @@ impl PlacementPolicy for DynamicPlacement {
     /// fall back to the overhead-free column so feasible requests are never
     /// starved (DESIGN.md I9).
     fn place(&mut self, view: &PlacementView<'_>, vm: &VmSpec) -> Option<PmId> {
-        let plan = PlanState::from_view(view, &self.cfg.min_vm);
+        let mut plan = std::mem::take(&mut self.plan_arena);
+        plan.refill(view, &self.cfg.min_vm);
         let est = vm.estimated_runtime.as_secs();
+        let ctx = EvalContext::with_extras(&self.cfg, &self.extras);
 
-        let column = |cfg: &DynamicConfig| -> Option<(usize, f64)> {
-            let ctx = EvalContext::with_extras(cfg, &self.extras);
+        let column = |ctx: &EvalContext<'_>| -> Option<(usize, f64)> {
             let mut best: Option<(usize, f64)> = None;
             for (row, pm) in plan.pms.iter().enumerate() {
-                let p = factors::joint_new(
-                    pm,
-                    &vm.resources,
-                    est,
-                    plan.eff_of(row),
-                    &ctx,
-                    plan.now,
-                );
+                let p = factors::joint_new(pm, &vm.resources, est, plan.eff_of(row), ctx, plan.now);
                 if p > 0.0 && best.map_or(true, |(_, bp)| p > bp) {
                     best = Some((row, p));
                 }
@@ -198,17 +221,20 @@ impl PlacementPolicy for DynamicPlacement {
             best
         };
 
-        let chosen = column(&self.cfg).or_else(|| {
-            let mut no_vir = self.cfg.clone();
-            no_vir.use_vir = false;
-            column(&no_vir)
-        })?;
-        Some(plan.pms[chosen.0].id)
+        // The fallback flips only `p^vir` off via the context override —
+        // no config clone just to toggle one flag.
+        let chosen = column(&ctx).or_else(|| column(&ctx.without_vir()));
+        let placed = chosen.map(|(row, _)| plan.pms[row].id);
+        self.plan_arena = plan;
+        placed
     }
 
     fn plan_migrations(&mut self, view: &PlacementView<'_>) -> Vec<Migration> {
-        let mut plan = PlanState::from_view(view, &self.cfg.min_vm);
-        self.plan_on(&mut plan)
+        let mut plan = std::mem::take(&mut self.plan_arena);
+        plan.refill(view, &self.cfg.min_vm);
+        let moves = self.plan_on(&mut plan);
+        self.plan_arena = plan;
+        moves
     }
 
     fn is_dynamic(&self) -> bool {
@@ -351,7 +377,13 @@ mod tests {
     fn place_prefers_fuller_efficient_pm() {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
-        install(&mut dc, &mut vms, spec(1, 512, 100_000), PmId(0), SimTime::ZERO);
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 100_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
         let mut policy = DynamicPlacement::paper_default();
         let pm = policy
             .place(&view_of(&dc, &vms, 0), &spec(2, 512, 100_000))
@@ -378,7 +410,13 @@ mod tests {
         for pm in 0..4u32 {
             let cap = dc.pm(PmId(pm)).capacity().get(0);
             for _ in 0..cap {
-                install(&mut dc, &mut vms, spec(id, 256, 100_000), PmId(pm), SimTime::ZERO);
+                install(
+                    &mut dc,
+                    &mut vms,
+                    spec(id, 256, 100_000),
+                    PmId(pm),
+                    SimTime::ZERO,
+                );
                 id += 1;
             }
         }
@@ -424,8 +462,17 @@ mod tests {
         let mut id = 1u32;
         for pm in [0u32, 1, 2, 3, 0, 1, 2, 3, 0, 1] {
             for _ in 0..2 {
-                if dc.pm(PmId(pm)).can_host(&dvmp_cluster::resources::ResourceVector::cpu_mem(1, 512)) {
-                    install(&mut dc, &mut vms, spec(id, 512, 150_000), PmId(pm), SimTime::ZERO);
+                if dc
+                    .pm(PmId(pm))
+                    .can_host(&dvmp_cluster::resources::ResourceVector::cpu_mem(1, 512))
+                {
+                    install(
+                        &mut dc,
+                        &mut vms,
+                        spec(id, 512, 150_000),
+                        PmId(pm),
+                        SimTime::ZERO,
+                    );
                     id += 1;
                 }
             }
@@ -433,6 +480,82 @@ mod tests {
         let mut policy = DynamicPlacement::paper_default();
         let moves = policy.plan_migrations(&view_of(&dc, &vms, 0));
         assert!(moves.len() <= policy.config().mig_round as usize);
+    }
+
+    #[test]
+    fn reused_arena_matches_fresh_policy() {
+        // One policy planning twice (arena reused, second pass over a
+        // different fleet state) must produce exactly what fresh policies
+        // produce for each pass.
+        let build = |extra_on_pm3: bool| {
+            let mut dc = small_fleet();
+            let mut vms = BTreeMap::new();
+            for (i, pm) in [0u32, 1, 2].iter().enumerate() {
+                install(
+                    &mut dc,
+                    &mut vms,
+                    spec(i as u32 + 1, 512, 200_000),
+                    PmId(*pm),
+                    SimTime::ZERO,
+                );
+            }
+            if extra_on_pm3 {
+                install(
+                    &mut dc,
+                    &mut vms,
+                    spec(9, 512, 180_000),
+                    PmId(3),
+                    SimTime::ZERO,
+                );
+            }
+            (dc, vms)
+        };
+        let mut reused = DynamicPlacement::paper_default();
+        let (dc_a, vms_a) = build(false);
+        let (dc_b, vms_b) = build(true);
+        let first = reused.plan_migrations(&view_of(&dc_a, &vms_a, 0));
+        let second = reused.plan_migrations(&view_of(&dc_b, &vms_b, 100));
+
+        let mut fresh_a = DynamicPlacement::paper_default();
+        let mut fresh_b = DynamicPlacement::paper_default();
+        assert_eq!(first, fresh_a.plan_migrations(&view_of(&dc_a, &vms_a, 0)));
+        assert_eq!(
+            second,
+            fresh_b.plan_migrations(&view_of(&dc_b, &vms_b, 100))
+        );
+        // place() shares the arena with plan_migrations; interleaving must
+        // not corrupt either.
+        let p_reused = reused.place(&view_of(&dc_b, &vms_b, 100), &spec(50, 512, 100_000));
+        let p_fresh = fresh_b.place(&view_of(&dc_b, &vms_b, 100), &spec(50, 512, 100_000));
+        assert_eq!(p_reused, p_fresh);
+    }
+
+    #[test]
+    fn reference_kernel_plans_identical_moves() {
+        let build = || {
+            let mut dc = small_fleet();
+            let mut vms = BTreeMap::new();
+            for (i, pm) in [0u32, 1, 2, 3, 2, 3].iter().enumerate() {
+                install(
+                    &mut dc,
+                    &mut vms,
+                    spec(i as u32 + 1, 512, 150_000 + i as u64 * 1_000),
+                    PmId(*pm),
+                    SimTime::ZERO,
+                );
+            }
+            (dc, vms)
+        };
+        let (dc1, vms1) = build();
+        let (dc2, vms2) = build();
+        let mut fast = DynamicPlacement::paper_default();
+        let mut reference =
+            DynamicPlacement::paper_default().with_kernel(crate::matrix::MatrixKernel::Reference);
+        assert_eq!(
+            fast.plan_migrations(&view_of(&dc1, &vms1, 0)),
+            reference.plan_migrations(&view_of(&dc2, &vms2, 0))
+        );
+        assert_eq!(fast.total_migrations(), reference.total_migrations());
     }
 
     #[test]

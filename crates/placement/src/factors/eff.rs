@@ -27,6 +27,31 @@ pub fn slots(pm: &PlanPm, min_vm: &ResourceVector) -> u64 {
     pm.capacity.contains_times(min_vm)
 }
 
+/// The Eq. 4 boundary of level `w`, expressed as a ratio `u / U_min`, with
+/// a tolerance for FP error on exact boundaries (e.g. `u == 8^K · U_min`
+/// must land on level 8). Shared by [`level_for`] and the precomputed
+/// per-class boundary tables so both paths yield bit-identical levels.
+#[inline]
+pub fn level_boundary(w: u64, k: usize) -> f64 {
+    (w as f64).powi(k as i32) * (1.0 - 1e-9)
+}
+
+/// The boundaries of levels `2..=w_max` as `u / U_min` ratios, ascending.
+/// (Level 1 has no lower boundary: Eq. 5 starts at `w = 1`.) Precomputing
+/// these once per PM class removes every transcendental call from the
+/// matrix inner loop.
+pub fn level_boundaries(w_max: u64, k: usize) -> Vec<f64> {
+    (2..=w_max).map(|w| level_boundary(w, k)).collect()
+}
+
+/// The level for a ratio `u / U_min` given precomputed [`level_boundaries`].
+#[inline]
+pub fn level_from_boundaries(ratio: f64, boundaries: &[f64]) -> u64 {
+    // `partition_point` finds how many boundaries the ratio has crossed;
+    // each crossed boundary raises the level by one above the floor of 1.
+    boundaries.partition_point(|&b| ratio >= b) as u64 + 1
+}
+
 /// The utilization level `w ∈ {1, …, W_j}` for a *prospective* joint
 /// utilization `u` (Eq. 4: largest `w` with `w^K · U_min ≤ u`).
 pub fn level_for(u: f64, u_min: f64, w_max: u64, k: usize) -> u64 {
@@ -37,10 +62,18 @@ pub fn level_for(u: f64, u_min: f64, w_max: u64, k: usize) -> u64 {
         return w_max; // degenerate minimum VM: every PM counts as full
     }
     let ratio = (u / u_min).max(0.0);
-    // Invert the K-th-power boundary with a tolerance for FP error on
-    // exact boundaries (e.g. u == 8^K · U_min must land on level 8).
-    let w = (ratio.powf(1.0 / k as f64) + 1e-9).floor() as u64;
-    w.clamp(1, w_max)
+    // Binary-search the largest level whose boundary the ratio reaches
+    // (instead of inverting via powf, which dominated the entry cost).
+    let (mut lo, mut hi) = (1u64, w_max);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if ratio >= level_boundary(mid, k) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
 }
 
 /// Eq. 5 with the prospective-level interpretation. `hosted` marks the
@@ -56,11 +89,7 @@ pub fn p_eff(
     if w_max == 0 || eff_j <= 0.0 {
         return 0.0;
     }
-    let prospective = if hosted {
-        pm.used
-    } else {
-        pm.used.add(demand)
-    };
+    let prospective = if hosted { pm.used } else { pm.used.add(demand) };
     let u = prospective.joint_utilization(&pm.capacity);
     let u_min = min_vm.joint_utilization(&pm.capacity);
     let w = level_for(u, u_min, w_max, pm.capacity.k());
@@ -112,6 +141,28 @@ mod tests {
         assert_eq!(level_for(64.0 * u_min, u_min, 8, 2), 8);
         // Above the last boundary stays clamped at W.
         assert_eq!(level_for(1.0, u_min, 8, 2), 8);
+    }
+
+    #[test]
+    fn precomputed_boundaries_agree_with_level_for() {
+        // The class-table fast path must yield the *same* level as the
+        // direct computation for every (ratio, K, W) it can encounter.
+        for k in 1..=4usize {
+            for w_max in 1..=16u64 {
+                let boundaries = level_boundaries(w_max, k);
+                assert_eq!(boundaries.len(), (w_max - 1) as usize);
+                let u_min = 1.0 / 128.0;
+                for i in 0..=(w_max * w_max * 4) {
+                    let u = i as f64 * u_min / 3.0;
+                    let ratio = (u / u_min).max(0.0);
+                    assert_eq!(
+                        level_from_boundaries(ratio, &boundaries),
+                        level_for(u, u_min, w_max, k),
+                        "k={k} w_max={w_max} ratio={ratio}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

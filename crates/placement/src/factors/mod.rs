@@ -10,6 +10,7 @@
 //! any number of user-supplied [`ExtraFactor`]s — e.g. the electricity-
 //! price factor in the `dvmp-geo` crate.
 
+pub mod class_table;
 pub mod eff;
 pub mod rel;
 pub mod res;
@@ -52,17 +53,44 @@ pub struct EvalContext<'a> {
     pub cfg: &'a DynamicConfig,
     /// Extension factors, applied after the built-in four.
     pub extras: &'a [Arc<dyn ExtraFactor>],
+    /// Per-evaluation override forcing `p^vir` off regardless of
+    /// `cfg.use_vir`. New-request placement sets this (DESIGN.md I9's
+    /// feasibility fallback) instead of cloning the whole config just to
+    /// flip one flag.
+    vir_disabled: bool,
 }
 
 impl<'a> EvalContext<'a> {
     /// A context with no extension factors.
     pub fn new(cfg: &'a DynamicConfig) -> Self {
-        EvalContext { cfg, extras: &[] }
+        EvalContext {
+            cfg,
+            extras: &[],
+            vir_disabled: false,
+        }
     }
 
     /// A context with extension factors.
     pub fn with_extras(cfg: &'a DynamicConfig, extras: &'a [Arc<dyn ExtraFactor>]) -> Self {
-        EvalContext { cfg, extras }
+        EvalContext {
+            cfg,
+            extras,
+            vir_disabled: false,
+        }
+    }
+
+    /// The same context with `p^vir` forced off.
+    pub fn without_vir(&self) -> Self {
+        EvalContext {
+            vir_disabled: true,
+            ..self.clone()
+        }
+    }
+
+    /// Whether `p^vir` participates in the joint product.
+    #[inline]
+    pub fn vir_enabled(&self) -> bool {
+        self.cfg.use_vir && !self.vir_disabled
     }
 }
 
@@ -82,7 +110,7 @@ pub fn joint(
     if p == 0.0 {
         return 0.0;
     }
-    if cfg.use_vir {
+    if ctx.vir_enabled() {
         p *= vir::p_vir(
             vm.remaining_secs,
             pm.creation_secs,
@@ -124,7 +152,7 @@ pub fn joint_new(
     if p == 0.0 {
         return 0.0;
     }
-    if cfg.use_vir {
+    if ctx.vir_enabled() {
         p *= vir::p_vir(
             estimated_secs,
             pm.creation_secs,
@@ -238,7 +266,10 @@ mod tests {
         let long = joint_new(&pm, &r, 100_000, 1.0, &ctx, SimTime::ZERO);
         let mid = joint_new(&pm, &r, 100, 1.0, &ctx, SimTime::ZERO);
         let short = joint_new(&pm, &r, 50, 1.0, &ctx, SimTime::ZERO);
-        assert!(long > mid, "longer estimates suffer relatively less overhead");
+        assert!(
+            long > mid,
+            "longer estimates suffer relatively less overhead"
+        );
         assert!(mid > 0.0);
         assert_eq!(
             short, 0.0,
@@ -282,7 +313,14 @@ mod tests {
         let odd = joint(&pm, &v, false, 1.0, &ctx, SimTime::from_hours(3));
         assert!((odd - even * 0.5).abs() < 1e-15);
         // The base context is unaffected.
-        let base = joint(&pm, &v, false, 1.0, &EvalContext::new(&cfg), SimTime::from_hours(3));
+        let base = joint(
+            &pm,
+            &v,
+            false,
+            1.0,
+            &EvalContext::new(&cfg),
+            SimTime::from_hours(3),
+        );
         assert!((base - even).abs() < 1e-15);
     }
 

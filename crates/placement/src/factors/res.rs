@@ -42,8 +42,14 @@ mod tests {
 
     #[test]
     fn feasible_is_one() {
-        assert_eq!(p_res(&pm(0, 0), &ResourceVector::cpu_mem(1, 512), false), 1.0);
-        assert_eq!(p_res(&pm(3, 3_584), &ResourceVector::cpu_mem(1, 512), false), 1.0);
+        assert_eq!(
+            p_res(&pm(0, 0), &ResourceVector::cpu_mem(1, 512), false),
+            1.0
+        );
+        assert_eq!(
+            p_res(&pm(3, 3_584), &ResourceVector::cpu_mem(1, 512), false),
+            1.0
+        );
     }
 
     #[test]
@@ -51,18 +57,30 @@ mod tests {
         // CPU overflows.
         assert_eq!(p_res(&pm(4, 0), &ResourceVector::cpu_mem(1, 1), false), 0.0);
         // Memory overflows.
-        assert_eq!(p_res(&pm(0, 4_000), &ResourceVector::cpu_mem(1, 512), false), 0.0);
+        assert_eq!(
+            p_res(&pm(0, 4_000), &ResourceVector::cpu_mem(1, 512), false),
+            0.0
+        );
     }
 
     #[test]
     fn current_host_is_always_feasible() {
         // Even a "full" host: the VM's demand is already counted in used.
-        assert_eq!(p_res(&pm(4, 4_096), &ResourceVector::cpu_mem(1, 512), true), 1.0);
+        assert_eq!(
+            p_res(&pm(4, 4_096), &ResourceVector::cpu_mem(1, 512), true),
+            1.0
+        );
     }
 
     #[test]
     fn exact_boundary_fits() {
-        assert_eq!(p_res(&pm(3, 3_584), &ResourceVector::cpu_mem(1, 512), false), 1.0);
-        assert_eq!(p_res(&pm(3, 3_585), &ResourceVector::cpu_mem(1, 512), false), 0.0);
+        assert_eq!(
+            p_res(&pm(3, 3_584), &ResourceVector::cpu_mem(1, 512), false),
+            1.0
+        );
+        assert_eq!(
+            p_res(&pm(3, 3_585), &ResourceVector::cpu_mem(1, 512), false),
+            0.0
+        );
     }
 }

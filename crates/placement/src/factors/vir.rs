@@ -70,9 +70,15 @@ mod tests {
 
     #[test]
     fn insufficient_remaining_time_is_zero() {
-        assert_eq!(p_vir(69, 30, 40, false, true, OverheadMode::PaperJoint), 0.0);
+        assert_eq!(
+            p_vir(69, 30, 40, false, true, OverheadMode::PaperJoint),
+            0.0
+        );
         // Exactly equal: the quadratic evaluates to 0 anyway.
-        assert_eq!(p_vir(70, 30, 40, false, true, OverheadMode::PaperJoint), 0.0);
+        assert_eq!(
+            p_vir(70, 30, 40, false, true, OverheadMode::PaperJoint),
+            0.0
+        );
         assert_eq!(p_vir(0, 30, 40, false, true, OverheadMode::PaperJoint), 0.0);
     }
 

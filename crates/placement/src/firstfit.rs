@@ -37,7 +37,11 @@ mod tests {
     fn picks_lowest_id_with_room() {
         let dc = small_fleet();
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut ff = FirstFit;
         assert_eq!(ff.place(&view, &spec(1, 512, 100)), Some(PmId(0)));
     }
@@ -48,10 +52,20 @@ mod tests {
         let mut vms = BTreeMap::new();
         // Fill pm0 (8 cores) and power off pm1.
         for i in 0..8 {
-            install(&mut dc, &mut vms, spec(i + 1, 256, 1_000), PmId(0), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 256, 1_000),
+                PmId(0),
+                SimTime::ZERO,
+            );
         }
         dc.pm_mut(PmId(1)).state = PmState::Off;
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut ff = FirstFit;
         assert_eq!(ff.place(&view, &spec(99, 512, 100)), Some(PmId(2)));
     }
@@ -63,7 +77,11 @@ mod tests {
             dc.pm_mut(PmId(id)).state = PmState::Off;
         }
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut ff = FirstFit;
         assert_eq!(ff.place(&view, &spec(1, 512, 100)), None);
     }
@@ -72,7 +90,11 @@ mod tests {
     fn never_migrates() {
         let dc = small_fleet();
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut ff = FirstFit;
         assert!(ff.plan_migrations(&view).is_empty());
         assert!(!ff.is_dynamic());

@@ -40,7 +40,7 @@ pub use bestfit::BestFit;
 pub use config::{DynamicConfig, OverheadMode};
 pub use dynamic::DynamicPlacement;
 pub use firstfit::FirstFit;
-pub use matrix::ProbabilityMatrix;
+pub use matrix::{MatrixKernel, ProbabilityMatrix};
 pub use policy::{Migration, PlacementPolicy, PlacementView};
 pub use random::RandomFit;
 pub use threshold::{ThresholdConfig, ThresholdPolicy};

@@ -9,34 +9,226 @@
 //! the paper describes ("we only need to update the corresponding PM rows
 //! in the last migration process").
 //!
+//! ## The fast path
+//!
+//! Three further optimizations keep planning cheap at paper scale
+//! (100 PMs × hundreds of VMs) without changing a single output bit
+//! (DESIGN.md §8):
+//!
+//! - **Class-factor caching** ([`MatrixKernel::Fast`], the default): all
+//!   factor inputs that are constant per PM *class* — `p^vir` overheads,
+//!   the slot count `W_j`, `U_j^MIN` and the Eq. 4 level boundaries — are
+//!   hoisted into a [`ClassTable`] built once per (re)build, removing
+//!   every `powf` from the inner loop; `p^vir` itself is evaluated once
+//!   per (class, column) into a cache instead of once per entry. Rows
+//!   whose PM diverges from its class (hand-built plans only) fall back
+//!   to the reference kernel.
+//! - **Host-probability cache**: `host_p[col]` mirrors the current-host
+//!   entry of each column, so [`normalized`] and [`best_move_for`] read
+//!   one cached value instead of re-indexing the host row per candidate.
+//!   The targeted recompute methods maintain it.
+//! - **Parallel build**: at or above `cfg.par_rows_cutoff` rows, a full
+//!   (re)build fans row chunks out across scoped threads. Each entry
+//!   depends only on the immutable plan, so the result is bit-identical
+//!   to the sequential fill.
+//!
 //! [`recompute_row`]: ProbabilityMatrix::recompute_row
 //! [`recompute_col`]: ProbabilityMatrix::recompute_col
+//! [`normalized`]: ProbabilityMatrix::normalized
+//! [`best_move_for`]: ProbabilityMatrix::best_move_for
 
+use crate::factors::class_table::{self, ClassTable};
 use crate::factors::{self, EvalContext};
 use crate::plan::PlanState;
 
+/// Which entry-evaluation kernel a matrix uses. Both produce bit-identical
+/// entries; `Reference` exists to prove that (differential tests) and to
+/// measure the fast path's win honestly (`perf_report`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixKernel {
+    /// Class-factor cached evaluation (the default).
+    #[default]
+    Fast,
+    /// Direct per-entry evaluation through [`factors::joint`].
+    Reference,
+}
+
 /// Row-major M×N matrix of joint probabilities.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ProbabilityMatrix {
     rows: usize,
     cols: usize,
     p: Vec<f64>,
+    /// `host_p[col]` = `p[vms[col].host][col]`, maintained by every
+    /// (re)build and targeted recompute.
+    host_p: Vec<f64>,
+    class_table: ClassTable,
+    /// `vir_cache[class * cols + col]` = `p^vir` for moving column `col`'s
+    /// VM onto a PM of `class` — Eq. 3 depends only on that pair, so the
+    /// fast kernel evaluates it `classes × N` times per (re)build instead
+    /// of `M × N`. A planned migration charges its overhead against the
+    /// VM's remaining time (`PlanState::apply_migration`), which changes
+    /// Eq. 3's inputs for that one column — [`recompute_col`] refreshes
+    /// the column's cache slots, so the Algorithm 1 update sequence
+    /// (rows, then the moved column) leaves the cache exact.
+    ///
+    /// [`recompute_col`]: ProbabilityMatrix::recompute_col
+    vir_cache: Vec<f64>,
+    kernel: MatrixKernel,
+}
+
+/// Fills one PM row's entries into `out` (`out.len() == plan.vms.len()`).
+/// Free function so parallel builds can run it on disjoint row chunks.
+/// `vir_cache` is the class-major cache described on [`ProbabilityMatrix`]
+/// (unused — and allowed empty — under the reference kernel).
+fn fill_row(
+    out: &mut [f64],
+    plan: &PlanState,
+    ctx: &EvalContext<'_>,
+    row: usize,
+    table: &ClassTable,
+    vir_cache: &[f64],
+    kernel: MatrixKernel,
+) {
+    let pm = &plan.pms[row];
+    let class = match kernel {
+        MatrixKernel::Fast => table.class_of_row(row),
+        MatrixKernel::Reference => None,
+    };
+    if let Some(class) = class {
+        let entry = table.entry(class).expect("eligible row has a class entry");
+        let virs = &vir_cache[class * out.len()..][..out.len()];
+        for ((slot, vm), &vir) in out.iter_mut().zip(&plan.vms).zip(virs) {
+            let hosted = vm.host == row;
+            *slot = class_table::joint_with_class(pm, vm, hosted, entry, vir, ctx, plan.now);
+        }
+    } else {
+        let eff_j = plan.eff_of(row);
+        for (slot, vm) in out.iter_mut().zip(&plan.vms) {
+            let hosted = vm.host == row;
+            *slot = factors::joint(pm, vm, hosted, eff_j, ctx, plan.now);
+        }
+    }
 }
 
 impl ProbabilityMatrix {
-    /// Builds the full matrix from a planning state.
+    /// Builds the full matrix from a planning state with the default
+    /// (fast) kernel.
     pub fn build(plan: &PlanState, ctx: &EvalContext<'_>) -> Self {
-        let rows = plan.pms.len();
-        let cols = plan.vms.len();
+        Self::build_with_kernel(plan, ctx, MatrixKernel::Fast)
+    }
+
+    /// Builds the full matrix with an explicit kernel.
+    pub fn build_with_kernel(
+        plan: &PlanState,
+        ctx: &EvalContext<'_>,
+        kernel: MatrixKernel,
+    ) -> Self {
         let mut m = ProbabilityMatrix {
+            kernel,
+            ..ProbabilityMatrix::default()
+        };
+        m.rebuild(plan, ctx);
+        m
+    }
+
+    /// Rebuilds in place against a (possibly resized) plan, reusing the
+    /// entry and cache allocations. The planner holds one matrix across
+    /// passes and calls this instead of [`build`](Self::build), so
+    /// steady-state planning does not allocate here.
+    pub fn rebuild(&mut self, plan: &PlanState, ctx: &EvalContext<'_>) {
+        self.rows = plan.pms.len();
+        self.cols = plan.vms.len();
+        self.p.clear();
+        self.p.resize(self.rows * self.cols, 0.0);
+        self.host_p.clear();
+        self.host_p.resize(self.cols, 0.0);
+        if self.kernel == MatrixKernel::Fast {
+            self.class_table.rebuild(plan, &ctx.cfg.min_vm);
+            self.vir_cache.clear();
+            self.vir_cache
+                .resize(self.class_table.class_count() * self.cols, 0.0);
+            for class in 0..self.class_table.class_count() {
+                if let Some(entry) = self.class_table.entry(class) {
+                    let out = &mut self.vir_cache[class * self.cols..][..self.cols];
+                    for (slot, vm) in out.iter_mut().zip(&plan.vms) {
+                        *slot =
+                            class_table::class_vir(entry, vm.remaining_secs, ctx.cfg.overhead_mode);
+                    }
+                }
+            }
+        }
+        if self.rows == 0 || self.cols == 0 {
+            return;
+        }
+        if self.rows >= ctx.cfg.par_rows_cutoff {
+            self.fill_parallel(plan, ctx);
+        } else {
+            let ProbabilityMatrix {
+                cols,
+                p,
+                class_table,
+                vir_cache,
+                kernel,
+                ..
+            } = self;
+            for (row, out) in p.chunks_mut(*cols).enumerate() {
+                fill_row(out, plan, ctx, row, class_table, vir_cache, *kernel);
+            }
+        }
+        for (col, vm) in plan.vms.iter().enumerate() {
+            self.host_p[col] = self.p[vm.host * self.cols + col];
+        }
+    }
+
+    /// Row-chunked parallel fill. Entries depend only on the immutable
+    /// plan and each thread writes a disjoint row range, so the result is
+    /// bit-identical to the sequential loop regardless of thread count or
+    /// interleaving.
+    fn fill_parallel(&mut self, plan: &PlanState, ctx: &EvalContext<'_>) {
+        let ProbabilityMatrix {
             rows,
             cols,
-            p: vec![0.0; rows * cols],
-        };
-        for row in 0..rows {
-            m.recompute_row(plan, ctx, row);
-        }
-        m
+            p,
+            class_table,
+            vir_cache,
+            kernel,
+            ..
+        } = self;
+        let (rows, cols, kernel) = (*rows, *cols, *kernel);
+        let table = &*class_table;
+        let vir_cache = &*vir_cache;
+        // At least 2 chunks even on a single-core host, so the chunked
+        // path (and its determinism) is always exercised when enabled.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(2, rows);
+        let chunk_rows = rows.div_ceil(threads);
+        crossbeam::scope(|s| {
+            for (i, chunk) in p.chunks_mut(chunk_rows * cols).enumerate() {
+                let first_row = i * chunk_rows;
+                s.spawn(move |_| {
+                    for (j, out) in chunk.chunks_mut(cols).enumerate() {
+                        fill_row(out, plan, ctx, first_row + j, table, vir_cache, kernel);
+                    }
+                });
+            }
+        })
+        .expect("matrix build worker panicked");
+    }
+
+    /// The kernel this matrix evaluates entries with.
+    pub fn kernel(&self) -> MatrixKernel {
+        self.kernel
+    }
+
+    /// Switches the evaluation kernel. Takes effect from the next
+    /// [`rebuild`](Self::rebuild) — callers must rebuild before the next
+    /// targeted recompute so entries never mix kernels (they are
+    /// bit-identical anyway; this keeps the invariant simple).
+    pub fn set_kernel(&mut self, kernel: MatrixKernel) {
+        self.kernel = kernel;
     }
 
     /// Number of PM rows.
@@ -56,26 +248,84 @@ impl ProbabilityMatrix {
         self.p[row * self.cols + col]
     }
 
-    /// Recomputes every entry of PM row `row` against the current plan.
+    /// Recomputes every entry of PM row `row` against the current plan,
+    /// refreshing the host-probability cache of columns hosted there.
     pub fn recompute_row(&mut self, plan: &PlanState, ctx: &EvalContext<'_>, row: usize) {
-        let eff_j = plan.eff_of(row);
-        let pm = &plan.pms[row];
+        let ProbabilityMatrix {
+            cols,
+            p,
+            class_table,
+            vir_cache,
+            kernel,
+            ..
+        } = self;
+        let cols = *cols;
+        fill_row(
+            &mut p[row * cols..(row + 1) * cols],
+            plan,
+            ctx,
+            row,
+            class_table,
+            vir_cache,
+            *kernel,
+        );
         for (col, vm) in plan.vms.iter().enumerate() {
-            let hosted = vm.host == row;
-            self.p[row * self.cols + col] =
-                factors::joint(pm, vm, hosted, eff_j, ctx, plan.now);
+            if vm.host == row {
+                self.host_p[col] = self.p[row * cols + col];
+            }
         }
     }
 
     /// Recomputes every entry of VM column `col` against the current plan.
+    /// Also refreshes the column's `p^vir` cache: a planned migration
+    /// deducts its overhead from the VM's remaining time, and this is the
+    /// targeted update Algorithm 1 issues for the moved VM.
     pub fn recompute_col(&mut self, plan: &PlanState, ctx: &EvalContext<'_>, col: usize) {
+        let ProbabilityMatrix {
+            rows,
+            cols,
+            p,
+            host_p,
+            class_table,
+            vir_cache,
+            kernel,
+        } = self;
+        let (rows, cols, kernel) = (*rows, *cols, *kernel);
         let vm = &plan.vms[col];
-        for row in 0..self.rows {
-            let hosted = vm.host == row;
-            let eff_j = plan.eff_of(row);
-            self.p[row * self.cols + col] =
-                factors::joint(&plan.pms[row], vm, hosted, eff_j, ctx, plan.now);
+        if kernel == MatrixKernel::Fast {
+            for class in 0..class_table.class_count() {
+                if let Some(entry) = class_table.entry(class) {
+                    vir_cache[class * cols + col] =
+                        class_table::class_vir(entry, vm.remaining_secs, ctx.cfg.overhead_mode);
+                }
+            }
         }
+        for row in 0..rows {
+            let hosted = vm.host == row;
+            let class = match kernel {
+                MatrixKernel::Fast => class_table.class_of_row(row),
+                MatrixKernel::Reference => None,
+            };
+            p[row * cols + col] = match class {
+                Some(class) => {
+                    let entry = class_table
+                        .entry(class)
+                        .expect("eligible row has a class entry");
+                    let vir = vir_cache[class * cols + col];
+                    class_table::joint_with_class(
+                        &plan.pms[row],
+                        vm,
+                        hosted,
+                        entry,
+                        vir,
+                        ctx,
+                        plan.now,
+                    )
+                }
+                None => factors::joint(&plan.pms[row], vm, hosted, plan.eff_of(row), ctx, plan.now),
+            };
+        }
+        host_p[col] = p[vm.host * cols + col];
     }
 
     /// The normalized entry `d_ij = p_ij / p_(current host)` for column
@@ -84,8 +334,12 @@ impl ProbabilityMatrix {
     /// normalizes to `+∞` so the VM escapes the dead host first
     /// (DESIGN.md I6).
     pub fn normalized(&self, plan: &PlanState, row: usize, col: usize) -> f64 {
-        let host_row = plan.vms[col].host;
-        let p_cur = self.get(host_row, col);
+        debug_assert_eq!(
+            self.host_p[col].to_bits(),
+            self.get(plan.vms[col].host, col).to_bits(),
+            "stale host-probability cache for column {col}"
+        );
+        let p_cur = self.host_p[col];
         let p = self.get(row, col);
         if p_cur > 0.0 {
             p / p_cur
@@ -130,13 +384,50 @@ mod tests {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
         // Two VMs on pm0 (fast), one on pm2 (slow).
-        install(&mut dc, &mut vms, spec(1, 512, 50_000), PmId(0), SimTime::ZERO);
-        install(&mut dc, &mut vms, spec(2, 512, 50_000), PmId(0), SimTime::ZERO);
-        install(&mut dc, &mut vms, spec(3, 512, 50_000), PmId(2), SimTime::ZERO);
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 50_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
+        install(
+            &mut dc,
+            &mut vms,
+            spec(2, 512, 50_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
+        install(
+            &mut dc,
+            &mut vms,
+            spec(3, 512, 50_000),
+            PmId(2),
+            SimTime::ZERO,
+        );
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let cfg = DynamicConfig::default();
         let plan = PlanState::from_view(&view, &cfg.min_vm);
         (plan, cfg)
+    }
+
+    fn assert_bit_identical(a: &ProbabilityMatrix, b: &ProbabilityMatrix) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for row in 0..a.rows() {
+            for col in 0..a.cols() {
+                assert_eq!(
+                    a.get(row, col).to_bits(),
+                    b.get(row, col).to_bits(),
+                    "entry ({row},{col}): {} vs {}",
+                    a.get(row, col),
+                    b.get(row, col)
+                );
+            }
+        }
     }
 
     #[test]
@@ -156,7 +447,13 @@ mod tests {
             // p_res = p_vir = 1 on the host row, so p = rel · eff-level term.
             let pm = &plan.pms[vm.host];
             let expected = pm.reliability
-                * crate::factors::eff::p_eff(pm, &vm.resources, true, plan.eff_of(vm.host), &cfg.min_vm);
+                * crate::factors::eff::p_eff(
+                    pm,
+                    &vm.resources,
+                    true,
+                    plan.eff_of(vm.host),
+                    &cfg.min_vm,
+                );
             assert!((p - expected).abs() < 1e-12);
             assert!(p > 0.0);
         }
@@ -177,7 +474,11 @@ mod tests {
         let m = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
         // VM 3 sits alone on slow pm2; moving it to fast pm0 (2 VMs, more
         // efficient class) must look like an improvement.
-        let col = plan.vms.iter().position(|v| plan.pms[v.host].id == PmId(2)).unwrap();
+        let col = plan
+            .vms
+            .iter()
+            .position(|v| plan.pms[v.host].id == PmId(2))
+            .unwrap();
         let (best_row, d) = m.best_move_for(&plan, col).unwrap();
         assert_eq!(plan.pms[best_row].id, PmId(0));
         assert!(d > 1.0, "normalized improvement {d}");
@@ -207,20 +508,108 @@ mod tests {
     }
 
     #[test]
+    fn fast_kernel_is_bit_identical_to_reference() {
+        let (mut plan, cfg) = build_fixture();
+        let ctx = EvalContext::new(&cfg);
+        let mut fast = ProbabilityMatrix::build(&plan, &ctx);
+        let mut reference =
+            ProbabilityMatrix::build_with_kernel(&plan, &ctx, MatrixKernel::Reference);
+        assert_eq!(fast.kernel(), MatrixKernel::Fast);
+        assert_eq!(reference.kernel(), MatrixKernel::Reference);
+        assert_bit_identical(&fast, &reference);
+        // And they stay identical through targeted recomputation after a
+        // migration mutates the plan.
+        let to = plan.pms.iter().position(|p| p.id == PmId(1)).unwrap();
+        let (from, to) = plan.apply_migration(0, to);
+        for m in [&mut fast, &mut reference] {
+            m.recompute_row(&plan, &ctx, from);
+            m.recompute_row(&plan, &ctx, to);
+            m.recompute_col(&plan, &ctx, 0);
+        }
+        assert_bit_identical(&fast, &reference);
+        // Normalized views agree bit-for-bit too (shared host_p cache).
+        for col in 0..fast.cols() {
+            assert_eq!(
+                fast.best_move_for(&plan, col)
+                    .map(|(r, d)| (r, d.to_bits())),
+                reference
+                    .best_move_for(&plan, col)
+                    .map(|(r, d)| (r, d.to_bits()))
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let (plan, mut cfg) = build_fixture();
+        // Sequential: cutoff above the fleet size.
+        cfg.par_rows_cutoff = usize::MAX;
+        let seq = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+        // Parallel: cutoff 1 forces the chunked path even on this 4-row
+        // fixture (at least 2 chunks, since threads are clamped to >= 2).
+        cfg.par_rows_cutoff = 1;
+        let par = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+        assert_bit_identical(&seq, &par);
+        // Same with the reference kernel.
+        let par_ref = ProbabilityMatrix::build_with_kernel(
+            &plan,
+            &EvalContext::new(&cfg),
+            MatrixKernel::Reference,
+        );
+        assert_bit_identical(&seq, &par_ref);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_build() {
+        let (mut plan, cfg) = build_fixture();
+        let ctx = EvalContext::new(&cfg);
+        let mut m = ProbabilityMatrix::build(&plan, &ctx);
+        // Mutate the plan (a migration plus a VM removal → new dimensions)
+        // and rebuild in place; it must match a from-scratch build bit-for-bit.
+        let to = plan.pms.iter().position(|p| p.id == PmId(1)).unwrap();
+        plan.apply_migration(0, to);
+        plan.vms.pop();
+        m.rebuild(&plan, &ctx);
+        let fresh = ProbabilityMatrix::build(&plan, &ctx);
+        assert_bit_identical(&m, &fresh);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
     fn full_pm_rows_are_zero_for_foreign_vms() {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
         // Fill pm1 with 8 one-core VMs.
         for i in 0..8 {
-            install(&mut dc, &mut vms, spec(10 + i, 512, 50_000), PmId(1), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(10 + i, 512, 50_000),
+                PmId(1),
+                SimTime::ZERO,
+            );
         }
-        install(&mut dc, &mut vms, spec(1, 512, 50_000), PmId(0), SimTime::ZERO);
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 50_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let cfg = DynamicConfig::default();
         let plan = PlanState::from_view(&view, &cfg.min_vm);
         let m = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
         let row1 = plan.pms.iter().position(|p| p.id == PmId(1)).unwrap();
-        let col = plan.vms.iter().position(|v| v.id == dvmp_cluster::vm::VmId(1)).unwrap();
+        let col = plan
+            .vms
+            .iter()
+            .position(|v| v.id == dvmp_cluster::vm::VmId(1))
+            .unwrap();
         assert_eq!(m.get(row1, col), 0.0, "full PM cannot accept VM 1");
     }
 
@@ -250,8 +639,18 @@ mod tests {
             .initially_on(true)
             .build();
         let mut vms = BTreeMap::new();
-        install(&mut dc, &mut vms, spec(1, 512, 50_000), PmId(0), SimTime::ZERO);
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 50_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let cfg = DynamicConfig::default();
         let plan = PlanState::from_view(&view, &cfg.min_vm);
         let m = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));

@@ -61,6 +61,26 @@ pub struct PlanState {
     /// The instant the plan was taken (extension factors may be
     /// time-varying, e.g. electricity prices).
     pub now: dvmp_simcore::SimTime,
+    /// Scratch mapping `PmId.0 → row` ([`NO_ROW`] = not a row). PM ids are
+    /// dense (assigned sequentially by the fleet builder), so a flat vector
+    /// replaces the hash map a fresh build would need; kept in the struct
+    /// so [`PlanState::refill`] reuses the allocation across passes.
+    row_lookup: Vec<u32>,
+}
+
+/// Sentinel in [`PlanState::row_lookup`] for PMs that are not plan rows.
+const NO_ROW: u32 = u32::MAX;
+
+impl Default for PlanState {
+    fn default() -> Self {
+        PlanState {
+            pms: Vec::new(),
+            vms: Vec::new(),
+            effs: Vec::new(),
+            now: dvmp_simcore::SimTime::ZERO,
+            row_lookup: Vec::new(),
+        }
+    }
 }
 
 impl PlanState {
@@ -72,13 +92,29 @@ impl PlanState {
     /// their reservations are still counted in `used`, because the view's
     /// occupancy already includes them.
     pub fn from_view(view: &PlacementView<'_>, min_vm: &ResourceVector) -> Self {
-        let effs = relative_efficiencies(view.dc.classes(), min_vm);
-        let mut pms = Vec::new();
-        let mut row_of = std::collections::HashMap::new();
+        let mut plan = PlanState::default();
+        plan.refill(view, min_vm);
+        plan
+    }
+
+    /// [`PlanState::from_view`] into an existing plan, reusing its
+    /// allocations. The planner calls this once per pass on a plan arena
+    /// it owns, so steady-state planning allocates nothing here.
+    pub fn refill(&mut self, view: &PlacementView<'_>, min_vm: &ResourceVector) {
+        self.effs.clear();
+        self.effs
+            .extend(relative_efficiencies(view.dc.classes(), min_vm));
+        self.pms.clear();
+        self.vms.clear();
+        self.row_lookup.clear();
         for pm in view.dc.pms() {
             if pm.is_available() {
-                row_of.insert(pm.id, pms.len());
-                pms.push(PlanPm {
+                let idx = pm.id.0 as usize;
+                if self.row_lookup.len() <= idx {
+                    self.row_lookup.resize(idx + 1, NO_ROW);
+                }
+                self.row_lookup[idx] = self.pms.len() as u32;
+                self.pms.push(PlanPm {
                     id: pm.id,
                     class_idx: pm.class_idx,
                     capacity: *pm.capacity(),
@@ -89,26 +125,25 @@ impl PlanState {
                 });
             }
         }
-        let mut vms = Vec::new();
         for (vm, host) in view.migratable_vms() {
             // A running VM's host is always available; skip defensively if
             // the fleet is in a weird transitional state.
-            if let Some(&row) = row_of.get(&host) {
-                vms.push(PlanVm {
+            let row = self
+                .row_lookup
+                .get(host.0 as usize)
+                .copied()
+                .unwrap_or(NO_ROW);
+            if row != NO_ROW {
+                self.vms.push(PlanVm {
                     id: vm.spec.id,
                     resources: vm.spec.resources,
                     remaining_secs: vm.estimated_remaining(view.now).as_secs(),
-                    host: row,
+                    host: row as usize,
                     host_pm: host,
                 });
             }
         }
-        PlanState {
-            pms,
-            vms,
-            effs,
-            now: view.now,
-        }
+        self.now = view.now;
     }
 
     /// Applies a planned migration of VM (column) `vm_idx` to PM (row)
@@ -158,12 +193,31 @@ mod tests {
     fn from_view_captures_available_pms_and_running_vms() {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
-        install(&mut dc, &mut vms, spec(1, 512, 10_000), dvmp_cluster::pm::PmId(0), SimTime::ZERO);
-        install(&mut dc, &mut vms, spec(2, 512, 10_000), dvmp_cluster::pm::PmId(2), SimTime::ZERO);
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 10_000),
+            dvmp_cluster::pm::PmId(0),
+            SimTime::ZERO,
+        );
+        install(
+            &mut dc,
+            &mut vms,
+            spec(2, 512, 10_000),
+            dvmp_cluster::pm::PmId(2),
+            SimTime::ZERO,
+        );
         dc.pm_mut(dvmp_cluster::pm::PmId(3)).state = PmState::Off;
 
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::from_secs(1_000) };
-        let plan = PlanState::from_view(&view, &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256));
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::from_secs(1_000),
+        };
+        let plan = PlanState::from_view(
+            &view,
+            &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256),
+        );
 
         assert_eq!(plan.pms.len(), 3, "pm3 is off");
         assert_eq!(plan.vms.len(), 2);
@@ -182,16 +236,33 @@ mod tests {
     fn creating_and_migrating_vms_occupy_but_do_not_move() {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
-        install(&mut dc, &mut vms, spec(1, 512, 10_000), dvmp_cluster::pm::PmId(0), SimTime::ZERO);
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 10_000),
+            dvmp_cluster::pm::PmId(0),
+            SimTime::ZERO,
+        );
         vms.get_mut(&dvmp_cluster::vm::VmId(1)).unwrap().state = VmState::Creating {
             pm: dvmp_cluster::pm::PmId(0),
             ready_at: SimTime::from_secs(30),
         };
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
-        let plan = PlanState::from_view(&view, &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256));
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
+        let plan = PlanState::from_view(
+            &view,
+            &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256),
+        );
         assert!(plan.vms.is_empty(), "creating VM is not migratable");
         // But its reservation still shows in the plan's used vector.
-        let row0 = plan.pms.iter().position(|p| p.id == dvmp_cluster::pm::PmId(0)).unwrap();
+        let row0 = plan
+            .pms
+            .iter()
+            .position(|p| p.id == dvmp_cluster::pm::PmId(0))
+            .unwrap();
         assert_eq!(plan.pms[row0].used.get(0), 1);
     }
 
@@ -199,9 +270,22 @@ mod tests {
     fn apply_migration_moves_resources_and_charges_overhead() {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
-        install(&mut dc, &mut vms, spec(1, 512, 10_000), dvmp_cluster::pm::PmId(0), SimTime::ZERO);
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
-        let mut plan = PlanState::from_view(&view, &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256));
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 10_000),
+            dvmp_cluster::pm::PmId(0),
+            SimTime::ZERO,
+        );
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
+        let mut plan = PlanState::from_view(
+            &view,
+            &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256),
+        );
 
         let from_row = plan.vms[0].host;
         let to_row = (from_row + 1) % plan.pms.len();
@@ -215,19 +299,109 @@ mod tests {
     }
 
     #[test]
+    fn refill_reuses_arena_and_matches_fresh_build() {
+        // First pass: a busy view.
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 10_000),
+            dvmp_cluster::pm::PmId(0),
+            SimTime::ZERO,
+        );
+        install(
+            &mut dc,
+            &mut vms,
+            spec(2, 512, 20_000),
+            dvmp_cluster::pm::PmId(2),
+            SimTime::ZERO,
+        );
+        let min_vm = dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256);
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
+        let mut arena = PlanState::from_view(&view, &min_vm);
+
+        // Second pass: a different view (one PM off, one VM gone) must
+        // fully replace the first — no stale rows, columns or lookups.
+        let mut dc2 = small_fleet();
+        let mut vms2 = BTreeMap::new();
+        install(
+            &mut dc2,
+            &mut vms2,
+            spec(1, 512, 10_000),
+            dvmp_cluster::pm::PmId(2),
+            SimTime::ZERO,
+        );
+        dc2.pm_mut(dvmp_cluster::pm::PmId(0)).state = PmState::Off;
+        let view2 = PlacementView {
+            dc: &dc2,
+            vms: &vms2,
+            now: SimTime::from_secs(500),
+        };
+        arena.refill(&view2, &min_vm);
+        let fresh = PlanState::from_view(&view2, &min_vm);
+
+        assert_eq!(arena.pms.len(), fresh.pms.len());
+        assert_eq!(arena.vms.len(), fresh.vms.len());
+        assert_eq!(arena.now, fresh.now);
+        assert_eq!(arena.effs, fresh.effs);
+        for (a, f) in arena.pms.iter().zip(&fresh.pms) {
+            assert_eq!(a.id, f.id);
+            assert_eq!(a.used, f.used);
+            assert_eq!(a.capacity, f.capacity);
+        }
+        for (a, f) in arena.vms.iter().zip(&fresh.vms) {
+            assert_eq!(a.id, f.id);
+            assert_eq!(a.host, f.host);
+            assert_eq!(a.remaining_secs, f.remaining_secs);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn apply_migration_rejects_overfull_target() {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
         // Fill pm1 (fast, 8 cores) completely.
         for i in 0..8 {
-            install(&mut dc, &mut vms, spec(10 + i, 512, 10_000), dvmp_cluster::pm::PmId(1), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(10 + i, 512, 10_000),
+                dvmp_cluster::pm::PmId(1),
+                SimTime::ZERO,
+            );
         }
-        install(&mut dc, &mut vms, spec(1, 512, 10_000), dvmp_cluster::pm::PmId(0), SimTime::ZERO);
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
-        let mut plan = PlanState::from_view(&view, &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256));
-        let vm_idx = plan.vms.iter().position(|v| v.id == dvmp_cluster::vm::VmId(1)).unwrap();
-        let full_row = plan.pms.iter().position(|p| p.id == dvmp_cluster::pm::PmId(1)).unwrap();
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 10_000),
+            dvmp_cluster::pm::PmId(0),
+            SimTime::ZERO,
+        );
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
+        let mut plan = PlanState::from_view(
+            &view,
+            &dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256),
+        );
+        let vm_idx = plan
+            .vms
+            .iter()
+            .position(|v| v.id == dvmp_cluster::vm::VmId(1))
+            .unwrap();
+        let full_row = plan
+            .pms
+            .iter()
+            .position(|p| p.id == dvmp_cluster::pm::PmId(1))
+            .unwrap();
         plan.apply_migration(vm_idx, full_row);
     }
 }

@@ -128,8 +128,20 @@ mod tests {
     fn migratable_vms_filters_states() {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
-        install(&mut dc, &mut vms, spec(1, 512, 1_000), PmId(0), SimTime::ZERO);
-        install(&mut dc, &mut vms, spec(2, 512, 1_000), PmId(1), SimTime::ZERO);
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 1_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
+        install(
+            &mut dc,
+            &mut vms,
+            spec(2, 512, 1_000),
+            PmId(1),
+            SimTime::ZERO,
+        );
         // VM 2 is mid-migration: not migratable.
         vms.get_mut(&VmId(2)).unwrap().state = VmState::Migrating {
             from: PmId(1),

@@ -69,7 +69,11 @@ mod tests {
                 );
             }
         }
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut rf = RandomFit::new(1);
         for _ in 0..20 {
             assert_eq!(rf.place(&view, &spec(999, 256, 100)), Some(PmId(3)));
@@ -80,7 +84,11 @@ mod tests {
     fn deterministic_per_seed() {
         let dc = small_fleet();
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut a = RandomFit::new(7);
         let mut b = RandomFit::new(7);
         for i in 0..32 {
@@ -95,7 +103,11 @@ mod tests {
     fn covers_multiple_pms_over_time() {
         let dc = small_fleet();
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut rf = RandomFit::new(3);
         let mut seen = std::collections::HashSet::new();
         for i in 0..64 {
@@ -111,7 +123,11 @@ mod tests {
             dc.pm_mut(PmId(id)).state = dvmp_cluster::pm::PmState::Off;
         }
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut rf = RandomFit::new(1);
         assert_eq!(rf.place(&view, &spec(1, 512, 100)), None);
     }

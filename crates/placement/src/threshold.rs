@@ -104,10 +104,8 @@ impl PlacementPolicy for ThresholdPolicy {
 
     fn plan_migrations(&mut self, view: &PlacementView<'_>) -> Vec<Migration> {
         // Snapshot per-PM prospective occupancy so the plan self-accounts.
-        let mut used: Vec<ResourceVector> =
-            view.dc.pms().iter().map(|pm| *pm.used()).collect();
-        let caps: Vec<ResourceVector> =
-            view.dc.pms().iter().map(|pm| *pm.capacity()).collect();
+        let mut used: Vec<ResourceVector> = view.dc.pms().iter().map(|pm| *pm.used()).collect();
+        let caps: Vec<ResourceVector> = view.dc.pms().iter().map(|pm| *pm.capacity()).collect();
         let available: Vec<bool> = view.dc.pms().iter().map(|pm| pm.is_available()).collect();
 
         // Donor PMs: below the low watermark (but not idle — nothing to
@@ -145,8 +143,7 @@ impl PlacementPolicy for ThresholdPolicy {
                         continue;
                     }
                     let after = used[t].add(&res).joint_utilization(&caps[t]);
-                    if after <= self.cfg.high_watermark
-                        && target.map_or(true, |(_, bu)| after > bu)
+                    if after <= self.cfg.high_watermark && target.map_or(true, |(_, bu)| after > bu)
                     {
                         target = Some((t, after));
                     }
@@ -194,10 +191,22 @@ mod tests {
         let mut vms = BTreeMap::new();
         // pm0 (fast): 4 VMs → u = (4/8)(2048/8192) = 0.125 > low.
         for i in 0..4 {
-            install(&mut dc, &mut vms, spec(i + 1, 512, 100_000), PmId(0), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 512, 100_000),
+                PmId(0),
+                SimTime::ZERO,
+            );
         }
         // pm2 (slow): 1 VM → u = (1/4)(512/4096) = 0.031 < 0.10 → donor.
-        install(&mut dc, &mut vms, spec(10, 512, 100_000), PmId(2), SimTime::ZERO);
+        install(
+            &mut dc,
+            &mut vms,
+            spec(10, 512, 100_000),
+            PmId(2),
+            SimTime::ZERO,
+        );
         let mut p = ThresholdPolicy::default();
         let moves = p.plan_migrations(&view_of(&dc, &vms));
         assert_eq!(moves.len(), 1);
@@ -211,7 +220,13 @@ mod tests {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
         for i in 0..6 {
-            install(&mut dc, &mut vms, spec(i + 1, 1_024, 100_000), PmId(0), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 1_024, 100_000),
+                PmId(0),
+                SimTime::ZERO,
+            );
         }
         // u(pm0) = (6/8)(6144/8192) = 0.5625 — well above the low mark.
         let mut p = ThresholdPolicy::default();
@@ -224,11 +239,23 @@ mod tests {
         let mut vms = BTreeMap::new();
         // pm2 (slow, 4 cores): 3 big-memory VMs → u = (3/4)(3072/4096) = 0.5625.
         for i in 0..3 {
-            install(&mut dc, &mut vms, spec(i + 1, 1_024, 100_000), PmId(2), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 1_024, 100_000),
+                PmId(2),
+                SimTime::ZERO,
+            );
         }
         // Donor on pm3 with a big VM that would push pm2 past 0.85:
         // after = (4/4)(4096/4096) = 1.0.
-        install(&mut dc, &mut vms, spec(10, 1_024, 100_000), PmId(3), SimTime::ZERO);
+        install(
+            &mut dc,
+            &mut vms,
+            spec(10, 1_024, 100_000),
+            PmId(3),
+            SimTime::ZERO,
+        );
         let mut cfg = ThresholdConfig::default();
         cfg.low_watermark = 0.30; // make pm3 (u = 0.0625) a donor
         let mut p = ThresholdPolicy::new(cfg);
@@ -244,8 +271,20 @@ mod tests {
         let mut vms = BTreeMap::new();
         // Two donor PMs with 2 VMs each.
         for i in 0..2 {
-            install(&mut dc, &mut vms, spec(i + 1, 256, 100_000), PmId(2), SimTime::ZERO);
-            install(&mut dc, &mut vms, spec(i + 10, 256, 100_000), PmId(3), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 256, 100_000),
+                PmId(2),
+                SimTime::ZERO,
+            );
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 10, 256, 100_000),
+                PmId(3),
+                SimTime::ZERO,
+            );
         }
         let mut cfg = ThresholdConfig::default();
         cfg.max_moves = 3;
@@ -260,11 +299,20 @@ mod tests {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
         for i in 0..3 {
-            install(&mut dc, &mut vms, spec(i + 1, 512, 1_000), PmId(2), SimTime::ZERO);
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 512, 1_000),
+                PmId(2),
+                SimTime::ZERO,
+            );
         }
         let mut p = ThresholdPolicy::default();
         // pm2 after: (4/4)(2048/4096) = 0.5 ≤ 0.85 → best fit wins.
-        assert_eq!(p.place(&view_of(&dc, &vms), &spec(99, 512, 1_000)), Some(PmId(2)));
+        assert_eq!(
+            p.place(&view_of(&dc, &vms), &spec(99, 512, 1_000)),
+            Some(PmId(2))
+        );
     }
 
     #[test]
@@ -273,13 +321,21 @@ mod tests {
         let mut vms = BTreeMap::new();
         // Fill every PM's memory to ~94%: any addition exceeds 0.85 joint?
         // Simpler: set high watermark very low so everything exceeds it.
-        install(&mut dc, &mut vms, spec(1, 512, 1_000), PmId(0), SimTime::ZERO);
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 1_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
         let mut cfg = ThresholdConfig::default();
         cfg.high_watermark = 1e-6;
         cfg.low_watermark = 0.0;
         let mut p = ThresholdPolicy::new(cfg);
         // Still places somewhere rather than rejecting.
-        assert!(p.place(&view_of(&dc, &vms), &spec(99, 512, 1_000)).is_some());
+        assert!(p
+            .place(&view_of(&dc, &vms), &spec(99, 512, 1_000))
+            .is_some());
     }
 
     #[test]

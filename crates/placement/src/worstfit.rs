@@ -46,10 +46,32 @@ mod tests {
     fn spreads_to_emptiest_pm() {
         let mut dc = small_fleet();
         let mut vms = BTreeMap::new();
-        install(&mut dc, &mut vms, spec(1, 256, 1_000), PmId(0), SimTime::ZERO);
-        install(&mut dc, &mut vms, spec(2, 256, 1_000), PmId(2), SimTime::ZERO);
-        install(&mut dc, &mut vms, spec(3, 256, 1_000), PmId(3), SimTime::ZERO);
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 256, 1_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
+        install(
+            &mut dc,
+            &mut vms,
+            spec(2, 256, 1_000),
+            PmId(2),
+            SimTime::ZERO,
+        );
+        install(
+            &mut dc,
+            &mut vms,
+            spec(3, 256, 1_000),
+            PmId(3),
+            SimTime::ZERO,
+        );
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut wf = WorstFit;
         // pm1 is the only empty PM; a fast PM also dilutes utilization most.
         assert_eq!(wf.place(&view, &spec(99, 256, 100)), Some(PmId(1)));
@@ -59,7 +81,11 @@ mod tests {
     fn opposite_of_bestfit_on_empty_fleet() {
         let dc = small_fleet();
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut wf = WorstFit;
         let mut bf = crate::bestfit::BestFit;
         let w = wf.place(&view, &spec(1, 512, 100)).unwrap();
@@ -71,7 +97,11 @@ mod tests {
     fn never_migrates() {
         let dc = small_fleet();
         let vms = BTreeMap::new();
-        let view = PlacementView { dc: &dc, vms: &vms, now: SimTime::ZERO };
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
         let mut wf = WorstFit;
         assert!(wf.plan_migrations(&view).is_empty());
         assert!(!wf.is_dynamic());

@@ -43,7 +43,10 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 /// this workspace uses (hourly arrival intensities); switches to a
 /// normal approximation above that to avoid O(λ) time and underflow.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and >= 0");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and >= 0"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -82,12 +85,18 @@ impl<T: Clone> WeightedChoice<T> {
     /// Panics if `entries` is empty, any weight is negative/non-finite, or
     /// all weights are zero.
     pub fn new(entries: &[(T, f64)]) -> Self {
-        assert!(!entries.is_empty(), "WeightedChoice needs at least one entry");
+        assert!(
+            !entries.is_empty(),
+            "WeightedChoice needs at least one entry"
+        );
         let mut items = Vec::with_capacity(entries.len());
         let mut cumulative = Vec::with_capacity(entries.len());
         let mut acc = 0.0;
         for (item, w) in entries {
-            assert!(w.is_finite() && *w >= 0.0, "weights must be finite and >= 0");
+            assert!(
+                w.is_finite() && *w >= 0.0,
+                "weights must be finite and >= 0"
+            );
             acc += w;
             items.push(item.clone());
             cumulative.push(acc);
@@ -177,11 +186,7 @@ mod tests {
         let n = 20_000;
         let xs: Vec<u64> = (0..n).map(|_| poisson(&mut r, 3.5)).collect();
         let mean = xs.iter().sum::<u64>() as f64 / n as f64;
-        let var = xs
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
         assert!((var - 3.5).abs() < 0.25, "var {var}");
     }
@@ -196,7 +201,10 @@ mod tests {
     fn poisson_large_lambda_uses_normal_approx() {
         let mut r = rng();
         let n = 5_000;
-        let mean = (0..n).map(|_| poisson(&mut r, 10_000.0) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| poisson(&mut r, 10_000.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 10_000.0).abs() < 20.0, "mean {mean}");
     }
 

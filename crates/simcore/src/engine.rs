@@ -50,7 +50,11 @@ impl<E> Scheduler<E> {
     /// logic error; the event is clamped to `now` to keep the clock
     /// monotone, which the engine asserts in debug builds.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at.max(self.now), event)
     }
 
@@ -133,7 +137,8 @@ impl<W: World> Engine<W> {
             debug_assert!(entry.time >= self.sched.now, "event queue went backwards");
             self.sched.now = entry.time;
             self.processed += 1;
-            self.world.handle(entry.time, entry.payload, &mut self.sched);
+            self.world
+                .handle(entry.time, entry.payload, &mut self.sched);
         }
         self.sched.now
     }
@@ -180,9 +185,16 @@ mod tests {
             remaining: 3,
             period: SimDuration::from_secs(10),
         });
-        engine.scheduler_mut().schedule_at(SimTime::from_secs(5), ());
+        engine
+            .scheduler_mut()
+            .schedule_at(SimTime::from_secs(5), ());
         engine.run_to_completion();
-        let times: Vec<u64> = engine.world().fired_at.iter().map(|t| t.as_secs()).collect();
+        let times: Vec<u64> = engine
+            .world()
+            .fired_at
+            .iter()
+            .map(|t| t.as_secs())
+            .collect();
         assert_eq!(times, vec![5, 15, 25, 35]);
         assert_eq!(engine.events_processed(), 4);
     }
@@ -209,7 +221,9 @@ mod tests {
             remaining: 0,
             period: SimDuration::SECOND,
         });
-        engine.scheduler_mut().schedule_at(SimTime::from_secs(50), ());
+        engine
+            .scheduler_mut()
+            .schedule_at(SimTime::from_secs(50), ());
         engine.run_until(SimTime::from_secs(50));
         assert_eq!(engine.world().fired_at.len(), 1);
     }

@@ -32,6 +32,6 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Engine, Scheduler, World};
-pub use event::{EventId, EventEntry};
+pub use event::{EventEntry, EventId};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};

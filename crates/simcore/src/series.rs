@@ -246,8 +246,14 @@ mod tests {
             25.0
         );
         // Degenerate windows
-        assert_eq!(s.integral(SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
-        assert_eq!(s.integral(SimTime::from_secs(9), SimTime::from_secs(3)), 0.0);
+        assert_eq!(
+            s.integral(SimTime::from_secs(5), SimTime::from_secs(5)),
+            0.0
+        );
+        assert_eq!(
+            s.integral(SimTime::from_secs(9), SimTime::from_secs(3)),
+            0.0
+        );
     }
 
     #[test]
@@ -332,7 +338,10 @@ mod tests {
         assert_eq!(c.total(), 5);
         let counts = c.bucket_counts(SimDuration::HOUR, SimTime::from_hours(3));
         assert_eq!(counts, vec![3, 1, 1]);
-        assert_eq!(c.count_in(SimTime::from_secs(100), SimTime::from_secs(3_600)), 2);
+        assert_eq!(
+            c.count_in(SimTime::from_secs(100), SimTime::from_secs(3_600)),
+            2
+        );
     }
 
     #[test]

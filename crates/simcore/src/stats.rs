@@ -233,7 +233,8 @@ impl P2Quantile {
             self.heights[self.n as usize] = x;
             self.n += 1;
             if self.n == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             }
             return;
         }

@@ -1,0 +1,242 @@
+//! Minimal in-tree stand-in for `criterion`.
+//!
+//! The build environment is fully offline, so the workspace vendors a
+//! small wall-clock harness exposing the criterion API surface its
+//! benches use: `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each sample times a batch of iterations sized so a
+//! batch takes ≳ `MIN_BATCH_NS`; the reported figure is the median
+//! per-iteration time across samples (robust to scheduler noise on the
+//! small CI boxes this runs on).
+
+#![allow(clippy::all)]
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+const MIN_BATCH_NS: u128 = 20_000_000; // 20 ms per timed batch
+const DEFAULT_SAMPLES: usize = 12;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times it.
+pub struct Bencher {
+    /// Median ns/iteration, filled in by [`Bencher::iter`].
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fill one batch?
+        let mut iters_per_batch: u64 = 1;
+        let mut per_iter_ns;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            per_iter_ns = elapsed / iters_per_batch as u128;
+            if elapsed >= MIN_BATCH_NS || iters_per_batch >= 1 << 30 {
+                break;
+            }
+            // Grow geometrically toward the target batch duration.
+            let factor = (MIN_BATCH_NS / elapsed.max(1)).clamp(2, 100) as u64;
+            iters_per_batch = iters_per_batch.saturating_mul(factor);
+        }
+        // Slow routines (whole-simulation benches) get fewer samples so a
+        // bench suite stays minutes, not hours.
+        let samples_wanted = if per_iter_ns > 500_000_000 {
+            3
+        } else if per_iter_ns > 50_000_000 {
+            6
+        } else {
+            DEFAULT_SAMPLES
+        };
+        let mut samples = Vec::with_capacity(samples_wanted);
+        for _ in 0..samples_wanted {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) -> f64 {
+    let mut b = Bencher {
+        result_ns: f64::NAN,
+    };
+    f(&mut b);
+    println!("bench {label:<46} {:>14.0} ns/iter", b.result_ns);
+    b.result_ns
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sample-count hint; accepted for API compatibility (the vendored
+    /// harness keys effort off wall-clock batches instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Benches `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let ns = run_one(&label, f);
+        self.criterion.results.push((label, ns));
+        self
+    }
+
+    /// Benches `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; results are recorded eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(label, median ns/iter)` for every completed benchmark.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (CLI filtering is not supported).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benches `f` under a bare label.
+    pub fn bench_function<F>(&mut self, label: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let ns = run_one(label, f);
+        self.results.push((label.to_string(), ns));
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Declares a group runner invoking each bench function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn groups_record_labeled_results() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results[0].0, "g/3");
+    }
+}

@@ -1,0 +1,78 @@
+//! Minimal in-tree stand-in for the `crossbeam` scoped-thread API.
+//!
+//! The build environment is fully offline, so the workspace vendors the
+//! small slice of crossbeam it actually uses: [`scope`] with
+//! [`Scope::spawn`], implemented directly on top of `std::thread::scope`
+//! (stable since Rust 1.63). Semantics match the workspace's usage:
+//! spawned closures receive the scope handle, all threads are joined
+//! before `scope` returns, and a child panic propagates out of `scope`
+//! (callers `.unwrap()`/`.expect()` the result either way).
+
+#![allow(clippy::all)]
+
+use std::any::Any;
+
+/// Scoped-thread handle passed to [`scope`] closures and to every spawned
+/// thread (crossbeam's spawn closures take the scope as an argument so
+/// they can spawn nested threads).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to `'scope`; it is joined before the
+    /// enclosing [`scope`] call returns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned. Returns `Ok(result)` when every spawned thread ran to
+/// completion; a panicking child re-raises when the scope unwinds, which
+/// is observationally equivalent for callers that unwrap the result.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Re-export mirroring `crossbeam::thread::scope` (the canonical path in
+/// the real crate; `crossbeam::scope` is its deprecated alias).
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 4];
+        super::scope(|s| {
+            for (slot, &v) in sums.iter_mut().zip(&data) {
+                s.spawn(move |_| *slot = v * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(sums, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,310 @@
+//! Minimal in-tree stand-in for the `rand` 0.8 API subset the workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! extension methods `gen` / `gen_range`.
+//!
+//! The build environment is fully offline, so instead of the real crate
+//! the workspace vendors a deterministic xoshiro256++ generator seeded by
+//! SplitMix64 expansion (the seeding scheme recommended by the xoshiro
+//! authors and used by `rand` itself for small seeds). Streams are
+//! deterministic per seed — the property DESIGN.md §7 relies on — but the
+//! concrete values differ from upstream `StdRng` (ChaCha12); nothing in
+//! the workspace hardcodes upstream values.
+//!
+//! `gen_range` uses the widening-multiply bounded-integer method, which
+//! has negligible bias for the spans used here (≤ 2^32).
+
+#![allow(clippy::all)]
+
+/// Core uniform-bit source, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+
+    /// True when the range contains no values (caller panics).
+    fn is_empty_range(&self) -> bool;
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution for the type.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+#[inline]
+fn f64_from_bits(x: u64) -> f64 {
+    // 53 uniform mantissa bits → [0, 1).
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f64_from_bits(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = ((self.end as i128) - (self.start as i128)) as u128;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                ((self.start as i128) + draw) as $t
+            }
+            #[inline]
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = ((hi as i128) - (lo as i128) + 1) as u128;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                ((lo as i128) + draw) as $t
+            }
+            #[inline]
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let f = f64_from_bits(rng.next_u64());
+        let v = self.start + f * (self.end - self.start);
+        // Guard the half-open contract against rounding at the top end.
+        if v >= self.end {
+            // Largest representable value below `end`.
+            f64::from_bits(self.end.to_bits() - 1).max(self.start)
+        } else {
+            v
+        }
+    }
+    #[inline]
+    fn is_empty_range(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        let f = f64_from_bits(rng.next_u64());
+        lo + f * (hi - lo)
+    }
+    #[inline]
+    fn is_empty_range(&self) -> bool {
+        !(self.start() <= self.end())
+    }
+}
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the type's standard distribution
+    /// (`f64` in `[0, 1)`, full-width integers).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`. Panics on an empty range,
+    /// matching upstream.
+    #[inline]
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        assert!(!range.is_empty_range(), "cannot sample empty range");
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64_from_bits(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed;
+
+    /// Builds a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman &
+    /// Vigna), deterministic per seed, 2^256 − 1 period.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is the one fixed point; nudge it.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let u = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&u));
+            let x = rng.gen_range(-1.5..=1.5);
+            assert!((-1.5..=1.5).contains(&x));
+            let m = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(m > 0.0 && m < 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

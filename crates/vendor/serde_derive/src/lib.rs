@@ -1,0 +1,574 @@
+//! Derive macros for the vendored, `Value`-model `serde` stand-in.
+//!
+//! The build environment is offline, so `syn`/`quote` are unavailable;
+//! this crate parses the derive input by walking `proc_macro` token trees
+//! directly and emits the generated impl as source text. The supported
+//! grammar is exactly what the workspace derives on: non-generic structs
+//! (named, tuple, unit) and enums (unit, tuple, struct variants), with
+//! the attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(deny_unknown_fields)]`, and `#[serde(transparent)]`.
+//! Representations mirror upstream defaults (maps for structs,
+//! transparent newtypes, externally tagged enums).
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone, Debug)]
+enum FieldDefault {
+    /// No default: required unless the type accepts `null` (`Option`).
+    Required,
+    /// `#[serde(default)]` → `Default::default()`.
+    TypeDefault,
+    /// `#[serde(default = "path")]` → `path()`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+    transparent: bool,
+    deny_unknown_fields: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(i)) if i.to_string() == s)
+}
+
+/// Serde attribute entries found while skipping an attribute run.
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    deny_unknown_fields: bool,
+    default: Option<FieldDefault>,
+}
+
+/// Skips `#[...]` attributes starting at `*i`, folding any
+/// `#[serde(...)]` metas into the returned set.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while is_punct(toks.get(*i), '#') {
+        let TokenTree::Group(g) = &toks[*i + 1] else {
+            panic!("expected [...] after #");
+        };
+        collect_serde_metas(g, &mut out);
+        *i += 2;
+    }
+    out
+}
+
+/// If `g` is `[serde(...)]`, records its comma-separated metas.
+fn collect_serde_metas(g: &Group, out: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if !is_ident(toks.first(), "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        let TokenTree::Ident(name) = &inner[j] else {
+            panic!("unsupported serde attribute syntax");
+        };
+        let name = name.to_string();
+        j += 1;
+        let value = if is_punct(inner.get(j), '=') {
+            let TokenTree::Literal(lit) = &inner[j + 1] else {
+                panic!("expected string literal in serde attribute");
+            };
+            j += 2;
+            Some(lit.to_string().trim_matches('"').to_string())
+        } else {
+            None
+        };
+        match (name.as_str(), value) {
+            ("transparent", None) => out.transparent = true,
+            ("deny_unknown_fields", None) => out.deny_unknown_fields = true,
+            ("default", None) => out.default = Some(FieldDefault::TypeDefault),
+            ("default", Some(path)) => out.default = Some(FieldDefault::Path(path)),
+            (other, _) => panic!(
+                "unsupported serde attribute `{other}` (vendored serde supports \
+                 transparent, deny_unknown_fields, default)"
+            ),
+        }
+        if is_punct(inner.get(j), ',') {
+            j += 1;
+        }
+    }
+}
+
+/// Skips `pub`, `pub(...)`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if is_ident(toks.get(*i), "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Advances past one type (or expression), stopping at a top-level comma.
+/// Angle brackets are depth-tracked; `->` is not a closing bracket.
+fn skip_until_top_level_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    let mut prev_dash = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle += 1;
+                }
+                if c == '>' && !prev_dash {
+                    angle -= 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        *i += 1;
+    }
+}
+
+/// Parses named fields from the token stream of a `{...}` group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected field name, found {:?}", toks[i].to_string());
+        };
+        let name = name.to_string();
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_until_top_level_comma(&toks, &mut i);
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default.unwrap_or(FieldDefault::Required),
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant from a `(...)`
+/// group's tokens.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let _ = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        skip_until_top_level_comma(&toks, &mut i);
+        count += 1;
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Parses the variants of an enum from the token stream of its `{...}`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _ = skip_attrs(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected variant name");
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, if any, then the separator.
+        if is_punct(toks.get(i), '=') {
+            i += 1;
+            skip_until_top_level_comma(&toks, &mut i);
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let is_enum = if is_ident(toks.get(i), "struct") {
+        false
+    } else if is_ident(toks.get(i), "enum") {
+        true
+    } else {
+        panic!("serde derives support only structs and enums");
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("vendored serde derives do not support generic types (`{name}`)");
+    }
+    let kind = if is_enum {
+        let Some(TokenTree::Group(g)) = toks.get(i) else {
+            panic!("expected enum body");
+        };
+        ItemKind::Enum(parse_variants(g.stream()))
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => ItemKind::UnitStruct,
+        }
+    };
+    Item {
+        name,
+        kind,
+        transparent: attrs.transparent,
+        deny_unknown_fields: attrs.deny_unknown_fields,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            if item.transparent {
+                assert_eq!(fields.len(), 1, "transparent needs exactly one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut s = String::from("::serde::Value::Map(vec![");
+                for f in fields {
+                    let _ = write!(
+                        s,
+                        "(String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    );
+                }
+                s.push_str("])");
+                s
+            }
+        }
+        ItemKind::TupleStruct(1) => String::from("::serde::Serialize::to_value(&self.0)"),
+        ItemKind::TupleStruct(n) => {
+            let mut s = String::from("::serde::Value::Seq(vec![");
+            for idx in 0..*n {
+                let _ = write!(s, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            s.push_str("])");
+            s
+        }
+        ItemKind::UnitStruct => String::from("::serde::Value::Null"),
+        ItemKind::Enum(variants) => {
+            let mut s = String::from("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            s,
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            s,
+                            "{name}::{vn}(x0) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            s,
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binders.join(","),
+                            items.join(",")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            s,
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             ::serde::Value::Map(vec![{}]))]),",
+                            binders.join(","),
+                            entries.join(",")
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// One `field:` initializer for a named-field aggregate read from `src`.
+fn named_field_init(src: &str, f: &Field) -> String {
+    match &f.default {
+        FieldDefault::Required => {
+            format!("{0}: ::serde::field({src}, \"{0}\")?,", f.name)
+        }
+        FieldDefault::TypeDefault => format!(
+            "{0}: match {src}.get(\"{0}\") {{ \
+             Some(x) => ::serde::Deserialize::from_value(x)?, \
+             None => Default::default() }},",
+            f.name
+        ),
+        FieldDefault::Path(path) => format!(
+            "{0}: match {src}.get(\"{0}\") {{ \
+             Some(x) => ::serde::Deserialize::from_value(x)?, \
+             None => {path}() }},",
+            f.name
+        ),
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            if item.transparent {
+                assert_eq!(fields.len(), 1, "transparent needs exactly one field");
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                    fields[0].name
+                )
+            } else {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "if v.as_map().is_none() {{ return Err(::serde::Error::custom(\
+                     format!(\"expected object for {name}, found {{}}\", v.kind()))); }}"
+                );
+                if item.deny_unknown_fields {
+                    let list: Vec<String> =
+                        fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                    let _ = write!(
+                        s,
+                        "::serde::deny_unknown(v, &[{}], \"{name}\")?;",
+                        list.join(",")
+                    );
+                }
+                let _ = write!(s, "Ok({name} {{");
+                for f in fields {
+                    s.push_str(&named_field_init("v", f));
+                }
+                s.push_str("})");
+                s
+            }
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected array for {name}, found {{}}\", v.kind())))?;\
+                 if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, found {{}}\", items.len()))); }}\
+                 Ok({name}({}))",
+                reads.join(",")
+            )
+        }
+        ItemKind::UnitStruct => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => {{ \
+                             let items = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected array for variant {vn}\"))?;\
+                             if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                             \"wrong tuple arity for variant {vn}\")); }}\
+                             Ok({name}::{vn}({})) }},",
+                            reads.join(",")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| named_field_init("inner", f))
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                            inits.join("")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match v {{\
+                 ::serde::Value::Str(s) => match s.as_str() {{\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{}}` of {name}\", other))),\
+                 }},\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\
+                 let (tag, inner) = &entries[0];\
+                 let _ = inner;\
+                 match tag.as_str() {{\
+                 {tagged_arms}\
+                 other => Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{}}` of {name}\", other))),\
+                 }}\
+                 }},\
+                 _ => Err(::serde::Error::custom(\
+                 format!(\"expected variant of {name}, found {{}}\", v.kind()))),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

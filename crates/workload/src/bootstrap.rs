@@ -43,7 +43,10 @@ impl BootstrapGenerator {
     /// # Panics
     /// Panics if the source trace is empty.
     pub fn new(source: &Trace, horizon_days: u64, seed: u64) -> Self {
-        assert!(!source.is_empty(), "bootstrap needs a non-empty source trace");
+        assert!(
+            !source.is_empty(),
+            "bootstrap needs a non-empty source trace"
+        );
         let pool: Vec<_> = source
             .jobs()
             .iter()
@@ -51,20 +54,14 @@ impl BootstrapGenerator {
             .collect();
 
         // Empirical hourly counts over the source span.
-        let span_hours = (source
-            .span()
-            .expect("non-empty")
-            .hour_index()
-            + 1) as usize;
+        let span_hours = (source.span().expect("non-empty").hour_index() + 1) as usize;
         let mut counts = vec![0f64; span_hours];
         for j in source.jobs() {
             counts[j.submit.hour_index() as usize] += 1.0;
         }
         // Tile/truncate to the target horizon.
         let target_hours = (horizon_days * 24) as usize;
-        let hourly_rates = (0..target_hours)
-            .map(|h| counts[h % span_hours])
-            .collect();
+        let hourly_rates = (0..target_hours).map(|h| counts[h % span_hours]).collect();
 
         BootstrapGenerator {
             pool,

@@ -70,9 +70,7 @@ impl Job {
     /// `true` for jobs the paper's preprocessing keeps: not cancelled, ran
     /// for a positive time on at least one core.
     pub fn is_usable(&self) -> bool {
-        self.status != JobStatus::Cancelled
-            && self.cores > 0
-            && !self.runtime.is_zero()
+        self.status != JobStatus::Cancelled && self.cores > 0 && !self.runtime.is_zero()
     }
 
     /// Memory per core in MiB (the paper's normalization divides a job's
@@ -133,15 +131,27 @@ mod tests {
         assert!(!job(4, 1024, 100, JobStatus::Cancelled).is_usable());
         assert!(!job(0, 1024, 100, JobStatus::Completed).is_usable());
         assert!(!job(4, 1024, 0, JobStatus::Completed).is_usable());
-        assert!(job(4, 1024, 100, JobStatus::Failed).is_usable(), "failed jobs still consumed resources");
+        assert!(
+            job(4, 1024, 100, JobStatus::Failed).is_usable(),
+            "failed jobs still consumed resources"
+        );
     }
 
     #[test]
     fn memory_split_is_equal_division() {
-        assert_eq!(job(4, 1024, 100, JobStatus::Completed).memory_per_core_mib(), 256);
-        assert_eq!(job(3, 1000, 100, JobStatus::Completed).memory_per_core_mib(), 333);
+        assert_eq!(
+            job(4, 1024, 100, JobStatus::Completed).memory_per_core_mib(),
+            256
+        );
+        assert_eq!(
+            job(3, 1000, 100, JobStatus::Completed).memory_per_core_mib(),
+            333
+        );
         // Tiny memory never rounds to zero.
-        assert_eq!(job(8, 4, 100, JobStatus::Completed).memory_per_core_mib(), 1);
+        assert_eq!(
+            job(8, 4, 100, JobStatus::Completed).memory_per_core_mib(),
+            1
+        );
     }
 
     #[test]

@@ -38,14 +38,7 @@ impl WorkloadStats {
         ]);
         // Runtime bins: 1 h, 6 h, 12 h, 1 d, 2 d, 3 d, 4 d (seconds).
         let mut runtime_hist = Histogram::new(vec![
-            0.0,
-            3_600.0,
-            21_600.0,
-            43_200.0,
-            86_400.0,
-            172_800.0,
-            259_200.0,
-            345_600.0,
+            0.0, 3_600.0, 21_600.0, 43_200.0, 86_400.0, 172_800.0, 259_200.0, 345_600.0,
         ]);
         let mut under_day = 0usize;
         let mut runtime_sum = 0.0;

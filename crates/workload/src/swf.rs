@@ -58,10 +58,13 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<Job>, SwfError> {
         });
     }
     let num = |i: usize| -> Result<i64, SwfError> {
-        fields[i].parse::<f64>().map(|v| v as i64).map_err(|e| SwfError {
-            line: lineno,
-            message: format!("field {} ({:?}): {e}", i + 1, fields[i]),
-        })
+        fields[i]
+            .parse::<f64>()
+            .map(|v| v as i64)
+            .map_err(|e| SwfError {
+                line: lineno,
+                message: format!("field {} ({:?}): {e}", i + 1, fields[i]),
+            })
     };
 
     let id = num(0)?;

@@ -218,8 +218,14 @@ impl SyntheticGenerator {
     pub fn generate(&self) -> Trace {
         let mut rng = stream_rng(self.seed, Stream::Workload);
         let p = &self.profile;
-        let mem_dist = WeightedChoice::new(&p.memory_mib.iter().map(|&(m, w)| (m, w)).collect::<Vec<_>>());
-        let core_dist = WeightedChoice::new(&p.cores.iter().map(|&(c, w)| (c, w)).collect::<Vec<_>>());
+        let mem_dist = WeightedChoice::new(
+            &p.memory_mib
+                .iter()
+                .map(|&(m, w)| (m, w))
+                .collect::<Vec<_>>(),
+        );
+        let core_dist =
+            WeightedChoice::new(&p.cores.iter().map(|&(c, w)| (c, w)).collect::<Vec<_>>());
         let rt_dist = WeightedChoice::new(
             &p.runtime
                 .iter()
@@ -238,8 +244,7 @@ impl SyntheticGenerator {
                 let lambda_hour = daily * p.diurnal[hour] / diurnal_total;
                 let n = poisson(&mut rng, lambda_hour);
                 let hour_start = (day as u64) * 86_400 + (hour as u64) * 3_600;
-                let mut offsets: Vec<u64> =
-                    (0..n).map(|_| rng.gen_range(0..3_600u64)).collect();
+                let mut offsets: Vec<u64> = (0..n).map(|_| rng.gen_range(0..3_600u64)).collect();
                 offsets.sort_unstable();
                 for off in offsets {
                     jobs.push(self.sample_job(
@@ -389,7 +394,11 @@ mod tests {
             "strict profile is the documented overload ({mean_concurrency})"
         );
         // And its under-a-day fraction matches the literal Fig. 2(c).
-        let below = t.jobs().iter().filter(|j| j.runtime.as_secs() < 86_400).count();
+        let below = t
+            .jobs()
+            .iter()
+            .filter(|j| j.runtime.as_secs() < 86_400)
+            .count();
         let frac = below as f64 / t.len() as f64;
         assert!((0.40..=0.52).contains(&frac), "strict <1d fraction {frac}");
     }

@@ -200,7 +200,11 @@ mod tests {
             job(4, 2 * day, 10, 1, 100, JobStatus::Completed),
         ])
         .extract_window(SimTime::from_days(1), SimDuration::DAY);
-        let got: Vec<(u64, u64)> = t.jobs().iter().map(|j| (j.id, j.submit.as_secs())).collect();
+        let got: Vec<(u64, u64)> = t
+            .jobs()
+            .iter()
+            .map(|j| (j.id, j.submit.as_secs()))
+            .collect();
         assert_eq!(got, vec![(2, 0), (3, 500)]);
     }
 

@@ -30,10 +30,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for (name, policy) in [
-        (
-            "dynamic",
-            DynamicPlacement::paper_default(),
-        ),
+        ("dynamic", DynamicPlacement::paper_default()),
         (
             "dynamic + price",
             DynamicPlacement::paper_default()

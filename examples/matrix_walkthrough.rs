@@ -112,6 +112,11 @@ fn main() {
     let moves = policy.plan_migrations(&view);
     println!("\nfull Algorithm 1 pass ({} moves):", moves.len());
     for m in &moves {
-        println!("  move VM{} : PM{} → PM{}", m.vm.0, m.from.0 + 1, m.to.0 + 1);
+        println!(
+            "  move VM{} : PM{} → PM{}",
+            m.vm.0,
+            m.from.0 + 1,
+            m.to.0 + 1
+        );
     }
 }

@@ -25,12 +25,19 @@ fn main() {
 
     println!("policy:            {}", report.policy);
     println!("energy:            {:.1} kWh", report.total_energy_kwh);
-    println!("mean active PMs:   {:.1} of 100", report.mean_active_servers());
+    println!(
+        "mean active PMs:   {:.1} of 100",
+        report.mean_active_servers()
+    );
     println!("live migrations:   {}", report.total_migrations);
     println!(
         "requests queued:   {:.2}% (paper bound: < 5%) → {}",
         report.qos.waited_fraction * 100.0,
-        if report.qos.meets_paper_slo() { "OK" } else { "VIOLATED" }
+        if report.qos.meets_paper_slo() {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // Against the static first-fit baseline on the *same* inputs:

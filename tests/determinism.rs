@@ -58,7 +58,11 @@ fn scenario_reuse_is_side_effect_free() {
     let scenario = Scenario::from_profile("reuse", LpcProfile::light(), 3).with_days(1);
     let before: Vec<_> = scenario.requests().to_vec();
     let _ = scenario.run(Box::new(DynamicPlacement::paper_default()));
-    assert_eq!(scenario.requests(), &before[..], "runs must not mutate the scenario");
+    assert_eq!(
+        scenario.requests(),
+        &before[..],
+        "runs must not mutate the scenario"
+    );
     let again = scenario.run(Box::new(FirstFit));
     assert_eq!(again.total_arrivals as usize, before.len());
 }

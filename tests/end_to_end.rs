@@ -25,7 +25,10 @@ fn dynamic_beats_first_fit_on_energy_and_servers() {
         "dynamic consolidates onto fewer machines"
     );
     assert!(dynamic.total_migrations > 0, "consolidation actually ran");
-    assert_eq!(first_fit.total_migrations, 0, "static scheme never migrates");
+    assert_eq!(
+        first_fit.total_migrations, 0,
+        "static scheme never migrates"
+    );
 }
 
 #[test]
@@ -45,8 +48,16 @@ fn all_policies_serve_the_same_workload() {
     let arrivals = reports[0].total_arrivals;
     assert!(arrivals > 100, "the day has real volume ({arrivals})");
     for r in &reports {
-        assert_eq!(r.total_arrivals, arrivals, "{} saw a different stream", r.policy);
-        assert_eq!(r.qos.total_requests, arrivals, "{}: every request accounted", r.policy);
+        assert_eq!(
+            r.total_arrivals, arrivals,
+            "{} saw a different stream",
+            r.policy
+        );
+        assert_eq!(
+            r.qos.total_requests, arrivals,
+            "{}: every request accounted",
+            r.policy
+        );
         // Conservation: departures + still-active + never-started = arrivals
         // is not directly observable here, but departures can never exceed
         // arrivals and energy must be positive.
@@ -90,7 +101,11 @@ fn energy_never_below_work_floor() {
     let scenario = day_scenario(42);
     let r = scenario.run(Box::new(DynamicPlacement::paper_default()));
     let ceiling = (25.0 * 400.0 + 75.0 * 300.0) * 24.0 / 1_000.0; // all active, kWh
-    assert!(r.total_energy_kwh < ceiling, "{} < {ceiling}", r.total_energy_kwh);
+    assert!(
+        r.total_energy_kwh < ceiling,
+        "{} < {ceiling}",
+        r.total_energy_kwh
+    );
     // Work floor: offered core·seconds at the best per-slot wattage (fast
     // node: 400 W / 8 slots = 50 W per busy slot).
     let floor = scenario.mean_offered_concurrency() * 50.0 * 24.0 / 1_000.0 * 0.5;
@@ -108,7 +123,11 @@ fn migration_counts_stay_bounded() {
     let scenario = day_scenario(42);
     let r = scenario.run(Box::new(DynamicPlacement::paper_default()));
     let triggers = r.total_arrivals + r.total_departures;
-    assert!(r.total_migrations <= triggers * 20, "{} moves", r.total_migrations);
+    assert!(
+        r.total_migrations <= triggers * 20,
+        "{} moves",
+        r.total_migrations
+    );
     // And in practice far fewer — consolidation converges.
     assert!(
         r.total_migrations < r.total_arrivals * 3,

@@ -30,7 +30,10 @@ fn geo_scenario(shift_hours: u64, seed: u64) -> (Scenario, Arc<dvmp_geo::GeoTopo
 fn regional_energy_sums_to_total() {
     let (scenario, _topology) = geo_scenario(12, 42);
     let report = scenario.run(Box::new(DynamicPlacement::paper_default()));
-    assert_eq!(report.group_names, vec!["east".to_owned(), "west".to_owned()]);
+    assert_eq!(
+        report.group_names,
+        vec!["east".to_owned(), "west".to_owned()]
+    );
     assert_eq!(report.group_hourly_kwh.len(), 2);
     let regional: f64 = report.group_hourly_kwh.iter().flatten().sum();
     assert!(
@@ -45,8 +48,7 @@ fn price_factor_reduces_cost_with_antiphased_tariffs() {
     let (scenario, topology) = geo_scenario(12, 42);
     let base = scenario.run(Box::new(DynamicPlacement::paper_default()));
     let aware = scenario.run(Box::new(
-        DynamicPlacement::paper_default()
-            .with_factor(Arc::new(PriceFactor::new(topology.clone()))),
+        DynamicPlacement::paper_default().with_factor(Arc::new(PriceFactor::new(topology.clone()))),
     ));
     let base_cost = total_cost(&base, &topology);
     let aware_cost = total_cost(&aware, &topology);
@@ -66,8 +68,7 @@ fn identical_tariffs_offer_nothing_to_arbitrage() {
     let (scenario, topology) = geo_scenario(0, 42);
     let base = scenario.run(Box::new(DynamicPlacement::paper_default()));
     let aware = scenario.run(Box::new(
-        DynamicPlacement::paper_default()
-            .with_factor(Arc::new(PriceFactor::new(topology.clone()))),
+        DynamicPlacement::paper_default().with_factor(Arc::new(PriceFactor::new(topology.clone()))),
     ));
     let base_cost = total_cost(&base, &topology);
     let aware_cost = total_cost(&aware, &topology);
@@ -81,8 +82,7 @@ fn identical_tariffs_offer_nothing_to_arbitrage() {
 fn wan_penalty_reduces_cross_region_migrations() {
     let (scenario, topology) = geo_scenario(12, 42);
     let free = scenario.run(Box::new(
-        DynamicPlacement::paper_default()
-            .with_factor(Arc::new(PriceFactor::new(topology.clone()))),
+        DynamicPlacement::paper_default().with_factor(Arc::new(PriceFactor::new(topology.clone()))),
     ));
     let penalized = scenario.run(Box::new(
         DynamicPlacement::paper_default()

@@ -33,7 +33,10 @@ fn request_conservation_under_all_policies() {
             "{name}: every request arrives"
         );
         assert!(r.total_departures <= r.total_arrivals, "{name}");
-        assert_eq!(r.qos.total_requests, r.total_arrivals, "{name}: QoS covers all");
+        assert_eq!(
+            r.qos.total_requests, r.total_arrivals,
+            "{name}: QoS covers all"
+        );
         assert!(r.qos.waited_requests <= r.qos.total_requests, "{name}");
     }
 }
@@ -62,7 +65,10 @@ fn overload_degrades_gracefully() {
             "{name}: overflow must queue, got {}",
             r.qos.never_started
         );
-        assert!(!r.qos.meets_paper_slo(), "{name}: overload must show in QoS");
+        assert!(
+            !r.qos.meets_paper_slo(),
+            "{name}: overload must show in QoS"
+        );
     }
 }
 
@@ -103,7 +109,11 @@ fn zero_requests_run_is_clean() {
         assert_eq!(r.total_migrations, 0);
         // With nothing to serve and adaptive bootstrap the fleet should
         // draw almost nothing after warm-up.
-        assert!(r.total_energy_kwh < 60.0, "idle-week energy {}", r.total_energy_kwh);
+        assert!(
+            r.total_energy_kwh < 60.0,
+            "idle-week energy {}",
+            r.total_energy_kwh
+        );
     }
 }
 

@@ -5,9 +5,9 @@
 use dvmp::prelude::*;
 use dvmp_cluster::datacenter::Datacenter;
 use dvmp_cluster::vm::{Vm, VmState};
+use dvmp_placement::factors::EvalContext;
 use dvmp_placement::plan::PlanState;
 use dvmp_placement::policy::PlacementView;
-use dvmp_placement::factors::EvalContext;
 use dvmp_placement::ProbabilityMatrix;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -27,10 +27,7 @@ fn arb_fleet() -> impl Strategy<Value = Datacenter> {
 
 /// Random VM loads: (pm_choice, mem MiB, estimated seconds).
 fn arb_loads(max: usize) -> impl Strategy<Value = Vec<(u8, u16, u32)>> {
-    prop::collection::vec(
-        (any::<u8>(), 128u16..2_048, 120u32..200_000),
-        1..=max,
-    )
+    prop::collection::vec((any::<u8>(), 128u16..2_048, 120u32..200_000), 1..=max)
 }
 
 /// Installs loads onto the fleet wherever they fit (round-robin from the

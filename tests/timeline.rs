@@ -46,12 +46,20 @@ fn lifecycle_milestones_are_causally_ordered() {
                 other => panic!("unexpected milestone for {vm}: {other:?}"),
             })
             .collect();
-        assert_eq!(kinds, vec!["arrived", "placed", "started", "departed"], "{vm}");
+        assert_eq!(
+            kinds,
+            vec!["arrived", "placed", "started", "departed"],
+            "{vm}"
+        );
         // Strictly non-decreasing times; started exactly T_cre after placed.
         assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
         let placed_at = events[1].0;
         let started_at = events[2].0;
-        assert_eq!(started_at, placed_at + SimDuration::from_secs(30), "fast T_cre");
+        assert_eq!(
+            started_at,
+            placed_at + SimDuration::from_secs(30),
+            "fast T_cre"
+        );
     }
 }
 
@@ -88,7 +96,10 @@ fn migrations_appear_in_the_timeline() {
         .filter(|(_, m)| matches!(m, Milestone::MigrationFinished(_)))
         .count();
     assert_eq!(starts as u64, report.total_migrations);
-    assert_eq!(finishes as u64, report.total_migrations, "every start completes");
+    assert_eq!(
+        finishes as u64, report.total_migrations,
+        "every start completes"
+    );
 }
 
 #[test]
