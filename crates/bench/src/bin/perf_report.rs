@@ -8,7 +8,10 @@
 //!    (re-allocating plan, matrix and caches) vs one policy reusing its
 //!    planning arena;
 //! 3. an end-to-end week simulation with the dynamic scheme under both
-//!    kernels, asserting the reported energy is identical.
+//!    kernels, asserting the reported energy is identical;
+//! 4. the checked-mode oracle's end-to-end overhead — the same scenario
+//!    with and without `SimConfig.checked`, asserting zero violations,
+//!    an unperturbed trace, and overhead within the DESIGN.md §9 budget.
 //!
 //! Results go to stdout and to `BENCH_placement.json` in the working
 //! directory (schema documented in DESIGN.md §8). `--smoke` shrinks the
@@ -60,6 +63,18 @@ struct EndToEndBench {
 }
 
 #[derive(Serialize)]
+struct OracleOverheadBench {
+    seed: u64,
+    days: u64,
+    unchecked_seconds: f64,
+    checked_seconds: f64,
+    overhead_percent: f64,
+    events_audited: u64,
+    violations: u64,
+    trace_identical: bool,
+}
+
+#[derive(Serialize)]
 struct PerfReport {
     schema: &'static str,
     smoke: bool,
@@ -67,7 +82,12 @@ struct PerfReport {
     matrix_build: Vec<MatrixBuildBench>,
     plan_pass: PlanPassBench,
     end_to_end: EndToEndBench,
+    oracle_overhead: OracleOverheadBench,
 }
+
+/// The acceptance budget for checked mode: the oracle may cost at most
+/// this much end-to-end wall time at paper scale (DESIGN.md §9).
+const ORACLE_OVERHEAD_BUDGET_PERCENT: f64 = 15.0;
 
 /// Median wall time of `iters` runs of `f`, in nanoseconds.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -189,6 +209,33 @@ fn bench_end_to_end(seed: u64, days: u64) -> EndToEndBench {
     }
 }
 
+fn bench_oracle_overhead(seed: u64, days: u64) -> OracleOverheadBench {
+    let run = |checked: bool| {
+        let mut scenario = Scenario::paper(seed).with_days(days);
+        scenario.sim.checked = checked;
+        let t = Instant::now();
+        let report = scenario.run(Box::new(DynamicPlacement::paper_default()));
+        (t.elapsed().as_secs_f64(), report)
+    };
+    let (unchecked_seconds, plain) = run(false);
+    let (checked_seconds, audited) = run(true);
+    let oracle = audited
+        .oracle
+        .as_ref()
+        .expect("checked run attaches a summary");
+    OracleOverheadBench {
+        seed,
+        days,
+        unchecked_seconds,
+        checked_seconds,
+        overhead_percent: 100.0 * (checked_seconds / unchecked_seconds - 1.0),
+        events_audited: oracle.events_audited,
+        violations: oracle.total_violations(),
+        trace_identical: plain.total_energy_kwh.to_bits() == audited.total_energy_kwh.to_bits()
+            && plain.hourly_active_servers == audited.hourly_active_servers,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -243,6 +290,18 @@ fn main() {
         end_to_end.energy_identical
     );
 
+    let oracle_overhead = bench_oracle_overhead(seed, days);
+    eprintln!(
+        "oracle overhead {}d sim: unchecked {:.2} s, checked {:.2} s ({:+.2}%), {} events audited, {} violation(s), trace identical: {}",
+        oracle_overhead.days,
+        oracle_overhead.unchecked_seconds,
+        oracle_overhead.checked_seconds,
+        oracle_overhead.overhead_percent,
+        oracle_overhead.events_audited,
+        oracle_overhead.violations,
+        oracle_overhead.trace_identical
+    );
+
     let report = PerfReport {
         schema: "dvmp/perf-report/v1",
         smoke,
@@ -250,15 +309,31 @@ fn main() {
         matrix_build,
         plan_pass,
         end_to_end,
+        oracle_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_placement.json", &json).expect("write BENCH_placement.json");
     println!("{json}");
 
-    let healthy =
-        report.matrix_build.iter().all(|b| b.bit_identical) && report.end_to_end.energy_identical;
-    if !healthy {
+    let mut healthy = true;
+    if !report.matrix_build.iter().all(|b| b.bit_identical) || !report.end_to_end.energy_identical {
         eprintln!("FAIL: fast path is not bit-identical to the reference");
+        healthy = false;
+    }
+    if report.oracle_overhead.violations > 0 || !report.oracle_overhead.trace_identical {
+        eprintln!("FAIL: checked mode found violations or perturbed the run");
+        healthy = false;
+    }
+    // Smoke runs are too short for a stable percentage; the budget is
+    // enforced on the full-scale measurement only.
+    if !smoke && report.oracle_overhead.overhead_percent > ORACLE_OVERHEAD_BUDGET_PERCENT {
+        eprintln!(
+            "FAIL: oracle overhead {:.2}% exceeds the {ORACLE_OVERHEAD_BUDGET_PERCENT}% budget",
+            report.oracle_overhead.overhead_percent
+        );
+        healthy = false;
+    }
+    if !healthy {
         std::process::exit(1);
     }
 }

@@ -5,16 +5,29 @@ use dvmp::prelude::*;
 use dvmp_metrics::report::render_summary;
 use std::fmt::Write as _;
 
-/// `run <spec.json>` — run the spec's policy and summarize.
-pub fn run(spec_text: &str, json_output: bool) -> Result<String, String> {
+/// `run <spec.json>` — run the spec's policy and summarize. With
+/// `checked`, the release-grade invariant oracle audits every event and
+/// the summary (or JSON report) carries its verdict; a violating run is
+/// an error so scripts fail loudly.
+pub fn run(spec_text: &str, json_output: bool, checked: bool) -> Result<String, String> {
     let spec = ScenarioSpec::from_json(spec_text)?;
-    let scenario = spec.build()?;
+    let mut scenario = spec.build()?;
+    scenario.sim.checked = checked;
     let policy = spec.policy.build(spec.seed)?;
     let report = scenario.run(policy);
+    if let Some(oracle) = &report.oracle {
+        if !oracle.is_clean() {
+            return Err(format!("invariant violations:\n{}", oracle.render()));
+        }
+    }
     if json_output {
         serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
     } else {
-        Ok(render_summary(&[&report]))
+        let mut out = render_summary(&[&report]);
+        if let Some(oracle) = &report.oracle {
+            let _ = write!(out, "\n{}", oracle.render());
+        }
+        Ok(out)
     }
 }
 
@@ -91,7 +104,10 @@ pub fn help() -> String {
 dvmp-cli — dynamic VM placement experiments (ICPP 2014 reproduction)
 
 USAGE:
-  dvmp-cli run <spec.json> [--json]      run the spec's policy, print summary
+  dvmp-cli run <spec.json> [--json] [--checked]
+                                         run the spec's policy, print summary;
+                                         --checked audits every event with the
+                                         invariant oracle (DESIGN.md §9)
   dvmp-cli compare <spec.json> [--json]  run dynamic/first-fit/best-fit
   dvmp-cli workload <profile> [seed]     characterise a synthetic profile
   dvmp-cli export-swf <profile> [seed]   print a synthetic trace as SWF
@@ -116,17 +132,30 @@ mod tests {
 
     #[test]
     fn run_produces_summary() {
-        let out = run(SPEC, false).unwrap();
+        let out = run(SPEC, false, false).unwrap();
         assert!(out.contains("first-fit"), "{out}");
         assert!(out.contains("energy"), "{out}");
     }
 
     #[test]
     fn run_json_is_parseable() {
-        let out = run(SPEC, true).unwrap();
+        let out = run(SPEC, true, false).unwrap();
         let report: dvmp_metrics::RunReport = serde_json::from_str(&out).unwrap();
         assert_eq!(report.policy, "first-fit");
         assert!(report.total_energy_kwh > 0.0);
+        assert!(report.oracle.is_none(), "unchecked runs carry no oracle");
+    }
+
+    #[test]
+    fn checked_run_reports_a_clean_oracle() {
+        let out = run(SPEC, false, true).unwrap();
+        assert!(out.contains("oracle"), "{out}");
+
+        let json = run(SPEC, true, true).unwrap();
+        let report: dvmp_metrics::RunReport = serde_json::from_str(&json).unwrap();
+        let oracle = report.oracle.expect("checked run attaches a summary");
+        assert!(oracle.is_clean(), "{}", oracle.render());
+        assert!(oracle.events_audited > 0);
     }
 
     #[test]
@@ -153,14 +182,14 @@ mod tests {
 
     #[test]
     fn bad_spec_errors_cleanly() {
-        assert!(run("{", false).is_err());
+        assert!(run("{", false, false).is_err());
         assert!(compare("not json", true).is_err());
     }
 
     #[test]
     fn help_mentions_every_command() {
         let h = help();
-        for cmd in ["run", "compare", "workload", "export-swf"] {
+        for cmd in ["run", "compare", "workload", "export-swf", "--checked"] {
             assert!(h.contains(cmd));
         }
     }

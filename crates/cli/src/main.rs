@@ -7,6 +7,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let checked = args.iter().any(|a| a == "--checked");
     let positional: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -16,7 +17,7 @@ fn main() -> ExitCode {
     let result = match positional.as_slice() {
         ["run", path, ..] => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))
-            .and_then(|text| commands::run(&text, json)),
+            .and_then(|text| commands::run(&text, json, checked)),
         ["compare", path, ..] => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))
             .and_then(|text| commands::compare(&text, json)),

@@ -12,6 +12,7 @@
 //! no event loop — that lives in `dvmp` (the core crate).
 
 pub mod datacenter;
+pub mod digest;
 pub mod pm;
 pub mod power;
 pub mod reliability;
@@ -19,6 +20,7 @@ pub mod resources;
 pub mod vm;
 
 pub use datacenter::{paper_fleet, Datacenter, FleetBuilder};
+pub use digest::Fnv64;
 pub use pm::{Pm, PmClass, PmId, PmState};
 pub use power::PowerModel;
 pub use resources::ResourceVector;

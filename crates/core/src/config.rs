@@ -40,6 +40,12 @@ pub struct SimConfig {
     pub power_groups: Option<PowerGroups>,
     /// Scenario master seed (fans out to per-component RNG streams).
     pub seed: u64,
+    /// Checked mode: audit every event with the release-grade invariant
+    /// oracle and reference model (DESIGN.md §9), attaching an
+    /// [`OracleSummary`](dvmp_metrics::OracleSummary) to the report.
+    /// Costs a constant factor per event; off by default.
+    #[serde(default)]
+    pub checked: bool,
 }
 
 impl Default for SimConfig {
@@ -52,6 +58,7 @@ impl Default for SimConfig {
             failures: None,
             power_groups: None,
             seed: 42,
+            checked: false,
         }
     }
 }
@@ -69,5 +76,6 @@ mod tests {
         assert_eq!(spare.qos_epsilon, 0.05);
         assert!(c.consolidate_on_arrival && c.consolidate_on_departure);
         assert!(c.failures.is_none());
+        assert!(!c.checked, "checked mode is opt-in");
     }
 }

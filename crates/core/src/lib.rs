@@ -35,11 +35,13 @@
 
 pub mod config;
 pub mod experiment;
+pub mod oracle;
 pub mod scenario;
 pub mod simulator;
 pub mod timeline;
 
 pub use config::{FailureConfig, SimConfig};
+pub use oracle::{FleetOp, Oracle, ReferenceModel};
 pub use scenario::Scenario;
 pub use simulator::Simulation;
 pub use timeline::{Milestone, Timeline};
@@ -48,6 +50,7 @@ pub use timeline::{Milestone, Timeline};
 pub mod prelude {
     pub use crate::config::{FailureConfig, SimConfig};
     pub use crate::experiment::{compare_policies, sweep_scenarios, PolicyFactory};
+    pub use crate::oracle::Oracle;
     pub use crate::scenario::Scenario;
     pub use crate::simulator::Simulation;
     pub use dvmp_cluster::datacenter::{paper_fleet, Datacenter, FleetBuilder};

@@ -1,0 +1,904 @@
+//! The checked-mode invariant oracle and reference model.
+//!
+//! With [`SimConfig::checked`](crate::config::SimConfig::checked) set, the
+//! simulator audits itself after **every** event — in release builds, where
+//! the `debug_assert` consistency checks are compiled out and all paper
+//! numbers are produced. The oracle never panics: broken invariants become
+//! structured [`Violation`]s in the report, so a long experiment returns
+//! its evidence instead of dying at the first inconsistency.
+//!
+//! Three ingredients (DESIGN.md §9):
+//!
+//! 1. **Per-event invariants** over the live fleet: per-dimension capacity
+//!    (reservation sums equal `used`, `used` never exceeds capacity — with
+//!    in-flight migrations double-reserved on both hosts), the VM ↔ PM
+//!    bijection between the fleet index, the per-PM reservation sets and
+//!    the VM lifecycle states, event-time monotonicity, and agreement
+//!    between the fleet's instantaneous power draw and the energy meter.
+//! 2. **A reference model**: an obviously-correct replay of the fleet
+//!    state machine. The simulator reports every fleet mutation as a
+//!    [`FleetOp`]; the model applies it to a plain `VmId → [(PmId, demand)]`
+//!    map and is diffed against the live datacenter after each event. A
+//!    bug in the datacenter's incremental bookkeeping (or a mutation that
+//!    bypassed the op stream) surfaces as a divergence.
+//! 3. **Sparse deep audits**: checks that scan the whole history — queue /
+//!    request conservation and the energy *integral* (an independent
+//!    re-integration of the power step function vs the meter) — run every
+//!    [`DEEP_AUDIT_STRIDE`] events and once more at the end of the run, so
+//!    their cost amortizes to ~zero while still bounding drift.
+//!
+//! To keep the end-to-end overhead within the DESIGN.md §9 budget, the
+//! per-event capacity / bijection / reference checks are *incremental*:
+//! each [`FleetOp`] marks the PMs and VMs it touched, and the next audit
+//! verifies exactly those against the live fleet. A mutation that bypasses
+//! the op stream touches nothing — it is caught by the full-fleet sweep
+//! that runs with every deep audit and once more at the end of the run.
+
+use dvmp_cluster::datacenter::Datacenter;
+use dvmp_cluster::pm::{Pm, PmId};
+use dvmp_cluster::resources::ResourceVector;
+use dvmp_cluster::vm::{Vm, VmId, VmState};
+use dvmp_metrics::energy::EnergyMeter;
+use dvmp_metrics::violation::{Invariant, OracleSummary, Violation};
+use dvmp_simcore::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Retained-violation cap; everything past it is counted, not stored.
+pub const MAX_RETAINED_VIOLATIONS: usize = 64;
+
+/// Deep audits (conservation + energy integral) run every this many events.
+pub const DEEP_AUDIT_STRIDE: u64 = 4_096;
+
+/// Relative tolerance for the energy-integral comparison. The oracle sums
+/// the same power × dt products in the same order as the meter, so the
+/// real disagreement is ~0; the slack only covers summation reordering.
+const ENERGY_REL_TOL: f64 = 1e-6;
+
+/// One fleet mutation, as reported by the simulator to the oracle.
+///
+/// These five operations are the complete mutation vocabulary of the
+/// simulator against the datacenter's reservation state; power-state
+/// transitions are audited directly off the live fleet and need no ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetOp {
+    /// `Datacenter::place`: `vm` reserved `demand` on `pm` as sole host.
+    Place {
+        /// The placed VM.
+        vm: VmId,
+        /// Its host.
+        pm: PmId,
+        /// Its reservation.
+        demand: ResourceVector,
+    },
+    /// `Datacenter::begin_migration`: `demand` additionally reserved on
+    /// `to`, which becomes the current host.
+    BeginMigration {
+        /// The migrating VM.
+        vm: VmId,
+        /// The destination PM.
+        to: PmId,
+        /// The reservation taken on the destination.
+        demand: ResourceVector,
+    },
+    /// `Datacenter::finish_migration`: the reservation on `from` released.
+    FinishMigration {
+        /// The migrated VM.
+        vm: VmId,
+        /// The source PM being released.
+        from: PmId,
+    },
+    /// `Datacenter::remove_vm`: every reservation of `vm` released.
+    Remove {
+        /// The departing (or restarted-after-failure) VM.
+        vm: VmId,
+    },
+    /// `Datacenter::fail_pm`: `pm` failed; its reservations evicted, other
+    /// reservations of mid-migration VMs retained.
+    Fail {
+        /// The failed PM.
+        pm: PmId,
+    },
+}
+
+/// The obviously-correct fleet state machine: just a map from VM to its
+/// reservation list (current host first), mutated exactly as the
+/// datacenter documents its operations — no incremental occupancy sums,
+/// no reverse index, nothing clever enough to share a bug with the real
+/// implementation.
+#[derive(Debug, Default, Clone)]
+pub struct ReferenceModel {
+    hosts: BTreeMap<VmId, Vec<(PmId, ResourceVector)>>,
+}
+
+impl ReferenceModel {
+    /// Empty model (matches an idle fleet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of VMs currently holding at least one reservation.
+    pub fn active_vms(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Applies one operation; errors describe ops that are nonsensical
+    /// against the model's state (the simulator issuing such an op is
+    /// itself a finding).
+    pub fn apply(&mut self, op: &FleetOp) -> Result<(), String> {
+        match *op {
+            FleetOp::Place { vm, pm, demand } => {
+                let entry = self.hosts.entry(vm).or_default();
+                if !entry.is_empty() {
+                    return Err(format!("place of {vm} which already has reservations"));
+                }
+                entry.push((pm, demand));
+                Ok(())
+            }
+            FleetOp::BeginMigration { vm, to, demand } => {
+                let Some(entry) = self.hosts.get_mut(&vm) else {
+                    return Err(format!("begin_migration of unhosted {vm}"));
+                };
+                if entry.iter().any(|&(p, _)| p == to) {
+                    return Err(format!("begin_migration of {vm} onto its own host {to}"));
+                }
+                // Mirrors the datacenter: the destination becomes the
+                // current host (front of the list).
+                entry.insert(0, (to, demand));
+                Ok(())
+            }
+            FleetOp::FinishMigration { vm, from } => {
+                let Some(entry) = self.hosts.get_mut(&vm) else {
+                    return Err(format!("finish_migration of unhosted {vm}"));
+                };
+                let before = entry.len();
+                entry.retain(|&(p, _)| p != from);
+                if entry.len() == before {
+                    return Err(format!("finish_migration of {vm} with no hold on {from}"));
+                }
+                if entry.is_empty() {
+                    self.hosts.remove(&vm);
+                    return Err(format!("finish_migration left {vm} with no hosts"));
+                }
+                Ok(())
+            }
+            FleetOp::Remove { vm } => {
+                // remove_vm on an unhosted VM is a no-op in the live
+                // datacenter (the source-failure path relies on it).
+                self.hosts.remove(&vm);
+                Ok(())
+            }
+            FleetOp::Fail { pm } => {
+                self.hosts.retain(|_, entry| {
+                    entry.retain(|&(p, _)| p != pm);
+                    !entry.is_empty()
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Diffs the model against the live fleet, appending one description
+    /// per divergence to `out` (capped by the caller).
+    fn diff(&self, dc: &Datacenter, out: &mut Vec<(Invariant, String)>) {
+        // Model → live: every modeled reservation must exist, in order,
+        // with the same demand.
+        for &vm in self.hosts.keys() {
+            self.diff_vm(dc, vm, out);
+        }
+        // Live → model: no reservation the model does not know about.
+        for pm in dc.pms() {
+            self.check_pm_known(pm, out);
+        }
+    }
+
+    /// Model ↔ live comparison for one VM. A VM absent from the model must
+    /// hold no live reservations either.
+    fn diff_vm(&self, dc: &Datacenter, vm: VmId, out: &mut Vec<(Invariant, String)>) {
+        const EMPTY: &[(PmId, ResourceVector)] = &[];
+        let entry = self.hosts.get(&vm).map_or(EMPTY, Vec::as_slice);
+        let live = dc.hosts_of(vm);
+        if live.len() != entry.len() || !entry.iter().zip(live).all(|(&(p, _), &l)| p == l) {
+            out.push((
+                Invariant::ReferenceDivergence,
+                format!("{vm}: model hosts {entry:?} but live index {live:?}"),
+            ));
+            return;
+        }
+        for &(pm, demand) in entry {
+            match dc.pm(pm).reservation_of(vm) {
+                Some(r) if *r == demand => {}
+                got => out.push((
+                    Invariant::ReferenceDivergence,
+                    format!("{vm} on {pm}: model demand {demand:?}, live {got:?}"),
+                )),
+            }
+        }
+    }
+
+    /// Live → model for one PM: every reservation it holds is modeled.
+    fn check_pm_known(&self, pm: &Pm, out: &mut Vec<(Invariant, String)>) {
+        for vm in pm.hosted_vms() {
+            let known = self
+                .hosts
+                .get(&vm)
+                .is_some_and(|e| e.iter().any(|&(p, _)| p == pm.id));
+            if !known {
+                out.push((
+                    Invariant::ReferenceDivergence,
+                    format!("{vm} reserved on {} but unknown to the model", pm.id),
+                ));
+            }
+        }
+    }
+}
+
+/// The checked-mode auditor. One per simulation run; owned by the
+/// simulator and fed through [`record`](Oracle::record) (fleet ops) and
+/// [`audit`](Oracle::audit) (post-event checks).
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    reference: ReferenceModel,
+    /// Op-stream errors found by the reference model, waiting for the
+    /// next audit to be attributed to an event.
+    pending_op_errors: Vec<String>,
+    /// PMs touched by ops since the last audit (incremental check scope).
+    touched_pms: Vec<PmId>,
+    /// VMs touched by ops since the last audit (incremental check scope).
+    touched_vms: Vec<VmId>,
+    last_time: SimTime,
+    last_power_w: f64,
+    /// Independent energy integral (joules), re-integrating the power
+    /// step function the meter also sees.
+    energy_j: f64,
+    events_audited: u64,
+    violations: Vec<Violation>,
+    dropped: u64,
+}
+
+impl Oracle {
+    /// A fresh oracle over the fleet's t = 0 state.
+    pub fn new(dc: &Datacenter) -> Self {
+        Oracle {
+            reference: ReferenceModel::new(),
+            pending_op_errors: Vec::new(),
+            touched_pms: Vec::new(),
+            touched_vms: Vec::new(),
+            last_time: SimTime::ZERO,
+            last_power_w: dc.total_power_w(),
+            energy_j: 0.0,
+            events_audited: 0,
+            violations: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Read access to the reference model (tests, diagnostics).
+    pub fn reference(&self) -> &ReferenceModel {
+        &self.reference
+    }
+
+    /// Violations observed so far.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64 + self.dropped
+    }
+
+    /// Feeds one fleet mutation to the reference model, marking the PMs
+    /// and VMs it touches so the next audit can verify exactly those.
+    pub fn record(&mut self, op: &FleetOp) {
+        match *op {
+            FleetOp::Place { vm, pm, .. } => {
+                self.touched_vms.push(vm);
+                self.touched_pms.push(pm);
+            }
+            FleetOp::BeginMigration { vm, to, .. } | FleetOp::FinishMigration { vm, from: to } => {
+                self.touched_vms.push(vm);
+                self.touched_pms.push(to);
+                if let Some(entry) = self.reference.hosts.get(&vm) {
+                    self.touched_pms.extend(entry.iter().map(|&(p, _)| p));
+                }
+            }
+            FleetOp::Remove { vm } => {
+                self.touched_vms.push(vm);
+                if let Some(entry) = self.reference.hosts.get(&vm) {
+                    self.touched_pms.extend(entry.iter().map(|&(p, _)| p));
+                }
+            }
+            FleetOp::Fail { pm } => {
+                self.touched_pms.push(pm);
+                // Eviction touches every VM holding a reservation there
+                // (failures are rare; the scan does not affect the common
+                // path).
+                for (&vm, entry) in &self.reference.hosts {
+                    if entry.iter().any(|&(p, _)| p == pm) {
+                        self.touched_vms.push(vm);
+                    }
+                }
+            }
+        }
+        if let Err(e) = self.reference.apply(op) {
+            self.pending_op_errors.push(e);
+        }
+    }
+
+    /// Audits the settled post-event state. `seq` is the engine's 1-based
+    /// event counter; `vms`/`queue` are the simulator's lifecycle and
+    /// backlog views; `meter` is the recorder's energy meter (already
+    /// sampled for this event).
+    #[allow(clippy::too_many_arguments)]
+    pub fn audit(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        dc: &Datacenter,
+        vms: &BTreeMap<VmId, Vm>,
+        queue: &VecDeque<VmId>,
+        meter: &EnergyMeter,
+    ) {
+        self.events_audited += 1;
+        let mut found: Vec<(Invariant, String)> = Vec::new();
+
+        for e in self.pending_op_errors.drain(..) {
+            found.push((Invariant::ReferenceDivergence, e));
+        }
+
+        // Time monotonicity.
+        if now < self.last_time {
+            found.push((
+                Invariant::TimeMonotone,
+                format!("event at {now} after clock reached {}", self.last_time),
+            ));
+        }
+
+        // Advance the independent energy integral over [last_time, now).
+        self.energy_j += self.last_power_w * now.saturating_since(self.last_time).as_secs_f64();
+        let live_power = dc.total_power_w();
+        let metered = meter.power_at(now);
+        if (metered - live_power).abs() > 1e-9 * live_power.abs().max(1.0) {
+            found.push((
+                Invariant::EnergyIntegral,
+                format!("meter reads {metered} W at {now}, fleet draws {live_power} W"),
+            ));
+        }
+        self.last_power_w = live_power;
+        self.last_time = now;
+
+        if self.events_audited % DEEP_AUDIT_STRIDE == 0 {
+            // Full-fleet sweep + the whole-history checks; subsumes the
+            // incremental scope.
+            self.check_capacity_and_bijection(dc, vms, &mut found);
+            self.reference.diff(dc, &mut found);
+            self.deep_audit(now, vms, queue, meter, &mut found);
+            self.touched_pms.clear();
+            self.touched_vms.clear();
+        } else {
+            self.check_touched(dc, vms, &mut found);
+        }
+
+        self.commit(seq, now, dc, found);
+    }
+
+    /// Verifies capacity / bijection / reference agreement for exactly the
+    /// PMs and VMs touched since the last audit.
+    fn check_touched(
+        &mut self,
+        dc: &Datacenter,
+        vms: &BTreeMap<VmId, Vm>,
+        found: &mut Vec<(Invariant, String)>,
+    ) {
+        let mut pms = std::mem::take(&mut self.touched_pms);
+        let mut vm_ids = std::mem::take(&mut self.touched_vms);
+        pms.sort_unstable();
+        pms.dedup();
+        vm_ids.sort_unstable();
+        vm_ids.dedup();
+        for &pm_id in &pms {
+            let pm = dc.pm(pm_id);
+            Self::check_pm(pm, dc, vms, found);
+            self.reference.check_pm_known(pm, found);
+        }
+        for &vm in &vm_ids {
+            self.reference.diff_vm(dc, vm, found);
+        }
+        // Hand the (cleared) buffers back so their capacity is reused.
+        pms.clear();
+        vm_ids.clear();
+        self.touched_pms = pms;
+        self.touched_vms = vm_ids;
+    }
+
+    /// Final audit at the horizon; consumes the oracle into its summary.
+    pub fn into_summary(
+        mut self,
+        horizon: SimTime,
+        dc: &Datacenter,
+        vms: &BTreeMap<VmId, Vm>,
+        queue: &VecDeque<VmId>,
+        meter: &EnergyMeter,
+    ) -> OracleSummary {
+        self.events_audited += 1;
+        let mut found: Vec<(Invariant, String)> = Vec::new();
+        for e in self.pending_op_errors.drain(..) {
+            found.push((Invariant::ReferenceDivergence, e));
+        }
+        // Close the integral out to the horizon, like the meter does.
+        self.energy_j += self.last_power_w * horizon.saturating_since(self.last_time).as_secs_f64();
+        self.last_time = horizon;
+        self.check_capacity_and_bijection(dc, vms, &mut found);
+        self.reference.diff(dc, &mut found);
+        self.deep_audit(horizon, vms, queue, meter, &mut found);
+        let seq = self.events_audited;
+        self.commit(seq, horizon, dc, found);
+        OracleSummary {
+            events_audited: self.events_audited,
+            violations: self.violations,
+            dropped_violations: self.dropped,
+        }
+    }
+
+    /// Per-dimension capacity conservation and the VM ↔ PM bijection,
+    /// fleet-wide (deep audits and the final audit).
+    fn check_capacity_and_bijection(
+        &mut self,
+        dc: &Datacenter,
+        vms: &BTreeMap<VmId, Vm>,
+        found: &mut Vec<(Invariant, String)>,
+    ) {
+        for pm in dc.pms() {
+            Self::check_pm(pm, dc, vms, found);
+        }
+    }
+
+    /// Capacity conservation and bijection for one PM.
+    fn check_pm(
+        pm: &Pm,
+        dc: &Datacenter,
+        vms: &BTreeMap<VmId, Vm>,
+        found: &mut Vec<(Invariant, String)>,
+    ) {
+        let cap = *pm.capacity();
+        let mut sum = ResourceVector::zero(cap.k());
+        for vm in pm.hosted_vms() {
+            match pm.reservation_of(vm) {
+                Some(r) => sum = sum.add(r),
+                None => found.push((
+                    Invariant::Bijection,
+                    format!("{vm} hosted on {} without a reservation", pm.id),
+                )),
+            }
+            if !dc.hosts_of(vm).contains(&pm.id) {
+                found.push((
+                    Invariant::Bijection,
+                    format!("{vm} reserved on {} but missing from the index", pm.id),
+                ));
+            }
+            // Lifecycle agreement for every VM that holds resources.
+            match vms.get(&vm).map(|v| v.state) {
+                Some(VmState::Creating { pm: host, .. } | VmState::Running { pm: host }) => {
+                    if host != pm.id {
+                        found.push((
+                            Invariant::Bijection,
+                            format!("{vm} reserved on {} but its state names {host}", pm.id),
+                        ));
+                    }
+                }
+                Some(VmState::Migrating { from, to, .. }) => {
+                    if pm.id != from && pm.id != to {
+                        found.push((
+                            Invariant::Bijection,
+                            format!("{vm} migrating {from}→{to} but also reserved on {}", pm.id),
+                        ));
+                    }
+                }
+                other => found.push((
+                    Invariant::Bijection,
+                    format!("{vm} reserved on {} in lifecycle state {other:?}", pm.id),
+                )),
+            }
+        }
+        if &sum != pm.used() {
+            found.push((
+                Invariant::Capacity,
+                format!(
+                    "{}: reservations sum to {sum:?} but used is {:?}",
+                    pm.id,
+                    pm.used()
+                ),
+            ));
+        }
+        for d in 0..cap.k() {
+            if pm.used().get(d) > cap.get(d) {
+                found.push((
+                    Invariant::Capacity,
+                    format!(
+                        "{}: dim {d} used {} of {}",
+                        pm.id,
+                        pm.used().get(d),
+                        cap.get(d)
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Whole-history checks, run sparsely: queue/request conservation and
+    /// the energy integral.
+    fn deep_audit(
+        &mut self,
+        now: SimTime,
+        vms: &BTreeMap<VmId, Vm>,
+        queue: &VecDeque<VmId>,
+        meter: &EnergyMeter,
+        found: &mut Vec<(Invariant, String)>,
+    ) {
+        // Queue entries must be distinct, known, and in the Queued state.
+        let mut seen: Vec<VmId> = queue.iter().copied().collect();
+        seen.sort_unstable();
+        if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
+            found.push((
+                Invariant::Conservation,
+                format!("{} appears in the queue more than once", w[0]),
+            ));
+        }
+        for &id in queue {
+            match vms.get(&id).map(|v| v.state) {
+                Some(VmState::Queued) => {}
+                other => found.push((
+                    Invariant::Conservation,
+                    format!("queued {id} has lifecycle state {other:?}"),
+                )),
+            }
+        }
+        // Every admitted request is in exactly one lifecycle bucket, and
+        // the Queued bucket is exactly the queue.
+        let queued_vms = vms
+            .values()
+            .filter(|v| matches!(v.state, VmState::Queued))
+            .count();
+        if queued_vms != seen.len() {
+            found.push((
+                Invariant::Conservation,
+                format!(
+                    "{queued_vms} VMs in Queued state but {} queue entries",
+                    seen.len()
+                ),
+            ));
+        }
+        // Energy integral: the meter and the oracle re-integrated the same
+        // step function; they must agree to float noise.
+        let oracle_j = self.energy_j;
+        let meter_j = meter.total_kwh(now) * 3_600_000.0;
+        if (oracle_j - meter_j).abs() > ENERGY_REL_TOL * meter_j.abs().max(1.0) {
+            found.push((
+                Invariant::EnergyIntegral,
+                format!("oracle integral {oracle_j} J, meter {meter_j} J at {now}"),
+            ));
+        }
+    }
+
+    /// Stamps and stores this audit's findings (shared digest, capped).
+    fn commit(&mut self, seq: u64, now: SimTime, dc: &Datacenter, found: Vec<(Invariant, String)>) {
+        if found.is_empty() {
+            return;
+        }
+        let digest = dc.state_digest();
+        for (invariant, detail) in found {
+            if self.violations.len() < MAX_RETAINED_VIOLATIONS {
+                self.violations.push(Violation {
+                    seq,
+                    time: now,
+                    invariant,
+                    detail,
+                    state_digest: digest,
+                });
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvmp_cluster::datacenter::FleetBuilder;
+    use dvmp_cluster::pm::PmClass;
+    use dvmp_cluster::vm::VmSpec;
+    use dvmp_simcore::SimDuration;
+
+    fn fleet() -> Datacenter {
+        FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 2, 0.99)
+            .add_class(PmClass::paper_slow(), 2, 0.95)
+            .initially_on(true)
+            .build()
+    }
+
+    fn demand() -> ResourceVector {
+        ResourceVector::cpu_mem(1, 512)
+    }
+
+    fn running_vm(id: u32, pm: PmId) -> (VmId, Vm) {
+        let mut vm = Vm::new(VmSpec::exact(
+            VmId(id),
+            SimTime::ZERO,
+            demand(),
+            SimDuration::from_secs(1_000),
+        ));
+        vm.state = VmState::Running { pm };
+        (VmId(id), vm)
+    }
+
+    /// Drives the fleet and the oracle through the same op, so tests stay
+    /// in lock-step with the live datacenter.
+    fn exec(dc: &mut Datacenter, oracle: &mut Oracle, op: FleetOp) {
+        match op {
+            FleetOp::Place { vm, pm, demand } => dc.place(vm, pm, demand).unwrap(),
+            FleetOp::BeginMigration { vm, to, demand } => {
+                dc.begin_migration(vm, to, demand).unwrap()
+            }
+            FleetOp::FinishMigration { vm, from } => dc.finish_migration(vm, from).unwrap(),
+            FleetOp::Remove { vm } => {
+                dc.remove_vm(vm);
+            }
+            FleetOp::Fail { pm } => {
+                dc.fail_pm(pm);
+            }
+        }
+        oracle.record(&op);
+    }
+
+    fn audit_clean(
+        oracle: &mut Oracle,
+        at: u64,
+        seq: u64,
+        dc: &Datacenter,
+        vms: &BTreeMap<VmId, Vm>,
+        meter: &EnergyMeter,
+    ) {
+        let before = oracle.violation_count();
+        oracle.audit(
+            SimTime::from_secs(at),
+            seq,
+            dc,
+            vms,
+            &VecDeque::new(),
+            meter,
+        );
+        assert_eq!(oracle.violation_count(), before, "unexpected violations");
+    }
+
+    #[test]
+    fn lock_step_lifecycle_stays_clean() {
+        let mut dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        let mut vms = BTreeMap::new();
+
+        meter.record(SimTime::ZERO, dc.total_power_w());
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::Place {
+                vm: VmId(1),
+                pm: PmId(0),
+                demand: demand(),
+            },
+        );
+        vms.extend([running_vm(1, PmId(0))]);
+        meter.record(SimTime::from_secs(10), dc.total_power_w());
+        audit_clean(&mut oracle, 10, 1, &dc, &vms, &meter);
+
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::BeginMigration {
+                vm: VmId(1),
+                to: PmId(1),
+                demand: demand(),
+            },
+        );
+        vms.get_mut(&VmId(1)).unwrap().state = VmState::Migrating {
+            from: PmId(0),
+            to: PmId(1),
+            done_at: SimTime::from_secs(80),
+        };
+        meter.record(SimTime::from_secs(20), dc.total_power_w());
+        audit_clean(&mut oracle, 20, 2, &dc, &vms, &meter);
+
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::FinishMigration {
+                vm: VmId(1),
+                from: PmId(0),
+            },
+        );
+        vms.get_mut(&VmId(1)).unwrap().state = VmState::Running { pm: PmId(1) };
+        meter.record(SimTime::from_secs(80), dc.total_power_w());
+        audit_clean(&mut oracle, 80, 3, &dc, &vms, &meter);
+
+        exec(&mut dc, &mut oracle, FleetOp::Remove { vm: VmId(1) });
+        vms.get_mut(&VmId(1)).unwrap().state = VmState::Completed {
+            at: SimTime::from_secs(100),
+        };
+        meter.record(SimTime::from_secs(100), dc.total_power_w());
+        audit_clean(&mut oracle, 100, 4, &dc, &vms, &meter);
+        assert_eq!(oracle.reference().active_vms(), 0);
+    }
+
+    #[test]
+    fn failure_eviction_keeps_model_in_step() {
+        let mut dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        let mut vms = BTreeMap::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::Place {
+                vm: VmId(1),
+                pm: PmId(0),
+                demand: demand(),
+            },
+        );
+        vms.extend([running_vm(1, PmId(0))]);
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::BeginMigration {
+                vm: VmId(1),
+                to: PmId(1),
+                demand: demand(),
+            },
+        );
+        vms.get_mut(&VmId(1)).unwrap().state = VmState::Migrating {
+            from: PmId(0),
+            to: PmId(1),
+            done_at: SimTime::from_secs(80),
+        };
+        // Destination fails mid-flight: the model must retain the source
+        // reservation only, exactly like the live fleet.
+        exec(&mut dc, &mut oracle, FleetOp::Fail { pm: PmId(1) });
+        vms.get_mut(&VmId(1)).unwrap().state = VmState::Running { pm: PmId(0) };
+        meter.record(SimTime::from_secs(30), dc.total_power_w());
+        audit_clean(&mut oracle, 30, 1, &dc, &vms, &meter);
+        assert_eq!(dc.hosts_of(VmId(1)), &[PmId(0)]);
+        assert_eq!(oracle.reference().active_vms(), 1);
+    }
+
+    #[test]
+    fn tampered_fleet_is_flagged_as_divergence() {
+        let mut dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+
+        // A reservation taken behind the oracle's back (bypassing the op
+        // stream, and bypassing the datacenter's own index).
+        dc.pm_mut(PmId(2)).reserve(VmId(9), demand()).unwrap();
+        let (_, vm) = running_vm(9, PmId(2));
+        let vms = BTreeMap::from([(VmId(9), vm)]);
+        meter.record(SimTime::from_secs(5), dc.total_power_w());
+        oracle.audit(
+            SimTime::from_secs(5),
+            1,
+            &dc,
+            &vms,
+            &VecDeque::new(),
+            &meter,
+        );
+        let summary =
+            oracle.into_summary(SimTime::from_secs(5), &dc, &vms, &VecDeque::new(), &meter);
+        assert!(!summary.is_clean());
+        assert!(
+            summary
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::ReferenceDivergence),
+            "{summary:?}"
+        );
+        assert!(
+            summary
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::Bijection),
+            "index bypass also breaks the bijection: {summary:?}"
+        );
+        assert!(summary.violations.iter().all(|v| v.state_digest != 0));
+    }
+
+    #[test]
+    fn nonsense_ops_surface_at_the_next_audit() {
+        let dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+        oracle.record(&FleetOp::FinishMigration {
+            vm: VmId(7),
+            from: PmId(0),
+        });
+        oracle.audit(
+            SimTime::ZERO,
+            1,
+            &dc,
+            &BTreeMap::new(),
+            &VecDeque::new(),
+            &meter,
+        );
+        assert_eq!(oracle.violation_count(), 1);
+    }
+
+    #[test]
+    fn time_regression_is_flagged() {
+        let dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+        let vms = BTreeMap::new();
+        let q = VecDeque::new();
+        oracle.audit(SimTime::from_secs(100), 1, &dc, &vms, &q, &meter);
+        assert_eq!(oracle.violation_count(), 0);
+        oracle.audit(SimTime::from_secs(50), 2, &dc, &vms, &q, &meter);
+        assert!(oracle.violation_count() >= 1);
+    }
+
+    #[test]
+    fn energy_divergence_is_flagged_in_deep_audit() {
+        let dc = fleet();
+        let oracle = Oracle::new(&dc);
+        // A meter that never saw the fleet's power: both the instantaneous
+        // and the integral comparisons must fire by the final audit.
+        let mut meter = EnergyMeter::new();
+        meter.record(SimTime::ZERO, 1.0);
+        let vms = BTreeMap::new();
+        let q = VecDeque::new();
+        let summary = oracle.into_summary(SimTime::from_hours(1), &dc, &vms, &q, &meter);
+        assert!(summary
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::EnergyIntegral));
+    }
+
+    #[test]
+    fn violation_cap_counts_overflow() {
+        let dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+        let vms = BTreeMap::new();
+        let q = VecDeque::new();
+        // One nonsense op per event → one violation per audit; loop enough
+        // audits to overflow the cap.
+        for seq in 0..(MAX_RETAINED_VIOLATIONS as u64 + 40) {
+            oracle.record(&FleetOp::FinishMigration {
+                vm: VmId(5),
+                from: PmId(0),
+            });
+            oracle.audit(SimTime::from_secs(seq), seq + 1, &dc, &vms, &q, &meter);
+        }
+        assert_eq!(oracle.violations.len(), MAX_RETAINED_VIOLATIONS);
+        assert!(oracle.dropped > 0);
+    }
+
+    #[test]
+    fn queue_conservation_catches_duplicates_and_ghosts() {
+        let dc = fleet();
+        let oracle = Oracle::new(&dc);
+        let meter = EnergyMeter::new();
+        let mut vms = BTreeMap::new();
+        let (id, mut vm) = running_vm(3, PmId(0));
+        vm.state = VmState::Queued;
+        vms.insert(id, vm);
+        // Queue holds vm3 twice plus a VM the simulator never admitted.
+        let queue: VecDeque<VmId> = [VmId(3), VmId(3), VmId(8)].into_iter().collect();
+        let summary = oracle.into_summary(SimTime::from_secs(1), &dc, &vms, &queue, &meter);
+        let conservation = summary
+            .violations
+            .iter()
+            .filter(|v| v.invariant == Invariant::Conservation)
+            .count();
+        assert!(conservation >= 2, "{summary:?}");
+    }
+}

@@ -31,6 +31,7 @@
 //! (`skipped_migrations` in the report) rather than violating capacity.
 
 use crate::config::SimConfig;
+use crate::oracle::{FleetOp, Oracle};
 use crate::timeline::{Milestone, Timeline};
 use dvmp_cluster::datacenter::Datacenter;
 use dvmp_cluster::pm::{PmId, PmState};
@@ -87,18 +88,34 @@ struct SimWorld {
     qos_started: HashSet<VmId>,
     /// Opt-in milestone log (None = no collection overhead).
     timeline: Option<Timeline>,
+    /// Checked-mode auditor (None unless `cfg.checked`); boxed to keep the
+    /// hot unchecked path's world small.
+    oracle: Option<Box<Oracle>>,
 }
 
 impl SimWorld {
-    /// Records the t = 0 fleet state so every series starts at the epoch.
+    /// Records the t = 0 fleet state so every series starts at the epoch,
+    /// and arms the checked-mode oracle against it.
     fn initial_sample(&mut self) {
         self.recorder.sample_fleet(SimTime::ZERO, &self.dc);
+        if self.cfg.checked && self.oracle.is_none() {
+            self.oracle = Some(Box::new(Oracle::new(&self.dc)));
+        }
     }
 
     #[inline]
     fn mark(&mut self, at: SimTime, m: Milestone) {
         if let Some(tl) = &mut self.timeline {
             tl.push(at, m);
+        }
+    }
+
+    /// Reports one fleet mutation to the oracle's reference model. The
+    /// closure keeps op construction off the unchecked path.
+    #[inline]
+    fn note(&mut self, op: impl FnOnce() -> FleetOp) {
+        if let Some(o) = &mut self.oracle {
+            o.record(&op());
         }
     }
 
@@ -127,6 +144,11 @@ impl SimWorld {
         }
         let ev = sched.schedule_at(ready, Event::CreationDone(id));
         self.creation_events.insert(id, ev);
+        self.note(|| FleetOp::Place {
+            vm: id,
+            pm,
+            demand: res,
+        });
         self.mark(now, Milestone::Placed { vm: id, pm });
     }
 
@@ -250,11 +272,15 @@ impl SimWorld {
     }
 
     fn apply_migration(&mut self, m: Migration, now: SimTime, sched: &mut Scheduler<Event>) {
-        // Re-validate against live state (see module docs).
-        let valid = matches!(
-            self.vms.get(&m.vm).map(|vm| &vm.state),
-            Some(VmState::Running { pm }) if *pm == m.from
-        ) && self.dc.pm(m.to).can_host(&self.vms[&m.vm].spec.resources);
+        // Re-validate against live state (see module docs). A self-move
+        // (`from == to`) is never sensible and would double-reserve the VM
+        // on its own host, so it is dropped like any other stale plan.
+        let valid = m.from != m.to
+            && matches!(
+                self.vms.get(&m.vm).map(|vm| &vm.state),
+                Some(VmState::Running { pm }) if *pm == m.from
+            )
+            && self.dc.pm(m.to).can_host(&self.vms[&m.vm].spec.resources);
         if !valid {
             self.recorder.record_skipped_migration();
             return;
@@ -263,6 +289,11 @@ impl SimWorld {
         self.dc
             .begin_migration(m.vm, m.to, res)
             .expect("validated migration");
+        self.note(|| FleetOp::BeginMigration {
+            vm: m.vm,
+            to: m.to,
+            demand: res,
+        });
         let t_mig = self.dc.pm(m.to).class.migration_time;
         let done = now + t_mig;
         let vm = self.vms.get_mut(&m.vm).expect("VM exists");
@@ -379,6 +410,7 @@ impl SimWorld {
             return; // raced with a shutdown
         }
         let evicted = self.dc.fail_pm(pm);
+        self.note(|| FleetOp::Fail { pm });
         self.recorder.record_pm_failure();
         self.mark(now, Milestone::PmFailed(pm));
         for id in evicted {
@@ -399,11 +431,14 @@ impl SimWorld {
                         vm.overhead = vm.overhead.saturating_sub(t_mig);
                         vm.state = VmState::Running { pm: from };
                         self.reschedule_departure(id, sched);
+                        self.recorder.record_failure_aborted_migration();
                     } else {
                         // Source died: execution lost; drop the destination
                         // reservation too and restart from the queue.
                         self.dc.remove_vm(id);
+                        self.note(|| FleetOp::Remove { vm: id });
                         self.requeue_vm(id, sched);
+                        self.recorder.record_failure_lost_migration();
                     }
                 }
                 VmState::Queued | VmState::Completed { .. } => {}
@@ -474,6 +509,7 @@ impl World for SimWorld {
                     sched.cancel(ev);
                 }
                 self.dc.remove_vm(id);
+                self.note(|| FleetOp::Remove { vm: id });
                 self.vms.get_mut(&id).expect("VM exists").state = VmState::Completed { at: now };
                 let spec = &self.vms[&id].spec;
                 let core_seconds = spec.actual_runtime.as_secs_f64() * spec.resources.get(0) as f64;
@@ -491,6 +527,7 @@ impl World for SimWorld {
                     self.dc
                         .finish_migration(id, from)
                         .expect("migration bookkeeping consistent");
+                    self.note(|| FleetOp::FinishMigration { vm: id, from });
                     self.vms.get_mut(&id).expect("VM exists").state = VmState::Running { pm: to };
                     self.mark(now, Milestone::MigrationFinished(id));
                     self.drain_queue(now, sched);
@@ -523,6 +560,22 @@ impl World for SimWorld {
         self.recorder.sample_fleet(now, &self.dc);
         #[cfg(debug_assertions)]
         self.dc.assert_consistent();
+    }
+
+    fn after_event(&mut self, now: SimTime, seq: u64) {
+        // Take/put-back dance: the oracle needs `&mut` while reading the
+        // rest of the world.
+        if let Some(mut oracle) = self.oracle.take() {
+            oracle.audit(
+                now,
+                seq,
+                &self.dc,
+                &self.vms,
+                &self.queue,
+                self.recorder.energy(),
+            );
+            self.oracle = Some(oracle);
+        }
     }
 }
 
@@ -579,6 +632,7 @@ impl Simulation {
             failure_events: HashMap::new(),
             qos_started: HashSet::new(),
             timeline: None,
+            oracle: None,
         };
         let mut engine = Engine::new(world);
 
@@ -642,6 +696,7 @@ impl Simulation {
     fn execute(&mut self) -> RunReport {
         self.engine.world_mut().initial_sample();
         self.engine.run_until(self.horizon);
+        let oracle = self.engine.world_mut().oracle.take();
         let world = self.engine.world();
         let policy_name = world.policy.name();
         let mut recorder = world.recorder.clone();
@@ -650,7 +705,17 @@ impl Simulation {
                 recorder.qos.record_never_started();
             }
         }
-        recorder.finish(policy_name, self.horizon)
+        let mut report = recorder.finish(policy_name, self.horizon);
+        if let Some(oracle) = oracle {
+            report.oracle = Some(oracle.into_summary(
+                self.horizon,
+                &world.dc,
+                &world.vms,
+                &world.queue,
+                world.recorder.energy(),
+            ));
+        }
+        report
     }
 
     /// Number of events processed (after [`run`](Self::run) this is final).
@@ -849,6 +914,104 @@ mod tests {
         // is still queued/running at the horizon, never lost.
         assert!(report.total_departures <= 8);
         assert_eq!(report.qos.total_requests, 8);
+    }
+
+    #[test]
+    fn checked_mode_attaches_a_clean_oracle_summary() {
+        let requests: Vec<VmSpec> = (0..12)
+            .map(|i| spec(i + 1, i as u64 * 500, 20_000))
+            .collect();
+        let mut cfg = base_cfg();
+        cfg.checked = true;
+        let sim = Simulation::new(
+            small_fleet(),
+            requests,
+            Box::new(DynamicPlacement::paper_default()),
+            cfg,
+        );
+        let report = sim.run();
+        let oracle = report.oracle.expect("checked run carries a summary");
+        assert!(oracle.is_clean(), "{}", oracle.render());
+        assert!(oracle.events_audited > 0);
+    }
+
+    #[test]
+    fn checked_mode_does_not_perturb_the_run() {
+        let mk = |checked: bool| {
+            let requests: Vec<VmSpec> = (0..12)
+                .map(|i| spec(i + 1, i as u64 * 500, 20_000))
+                .collect();
+            let mut cfg = base_cfg();
+            cfg.checked = checked;
+            Simulation::new(
+                small_fleet(),
+                requests,
+                Box::new(DynamicPlacement::paper_default()),
+                cfg,
+            )
+            .run()
+        };
+        let plain = mk(false);
+        let checked = mk(true);
+        assert!(plain.oracle.is_none());
+        assert_eq!(plain.total_migrations, checked.total_migrations);
+        assert_eq!(plain.hourly_active_servers, checked.hourly_active_servers);
+        assert_eq!(plain.total_energy_kwh, checked.total_energy_kwh);
+        assert_eq!(plain.qos, checked.qos);
+    }
+
+    #[test]
+    fn checked_mode_audits_failure_churn_cleanly() {
+        let requests: Vec<VmSpec> = (0..8).map(|i| spec(i + 1, 0, 50_000)).collect();
+        let mut cfg = base_cfg();
+        cfg.spare = None;
+        cfg.checked = true;
+        cfg.failures = Some(FailureConfig {
+            base_rate: 2e-3,
+            repair_time: SimDuration::from_hours(2),
+        });
+        let mut fleet = small_fleet();
+        for id in fleet.pm_ids().collect::<Vec<_>>() {
+            fleet.pm_mut(id).reliability = 0.5;
+        }
+        let sim = Simulation::new(fleet, requests, Box::new(FirstFit), cfg);
+        let report = sim.run();
+        assert!(report.pm_failures > 0, "failures must fire");
+        let oracle = report.oracle.expect("summary");
+        assert!(oracle.is_clean(), "{}", oracle.render());
+    }
+
+    #[test]
+    fn self_move_plans_are_dropped_not_applied() {
+        let mut cfg = base_cfg();
+        cfg.spare = None;
+        cfg.consolidate_on_arrival = false;
+        cfg.consolidate_on_departure = false;
+        let mut engine = surgical::world_with(vec![spec(1, 0, 50_000)], cfg);
+        engine.run_until(SimTime::from_secs(100));
+        let host = surgical::running_on(&engine, VmId(1)).expect("running");
+        let (world, sched) = engine.world_and_scheduler();
+        world.apply_migration(
+            Migration {
+                vm: VmId(1),
+                from: host,
+                to: host,
+            },
+            SimTime::from_secs(100),
+            sched,
+        );
+        assert!(
+            !engine.world().vms[&VmId(1)].is_migrating(),
+            "self-move must not start"
+        );
+        assert_eq!(engine.world().dc.hosts_of(VmId(1)), &[host]);
+        let report = engine
+            .world()
+            .recorder
+            .clone()
+            .finish("x", SimTime::from_hours(1));
+        assert_eq!(report.skipped_migrations, 1);
+        engine.world().dc.assert_consistent();
     }
 
     #[test]

@@ -78,6 +78,9 @@ mod tests {
             total_migrations: 0,
             skipped_migrations: 0,
             pm_failures: 0,
+            failure_aborted_migrations: 0,
+            failure_lost_migrations: 0,
+            oracle: None,
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
             group_names: groups,

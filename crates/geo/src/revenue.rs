@@ -97,6 +97,9 @@ mod tests {
             total_migrations: 0,
             skipped_migrations: 0,
             pm_failures: 0,
+            failure_aborted_migrations: 0,
+            failure_lost_migrations: 0,
+            oracle: None,
             served_core_hours: core_hours,
             qos: qos.summary(),
             group_names: vec!["r".into()],

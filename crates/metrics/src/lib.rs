@@ -10,13 +10,17 @@
 //!   feeds, and the immutable [`RunReport`] it produces (active servers per
 //!   hour — Fig. 3 — plus power, energy, QoS and migration counts);
 //! - [`report`]: plain-text table and CSV rendering for the figure
-//!   binaries.
+//!   binaries;
+//! - [`violation`]: structured invariant-violation reporting for the
+//!   checked-mode oracle ([`Violation`], [`OracleSummary`]).
 
 pub mod energy;
 pub mod qos;
 pub mod recorder;
 pub mod report;
+pub mod violation;
 
 pub use energy::EnergyMeter;
 pub use qos::{QosSummary, QosTracker};
 pub use recorder::{PowerGroups, RunReport, SimulationRecorder};
+pub use violation::{Invariant, OracleSummary, Violation};

@@ -7,6 +7,7 @@
 
 use crate::energy::EnergyMeter;
 use crate::qos::{QosSummary, QosTracker};
+use crate::violation::OracleSummary;
 use dvmp_cluster::datacenter::Datacenter;
 use dvmp_simcore::series::{CountSeries, StepSeries};
 use dvmp_simcore::{SimDuration, SimTime};
@@ -61,6 +62,8 @@ pub struct SimulationRecorder {
     pub qos: QosTracker,
     skipped_migrations: u64,
     pm_failures: u64,
+    failure_aborted_migrations: u64,
+    failure_lost_migrations: u64,
     served_core_seconds: f64,
 }
 
@@ -85,6 +88,8 @@ impl SimulationRecorder {
             qos: QosTracker::new(),
             skipped_migrations: 0,
             pm_failures: 0,
+            failure_aborted_migrations: 0,
+            failure_lost_migrations: 0,
             served_core_seconds: 0.0,
         }
     }
@@ -147,6 +152,20 @@ impl SimulationRecorder {
         self.pm_failures += 1;
     }
 
+    /// Records an in-flight migration aborted because its *destination*
+    /// failed: the destination reservation is released and the VM keeps
+    /// running on its source.
+    pub fn record_failure_aborted_migration(&mut self) {
+        self.failure_aborted_migrations += 1;
+    }
+
+    /// Records an in-flight migration whose *source* failed: the VM's
+    /// only consistent copy died mid-copy, so the VM is lost (and the
+    /// destination reservation released).
+    pub fn record_failure_lost_migration(&mut self) {
+        self.failure_lost_migrations += 1;
+    }
+
     /// The integrating energy meter (read access for live inspection).
     pub fn energy(&self) -> &EnergyMeter {
         &self.energy
@@ -194,8 +213,11 @@ impl SimulationRecorder {
             total_migrations: self.migrations.total() as u64,
             skipped_migrations: self.skipped_migrations,
             pm_failures: self.pm_failures,
+            failure_aborted_migrations: self.failure_aborted_migrations,
+            failure_lost_migrations: self.failure_lost_migrations,
             served_core_hours: self.served_core_seconds / 3_600.0,
             qos: self.qos.summary(),
+            oracle: None,
         }
     }
 }
@@ -234,10 +256,17 @@ pub struct RunReport {
     pub skipped_migrations: u64,
     /// PM failures injected.
     pub pm_failures: u64,
+    /// In-flight migrations aborted by a destination-PM failure (VM kept
+    /// running on its source).
+    pub failure_aborted_migrations: u64,
+    /// In-flight migrations whose source PM failed mid-copy (VM lost).
+    pub failure_lost_migrations: u64,
     /// Core·hours of completed work (the revenue-bearing throughput).
     pub served_core_hours: f64,
     /// Queue-wait summary.
     pub qos: QosSummary,
+    /// Checked-mode audit summary (`None` unless the run was checked).
+    pub oracle: Option<OracleSummary>,
     /// Names of the power groups (empty unless grouping was enabled).
     pub group_names: Vec<String>,
     /// Per-group energy per hour, kWh (`group_hourly_kwh[g][h]`).
@@ -333,8 +362,11 @@ mod tests {
             total_migrations: 0,
             skipped_migrations: 0,
             pm_failures: 0,
+            failure_aborted_migrations: 0,
+            failure_lost_migrations: 0,
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
+            oracle: None,
             group_names: vec![],
             group_hourly_kwh: vec![],
         };

@@ -188,8 +188,11 @@ mod tests {
             total_migrations: 4,
             skipped_migrations: 0,
             pm_failures: 0,
+            failure_aborted_migrations: 0,
+            failure_lost_migrations: 0,
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
+            oracle: None,
             group_names: vec![],
             group_hourly_kwh: vec![],
         }

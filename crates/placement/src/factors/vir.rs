@@ -105,6 +105,34 @@ mod tests {
     }
 
     #[test]
+    fn boundary_window_is_exact() {
+        // At the boundary T_re = T_cre + T_mig the window is empty → 0;
+        // one second above it opens quadratically, exactly as Eq. 3 writes:
+        // ((T_re − overhead) / T_re)² = (1/71)².
+        let overhead = 30 + 40u64;
+        assert_eq!(
+            p_vir(overhead, 30, 40, false, true, OverheadMode::PaperJoint),
+            0.0
+        );
+        let p = p_vir(overhead + 1, 30, 40, false, true, OverheadMode::PaperJoint);
+        let expect = (1.0f64 / 71.0).powi(2);
+        assert!(p > 0.0 && (p - expect).abs() < 1e-15, "{p} vs {expect}");
+
+        // Split mode moves the boundary to the single incurred overhead.
+        assert_eq!(p_vir(40, 30, 40, false, true, OverheadMode::Split), 0.0);
+        let q = p_vir(41, 30, 40, false, true, OverheadMode::Split);
+        assert!((q - (1.0f64 / 41.0).powi(2)).abs() < 1e-15, "{q}");
+        assert_eq!(p_vir(30, 30, 40, false, false, OverheadMode::Split), 0.0);
+
+        // The already-resident short-circuit wins even inside the dead
+        // window: staying put needs no overhead at all.
+        assert_eq!(
+            p_vir(overhead, 30, 40, true, true, OverheadMode::PaperJoint),
+            1.0
+        );
+    }
+
+    #[test]
     fn monotone_in_remaining_time() {
         let mut last = 0.0;
         for t in [100u64, 200, 400, 1_000, 10_000, 1_000_000] {

@@ -17,6 +17,14 @@ pub trait World {
     /// Handle one event. `now` is the event's timestamp; `sched` schedules
     /// follow-up events.
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Called by the engine after each event has been fully handled. `seq`
+    /// is the 1-based count of events dispatched so far (a stable event
+    /// id for audit logs). The default does nothing; worlds that audit
+    /// themselves (e.g. checked-mode oracles) override it so the check
+    /// runs on the *settled* post-event state, outside `handle`'s own
+    /// control flow.
+    fn after_event(&mut self, _now: SimTime, _seq: u64) {}
 }
 
 /// Handle for scheduling future events from within [`World::handle`] (or
@@ -139,6 +147,7 @@ impl<W: World> Engine<W> {
             self.processed += 1;
             self.world
                 .handle(entry.time, entry.payload, &mut self.sched);
+            self.world.after_event(entry.time, self.processed);
         }
         self.sched.now
     }
@@ -247,6 +256,38 @@ mod tests {
             engine.world().0,
             vec![(t, 1), (t, 2), (t, 3)],
             "ties dispatch in scheduling order"
+        );
+    }
+
+    #[test]
+    fn after_event_hook_sees_monotone_seq_and_time() {
+        struct Audited {
+            hooks: Vec<(SimTime, u64)>,
+            remaining: u32,
+        }
+        impl World for Audited {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    sched.schedule_after(SimDuration::from_secs(5), ());
+                }
+            }
+            fn after_event(&mut self, now: SimTime, seq: u64) {
+                self.hooks.push((now, seq));
+            }
+        }
+        let mut engine = Engine::new(Audited {
+            hooks: vec![],
+            remaining: 3,
+        });
+        engine.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        engine.run_to_completion();
+        let seqs: Vec<u64> = engine.world().hooks.iter().map(|&(_, s)| s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4], "one hook per event, 1-based");
+        assert!(
+            engine.world().hooks.windows(2).all(|w| w[0].0 <= w[1].0),
+            "hook times are monotone"
         );
     }
 

@@ -12,6 +12,64 @@ use dvmp_placement::ProbabilityMatrix;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
+/// A hostile dynamic policy: places like first-fit, but answers every
+/// consolidation trigger with one migration proposal per running VM whose
+/// destination — and sometimes claimed source — is chosen from a random
+/// dial stream. That floods the simulator with self-moves, moves onto
+/// full/off/failed machines and moves naming the wrong source; apply-time
+/// re-validation must drop every unsound one (`skipped_migrations`) while
+/// the sound remainder proceed.
+struct AdversarialPolicy {
+    dials: Vec<u8>,
+    cursor: usize,
+}
+
+impl AdversarialPolicy {
+    fn next(&mut self) -> u8 {
+        let b = self.dials[self.cursor % self.dials.len()];
+        self.cursor += 1;
+        b
+    }
+}
+
+impl PlacementPolicy for AdversarialPolicy {
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+
+    fn place(&mut self, view: &PlacementView<'_>, vm: &VmSpec) -> Option<PmId> {
+        view.dc
+            .pms()
+            .iter()
+            .find(|pm| pm.can_host(&vm.resources))
+            .map(|pm| pm.id)
+    }
+
+    fn plan_migrations(&mut self, view: &PlacementView<'_>) -> Vec<Migration> {
+        let n = view.dc.len() as u32;
+        let candidates: Vec<(VmId, PmId)> = view
+            .migratable_vms()
+            .map(|(vm, host)| (vm.spec.id, host))
+            .collect();
+        candidates
+            .into_iter()
+            .map(|(vm, host)| {
+                let to = PmId(u32::from(self.next()) % n);
+                let from = if self.next() % 4 == 0 {
+                    PmId(u32::from(self.next()) % n)
+                } else {
+                    host
+                };
+                Migration { vm, from, to }
+            })
+            .collect()
+    }
+
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+}
+
 /// A random small fleet: 1–3 fast + 1–4 slow machines, all on.
 fn arb_fleet() -> impl Strategy<Value = Datacenter> {
     (1usize..=3, 1usize..=4).prop_map(|(fast, slow)| {
@@ -188,5 +246,49 @@ proptest! {
         prop_assert_eq!(r.hourly_active_servers.len(), 24);
         let hourly: f64 = r.hourly_power_kwh.iter().sum();
         prop_assert!((hourly - r.total_energy_kwh).abs() < 1e-6);
+    }
+
+    /// Apply-time re-validation holds against an actively hostile policy:
+    /// whatever garbage the plan contains, no PM dimension ever exceeds
+    /// capacity and no request is lost. The checked-mode oracle audits
+    /// every event of the run, so a single transient overshoot anywhere in
+    /// the event stream fails the test — not just the final state.
+    #[test]
+    fn adversarial_plans_never_break_capacity(
+        seeds in prop::collection::vec(any::<u32>(), 3..24),
+        dials in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // Long-running requests inside a short arrival window, so several
+        // VMs are running (= migratable) at every consolidation trigger.
+        let mut requests = Vec::new();
+        for (i, s) in seeds.iter().enumerate() {
+            requests.push(VmSpec::exact(
+                VmId(i as u32 + 1),
+                SimTime::from_secs((*s as u64) % 40_000),
+                ResourceVector::cpu_mem(1, 128 + (*s as u64 % 1_500)),
+                SimDuration::from_secs(40_000 + (*s as u64 % 30_000)),
+            ));
+        }
+        let n = requests.len() as u64;
+        let fleet = FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 2, 0.99)
+            .add_class(PmClass::paper_slow(), 2, 0.95)
+            .build();
+        let mut sim = SimConfig::default();
+        sim.horizon = SimTime::from_days(1);
+        sim.checked = true;
+        let scenario = Scenario::new("adversarial", fleet, requests, sim);
+        let r = scenario.run(Box::new(AdversarialPolicy { dials, cursor: 0 }));
+
+        prop_assert_eq!(r.total_arrivals, n);
+        prop_assert_eq!(r.qos.total_requests, n, "no request lost to bogus plans");
+        let oracle = r.oracle.as_ref().expect("checked run attaches a summary");
+        prop_assert!(oracle.is_clean(), "{}", oracle.render());
+        // The barrage was actually fired: proposals either passed
+        // re-validation (migrations) or were dropped (skipped).
+        prop_assert!(
+            r.skipped_migrations + r.total_migrations > 0,
+            "adversary never got to propose anything"
+        );
     }
 }
