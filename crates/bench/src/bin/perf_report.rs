@@ -11,7 +11,12 @@
 //!    kernels, asserting the reported energy is identical;
 //! 4. the checked-mode oracle's end-to-end overhead — the same scenario
 //!    with and without `SimConfig.checked`, asserting zero violations,
-//!    an unperturbed trace, and overhead within the DESIGN.md §9 budget.
+//!    an unperturbed trace, and overhead within the DESIGN.md §9 budget;
+//! 5. fleet-size scaling rows — first-fit weeks on `Scenario::scaled`
+//!    fleets (up to 10k PMs / ~50k VM requests at full scale), recording
+//!    wall time and engine events/sec, the throughput metric the
+//!    calendar-queue scheduler and incremental fleet accounting exist
+//!    to improve.
 //!
 //! Results go to stdout and to `BENCH_placement.json` in the working
 //! directory (schema documented in DESIGN.md §8). `--smoke` shrinks the
@@ -75,14 +80,30 @@ struct OracleOverheadBench {
 }
 
 #[derive(Serialize)]
+struct ScalingBench {
+    pms: usize,
+    vm_requests: usize,
+    days: u64,
+    policy: &'static str,
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+}
+
+#[derive(Serialize)]
 struct PerfReport {
     schema: &'static str,
     smoke: bool,
     host_threads: usize,
+    /// Worker threads a chunked matrix (re)build actually fans out to at
+    /// the largest benchmarked scale (`matrix::parallel_workers`), as
+    /// opposed to `host_threads`, which is just the host's parallelism.
+    matrix_workers: usize,
     matrix_build: Vec<MatrixBuildBench>,
     plan_pass: PlanPassBench,
     end_to_end: EndToEndBench,
     oracle_overhead: OracleOverheadBench,
+    scaling: Vec<ScalingBench>,
 }
 
 /// The acceptance budget for checked mode: the oracle may cost at most
@@ -236,6 +257,28 @@ fn bench_oracle_overhead(seed: u64, days: u64) -> OracleOverheadBench {
     }
 }
 
+fn bench_scaling(pm_count: usize, days: u64, seed: u64) -> ScalingBench {
+    // First-fit is the policy that makes sense at these scales: the
+    // dynamic scheme's planning pass is O(M·N) per control period, so the
+    // rows measure the event core (scheduler + fleet accounting), not the
+    // placement matrix.
+    let scenario = Scenario::scaled(pm_count, seed).with_days(days);
+    let vm_requests = scenario.requests().len();
+    let t = Instant::now();
+    let (report, events) = scenario.run_counting(Box::new(FirstFit));
+    let wall_seconds = t.elapsed().as_secs_f64();
+    assert!(report.total_arrivals > 0, "scaled scenario saw no arrivals");
+    ScalingBench {
+        pms: pm_count,
+        vm_requests,
+        days,
+        policy: "first-fit",
+        events,
+        wall_seconds,
+        events_per_sec: events as f64 / wall_seconds,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -248,6 +291,13 @@ fn main() {
         (&[100], 5, 1)
     } else {
         (&[100, 300, 500], 51, 7)
+    };
+    // Fleet-size scaling rows (PM counts × horizon). Smoke keeps three
+    // rows so the CI gate can check throughput shape, just smaller.
+    let (fleet_scales, fleet_days): (&[usize], u64) = if smoke {
+        (&[250, 500, 1_000], 1)
+    } else {
+        (&[1_000, 5_000, 10_000], 7)
     };
 
     eprintln!("# perf_report{}", if smoke { " (smoke)" } else { "" });
@@ -302,14 +352,29 @@ fn main() {
         oracle_overhead.trace_identical
     );
 
+    let scaling: Vec<ScalingBench> = fleet_scales
+        .iter()
+        .map(|&pms| {
+            let b = bench_scaling(pms, fleet_days, seed);
+            eprintln!(
+                "scaling {} PMs / {} VM requests, {}d ({}): {} events in {:.2} s = {:.0} events/s",
+                b.pms, b.vm_requests, b.days, b.policy, b.events, b.wall_seconds, b.events_per_sec
+            );
+            b
+        })
+        .collect();
+
+    let max_rows = matrix_build.iter().map(|b| b.pms).max().unwrap_or(2);
     let report = PerfReport {
-        schema: "dvmp/perf-report/v1",
+        schema: "dvmp/perf-report/v2",
         smoke,
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        matrix_workers: dvmp_placement::matrix::parallel_workers(max_rows),
         matrix_build,
         plan_pass,
         end_to_end,
         oracle_overhead,
+        scaling,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_placement.json", &json).expect("write BENCH_placement.json");
@@ -332,6 +397,17 @@ fn main() {
             report.oracle_overhead.overhead_percent
         );
         healthy = false;
+    }
+    // Scaling budget: a 7-day 10k-PM / ~50k-VM week must finish under a
+    // minute in release (full mode only — smoke rows are smaller).
+    if let Some(big) = report.scaling.iter().find(|b| b.pms == 10_000) {
+        if big.wall_seconds > 60.0 {
+            eprintln!(
+                "FAIL: 10k-PM week took {:.1} s, over the 60 s budget",
+                big.wall_seconds
+            );
+            healthy = false;
+        }
     }
     if !healthy {
         std::process::exit(1);

@@ -44,6 +44,111 @@ pub fn compare(spec_text: &str, json_output: bool) -> Result<String, String> {
     }
 }
 
+/// `sweep <spec.json> [--seeds N]` — regenerate the spec's scenario under
+/// `N` seeds (master seed, then +1000 per step, matching the bench
+/// sweep's convention) and run its policy on each. All runs execute in
+/// parallel on shared-nothing simulations and come back in input order,
+/// bit-identical to a sequential loop, so the merged mean ± std summary
+/// is reproducible. `--json` emits the per-seed reports plus the merged
+/// summary as one document.
+pub fn sweep(spec_text: &str, seeds: usize, json_output: bool) -> Result<String, String> {
+    use dvmp_simcore::stats::OnlineStats;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let base = ScenarioSpec::from_json(spec_text)?;
+    base.policy.build(base.seed)?; // validate the policy spec up front
+    let mut scenarios = Vec::with_capacity(seeds);
+    for i in 0..seeds as u64 {
+        let mut spec = base.clone();
+        spec.seed = base.seed + i * 1_000;
+        scenarios.push(spec.build()?);
+    }
+    let policy = PolicyFactory::new("spec-policy", {
+        let spec = base.clone();
+        move || spec.policy.build(spec.seed).expect("validated above")
+    });
+    let swept = sweep_scenarios(&scenarios, &[policy]);
+    let reports: Vec<RunReport> = swept.into_iter().flatten().collect();
+
+    let mut energy = OnlineStats::new();
+    let mut waited = OnlineStats::new();
+    let mut power = OnlineStats::new();
+    for r in &reports {
+        energy.push(r.total_energy_kwh);
+        waited.push(r.qos.waited_fraction * 100.0);
+        power.push(r.mean_power_kw);
+    }
+
+    if json_output {
+        #[derive(serde::Serialize)]
+        struct Merged {
+            scenarios: usize,
+            energy_kwh_mean: f64,
+            energy_kwh_std: f64,
+            waited_percent_mean: f64,
+            waited_percent_std: f64,
+            mean_power_kw_mean: f64,
+            mean_power_kw_std: f64,
+        }
+        #[derive(serde::Serialize)]
+        struct SweepOutput {
+            policy: String,
+            merged: Merged,
+            reports: Vec<RunReport>,
+        }
+        let out = SweepOutput {
+            policy: base.policy.kind.clone(),
+            merged: Merged {
+                scenarios: reports.len(),
+                energy_kwh_mean: energy.mean(),
+                energy_kwh_std: energy.std_dev(),
+                waited_percent_mean: waited.mean(),
+                waited_percent_std: waited.std_dev(),
+                mean_power_kw_mean: power.mean(),
+                mean_power_kw_std: power.std_dev(),
+            },
+            reports,
+        };
+        return serde_json::to_string_pretty(&out).map_err(|e| e.to_string());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} × {} seed(s), policy {}",
+        base.name,
+        reports.len(),
+        base.policy.kind
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>12} {:>12}",
+        "seed", "energy kWh", "waited %", "mean kW"
+    );
+    for (scenario, r) in scenarios.iter().zip(&reports) {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14.1} {:>11.2}% {:>12.1}",
+            scenario.sim.seed,
+            r.total_energy_kwh,
+            r.qos.waited_fraction * 100.0,
+            r.mean_power_kw
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nenergy: {:.1} ± {:.1} kWh, waited: {:.2} ± {:.2} %, power: {:.1} ± {:.1} kW (mean ± std)",
+        energy.mean(),
+        energy.std_dev(),
+        waited.mean(),
+        waited.std_dev(),
+        power.mean(),
+        power.std_dev()
+    );
+    Ok(out)
+}
+
 /// `workload <profile> [seed]` — characterise a synthetic profile
 /// (Fig. 2's numbers).
 pub fn workload(profile: &str, seed: u64) -> Result<String, String> {
@@ -109,6 +214,10 @@ USAGE:
                                          --checked audits every event with the
                                          invariant oracle (DESIGN.md §9)
   dvmp-cli compare <spec.json> [--json]  run dynamic/first-fit/best-fit
+  dvmp-cli sweep <spec.json> [--seeds N] [--json]
+                                         re-run the spec's policy under N
+                                         seeds in parallel (default 5) and
+                                         merge the reports (mean ± std)
   dvmp-cli workload <profile> [seed]     characterise a synthetic profile
   dvmp-cli export-swf <profile> [seed]   print a synthetic trace as SWF
   dvmp-cli help                          this text
@@ -167,6 +276,26 @@ mod tests {
     }
 
     #[test]
+    fn sweep_merges_seeds() {
+        let out = sweep(SPEC, 2, false).unwrap();
+        assert!(out.contains("2 seed(s)"), "{out}");
+        assert!(out.contains("mean ± std"), "{out}");
+        // Both per-seed rows appear, under the +1000 convention.
+        assert!(out.contains("42") && out.contains("1042"), "{out}");
+        assert!(sweep(SPEC, 0, false).is_err());
+    }
+
+    #[test]
+    fn sweep_json_carries_reports_and_merged_stats() {
+        let out = sweep(SPEC, 2, true).unwrap();
+        assert!(out.contains("\"policy\": \"first-fit\""), "{out}");
+        assert!(out.contains("\"scenarios\": 2"), "{out}");
+        assert!(out.contains("\"energy_kwh_mean\""), "{out}");
+        // Both per-seed reports ride along with the merged block.
+        assert_eq!(out.matches("\"total_energy_kwh\"").count(), 2, "{out}");
+    }
+
+    #[test]
     fn workload_reports_stats() {
         let out = workload("light", 42).unwrap();
         assert!(out.contains("jobs:"));
@@ -189,7 +318,14 @@ mod tests {
     #[test]
     fn help_mentions_every_command() {
         let h = help();
-        for cmd in ["run", "compare", "workload", "export-swf", "--checked"] {
+        for cmd in [
+            "run",
+            "compare",
+            "sweep",
+            "workload",
+            "export-swf",
+            "--checked",
+        ] {
             assert!(h.contains(cmd));
         }
     }

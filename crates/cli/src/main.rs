@@ -21,6 +21,21 @@ fn main() -> ExitCode {
         ["compare", path, ..] => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))
             .and_then(|text| commands::compare(&text, json)),
+        ["sweep", path, ..] => {
+            let seeds = args
+                .iter()
+                .position(|a| a == "--seeds")
+                .and_then(|i| args.get(i + 1))
+                .map_or(Ok(5), |s| {
+                    s.parse::<usize>()
+                        .map_err(|_| format!("--seeds takes a count, got {s:?}"))
+                });
+            seeds.and_then(|n| {
+                std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))
+                    .and_then(|text| commands::sweep(&text, n, json))
+            })
+        }
         ["workload", profile, rest @ ..] => {
             let seed = rest.first().and_then(|s| s.parse().ok()).unwrap_or(42);
             commands::workload(profile, seed)

@@ -4,15 +4,37 @@
 //! is the single mutable source of truth the simulator and the placement
 //! policies share; every reservation goes through it so the capacity and
 //! mapping invariants hold globally.
+//!
+//! # Incremental fleet accounting
+//!
+//! The per-event fleet signals (powered / non-idle / idle-available counts,
+//! instantaneous power, powered-core utilization) and the simulator's hot
+//! scans (first off PM that fits, first available PM that fits, idle PMs in
+//! id order) used to be O(M) sweeps over `pms`. They are now answered from
+//! [`FleetStats`], an aggregate maintained *incrementally*: every mutation
+//! path — the reservation methods here and arbitrary state edits through
+//! [`Datacenter::pm_mut`]'s drop guard — diffs the touched PM's
+//! [`PmFootprint`] before/after and applies the delta. `assert_consistent`
+//! (and therefore the checked-mode oracle's audits) recomputes the
+//! aggregate from scratch and compares, so drift is a caught invariant
+//! violation, not silent corruption.
+//!
+//! Instantaneous power is kept as per-(class, power-level) *counts* rather
+//! than a running float sum: `total_power_w` multiplies counts by the class
+//! wattages on demand, so repeated increments can never accumulate
+//! floating-point drift and the value is bit-identical across any mutation
+//! history that reaches the same fleet state.
 
+use crate::index::CapacityIndex;
 use crate::pm::{Pm, PmClass, PmError, PmId, PmState};
 use crate::resources::ResourceVector;
 use crate::vm::VmId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Deref, DerefMut};
 
 /// The fleet of physical machines.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Datacenter {
     classes: Vec<PmClass>,
     pms: Vec<Pm>,
@@ -20,14 +42,225 @@ pub struct Datacenter {
     /// on both source and destination (DESIGN.md I3); the first entry is
     /// the *current host* in the placement sense.
     vm_index: BTreeMap<VmId, Vec<PmId>>,
+    /// Incrementally maintained aggregates (see the module docs). Derived
+    /// state: never serialized, rebuilt on deserialize.
+    stats: FleetStats,
+}
+
+// Hand-written serde impls (the derive cannot express a skipped +
+// recomputed field): the wire format carries only the persistent fields,
+// exactly as the pre-`FleetStats` derive emitted them, and
+// deserialization rebuilds the aggregates rather than trusting the wire.
+impl Serialize for Datacenter {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("classes".to_owned(), self.classes.to_value()),
+            ("pms".to_owned(), self.pms.to_value()),
+            ("vm_index".to_owned(), self.vm_index.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Datacenter {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let classes: Vec<PmClass> = serde::field(v, "classes")?;
+        let pms: Vec<Pm> = serde::field(v, "pms")?;
+        let vm_index: BTreeMap<VmId, Vec<PmId>> = serde::field(v, "vm_index")?;
+        let stats = FleetStats::rebuild(&classes, &pms);
+        Ok(Datacenter {
+            classes,
+            pms,
+            vm_index,
+            stats,
+        })
+    }
+}
+
+/// Power level a PM contributes to the energy bill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PowerLevel {
+    /// Off or failed: draws nothing.
+    Dark,
+    /// On and idle: idle wattage.
+    Idle,
+    /// Hosting, booting or shutting down: active wattage.
+    Active,
+}
+
+/// Per-class tally of PMs at each billable power level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PowerTally {
+    active: usize,
+    idle: usize,
+}
+
+/// Everything a single PM contributes to [`FleetStats`]. Mutation paths
+/// snapshot it before and after and apply the difference; equality means
+/// no aggregate changed and the update is skipped entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PmFootprint {
+    powered: bool,
+    non_idle: bool,
+    idle_available: bool,
+    off: bool,
+    on_idle: bool,
+    available: bool,
+    class_idx: usize,
+    level: PowerLevel,
+    /// Core-dimension used/capacity charged to the utilization signal
+    /// (zero when the PM is not available).
+    used_cores: u64,
+    cap_cores: u64,
+    /// Full occupation vector; part of the equality check so headroom
+    /// changes refresh the capacity index.
+    used: ResourceVector,
+}
+
+impl PmFootprint {
+    fn of(pm: &Pm) -> Self {
+        let available = pm.is_available();
+        let idle = pm.is_idle();
+        PmFootprint {
+            powered: pm.is_powered(),
+            non_idle: available && !idle,
+            idle_available: available && idle,
+            off: pm.state == PmState::Off,
+            on_idle: pm.state == PmState::On && idle,
+            available,
+            class_idx: pm.class_idx,
+            level: match pm.state {
+                PmState::Off | PmState::Failed => PowerLevel::Dark,
+                PmState::Booting { .. } | PmState::ShuttingDown { .. } => PowerLevel::Active,
+                PmState::On => {
+                    if idle {
+                        PowerLevel::Idle
+                    } else {
+                        PowerLevel::Active
+                    }
+                }
+            },
+            used_cores: if available { pm.used().get(0) } else { 0 },
+            cap_cores: if available { pm.capacity().get(0) } else { 0 },
+            used: *pm.used(),
+        }
+    }
+}
+
+/// Incrementally maintained fleet aggregates; see the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct FleetStats {
+    powered: usize,
+    non_idle: usize,
+    idle_available: usize,
+    /// Used / capacity core sums over *available* PMs.
+    avail_used_cores: u64,
+    avail_cap_cores: u64,
+    /// Per-class power-level tallies, indexed by `class_idx`.
+    class_power: Vec<PowerTally>,
+    /// Off PMs in id order (boot candidates).
+    off: BTreeSet<PmId>,
+    /// `On` + idle PMs in id order (shutdown candidates).
+    on_idle: BTreeSet<PmId>,
+    /// Per-dimension free-capacity index over available PMs.
+    capacity: CapacityIndex,
+    /// Contiguous id range `[start, end]` per class, in class order, when
+    /// the fleet is laid out class-by-class (as [`FleetBuilder`] does);
+    /// `None` disables the range fast path for interleaved fleets.
+    class_ranges: Option<Vec<(u32, u32)>>,
+}
+
+impl FleetStats {
+    /// Full O(M) reconstruction — the ground truth the incremental updates
+    /// are audited against.
+    fn rebuild(classes: &[PmClass], pms: &[Pm]) -> Self {
+        let mut stats = FleetStats {
+            class_power: vec![PowerTally::default(); classes.len()],
+            capacity: CapacityIndex::build(
+                pms.iter()
+                    .map(|pm| (pm.is_available(), pm.headroom()))
+                    .collect::<Vec<_>>(),
+            ),
+            class_ranges: Self::contiguous_ranges(classes.len(), pms),
+            ..FleetStats::default()
+        };
+        for pm in pms {
+            stats.admit(pm.id, &PmFootprint::of(pm));
+        }
+        stats
+    }
+
+    /// Per-class `[start, end]` id ranges when every class occupies one
+    /// contiguous block, `None` otherwise.
+    fn contiguous_ranges(n_classes: usize, pms: &[Pm]) -> Option<Vec<(u32, u32)>> {
+        let mut ranges: Vec<Option<(u32, u32)>> = vec![None; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        for pm in pms {
+            let r = ranges.get_mut(pm.class_idx)?;
+            let (lo, hi) = r.get_or_insert((pm.id.0, pm.id.0));
+            *lo = (*lo).min(pm.id.0);
+            *hi = (*hi).max(pm.id.0);
+            counts[pm.class_idx] += 1;
+        }
+        let mut out = Vec::with_capacity(n_classes);
+        for (r, count) in ranges.into_iter().zip(counts) {
+            match r {
+                Some((lo, hi)) if (hi - lo) as usize + 1 == count => out.push((lo, hi)),
+                Some(_) => return None,   // interleaved classes
+                None => out.push((1, 0)), // empty class: inverted range
+            }
+        }
+        Some(out)
+    }
+
+    /// Adds `f`'s contribution.
+    fn admit(&mut self, id: PmId, f: &PmFootprint) {
+        self.powered += f.powered as usize;
+        self.non_idle += f.non_idle as usize;
+        self.idle_available += f.idle_available as usize;
+        self.avail_used_cores += f.used_cores;
+        self.avail_cap_cores += f.cap_cores;
+        match f.level {
+            PowerLevel::Dark => {}
+            PowerLevel::Idle => self.class_power[f.class_idx].idle += 1,
+            PowerLevel::Active => self.class_power[f.class_idx].active += 1,
+        }
+        if f.off {
+            self.off.insert(id);
+        }
+        if f.on_idle {
+            self.on_idle.insert(id);
+        }
+    }
+
+    /// Removes `f`'s contribution.
+    fn retire(&mut self, id: PmId, f: &PmFootprint) {
+        self.powered -= f.powered as usize;
+        self.non_idle -= f.non_idle as usize;
+        self.idle_available -= f.idle_available as usize;
+        self.avail_used_cores -= f.used_cores;
+        self.avail_cap_cores -= f.cap_cores;
+        match f.level {
+            PowerLevel::Dark => {}
+            PowerLevel::Idle => self.class_power[f.class_idx].idle -= 1,
+            PowerLevel::Active => self.class_power[f.class_idx].active -= 1,
+        }
+        if f.off {
+            self.off.remove(&id);
+        }
+        if f.on_idle {
+            self.on_idle.remove(&id);
+        }
+    }
 }
 
 impl Datacenter {
     fn new(classes: Vec<PmClass>, pms: Vec<Pm>) -> Self {
+        let stats = FleetStats::rebuild(&classes, &pms);
         Datacenter {
             classes,
             pms,
             vm_index: BTreeMap::new(),
+            stats,
         }
     }
 
@@ -52,9 +285,17 @@ impl Datacenter {
     }
 
     /// Mutable access to a PM (state changes only; use the reservation
-    /// methods below for occupancy so the VM index stays consistent).
-    pub fn pm_mut(&mut self, id: PmId) -> &mut Pm {
-        &mut self.pms[id.0 as usize]
+    /// methods below for occupancy so the VM index stays consistent). The
+    /// returned guard diffs the PM's [`PmFootprint`] on drop so the fleet
+    /// aggregates stay exact under arbitrary edits.
+    pub fn pm_mut(&mut self, id: PmId) -> PmMut<'_> {
+        let idx = id.0 as usize;
+        let before = PmFootprint::of(&self.pms[idx]);
+        PmMut {
+            dc: self,
+            idx,
+            before,
+        }
     }
 
     /// All PMs in id order.
@@ -73,25 +314,20 @@ impl Datacenter {
     }
 
     /// Number of PMs hosting at least one VM — the paper's `N_nidle(t)`.
+    /// O(1): maintained incrementally.
     pub fn non_idle_count(&self) -> usize {
-        self.pms
-            .iter()
-            .filter(|pm| pm.is_available() && !pm.is_idle())
-            .count()
+        self.stats.non_idle
     }
 
     /// Number of powered PMs (on, booting or shutting down) — what the
-    /// energy bill sees.
+    /// energy bill sees. O(1): maintained incrementally.
     pub fn powered_count(&self) -> usize {
-        self.pms.iter().filter(|pm| pm.is_powered()).count()
+        self.stats.powered
     }
 
-    /// Number of available-and-idle PMs (spare capacity).
+    /// Number of available-and-idle PMs (spare capacity). O(1).
     pub fn idle_available_count(&self) -> usize {
-        self.pms
-            .iter()
-            .filter(|pm| pm.is_available() && pm.is_idle())
-            .count()
+        self.stats.idle_available
     }
 
     /// Total VMs with at least one reservation.
@@ -100,25 +336,76 @@ impl Datacenter {
     }
 
     /// Instantaneous fleet power draw in watts (two-level model).
+    /// O(#classes): per-(class, level) counts times the class wattages, so
+    /// the value is an exact function of the fleet state with no
+    /// accumulated floating-point error.
     pub fn total_power_w(&self) -> f64 {
-        self.pms.iter().map(|pm| pm.power_draw_w()).sum()
+        self.classes
+            .iter()
+            .zip(&self.stats.class_power)
+            .map(|(class, tally)| {
+                tally.active as f64 * class.active_power_w + tally.idle as f64 * class.idle_power_w
+            })
+            .sum()
     }
 
     /// CPU-slot utilization of the *powered* fleet: used cores over the
     /// core capacity of available machines (0 when nothing is powered).
     /// This is the packing-quality signal: a consolidating policy keeps it
-    /// high by powering exactly as many machines as the load needs.
+    /// high by powering exactly as many machines as the load needs. O(1).
     pub fn powered_core_utilization(&self) -> f64 {
-        let (mut used, mut cap) = (0u64, 0u64);
-        for pm in self.pms.iter().filter(|pm| pm.is_available()) {
-            used += pm.used().get(0);
-            cap += pm.capacity().get(0);
-        }
-        if cap == 0 {
+        if self.stats.avail_cap_cores == 0 {
             0.0
         } else {
-            used as f64 / cap as f64
+            self.stats.avail_used_cores as f64 / self.stats.avail_cap_cores as f64
         }
+    }
+
+    /// Ids of powered-off PMs, in id order. O(1) per step.
+    pub fn off_pm_ids(&self) -> impl DoubleEndedIterator<Item = PmId> + '_ {
+        self.stats.off.iter().copied()
+    }
+
+    /// Ids of `On`-and-idle PMs (shutdown candidates), in id order.
+    /// O(1) per step; reverse for highest-first.
+    pub fn on_idle_pm_ids(&self) -> impl DoubleEndedIterator<Item = PmId> + '_ {
+        self.stats.on_idle.iter().copied()
+    }
+
+    /// Lowest-id `Off` PM whose *class capacity* covers `spec` — what a
+    /// boot request scans for. O(#classes · log M) on class-contiguous
+    /// fleets via per-class range probes of the off set.
+    pub fn first_off_fitting(&self, spec: &ResourceVector) -> Option<PmId> {
+        if let Some(ranges) = &self.stats.class_ranges {
+            let mut best: Option<PmId> = None;
+            for (class, &(lo, hi)) in self.classes.iter().zip(ranges) {
+                if lo > hi || !spec.le(&class.capacity) {
+                    continue;
+                }
+                if let Some(&id) = self.stats.off.range(PmId(lo)..=PmId(hi)).next() {
+                    if best.map_or(true, |b| id < b) {
+                        best = Some(id);
+                    }
+                }
+            }
+            best
+        } else {
+            self.stats
+                .off
+                .iter()
+                .find(|&&id| spec.le(self.pm(id).capacity()))
+                .copied()
+        }
+    }
+
+    /// Lowest-id available PM that can host `req` on top of its current
+    /// occupation — identical to `pms().iter().find(|pm| pm.can_host(req))`
+    /// but O(log M) via the capacity index.
+    pub fn first_fit_available(&self, req: &ResourceVector) -> Option<PmId> {
+        self.stats
+            .capacity
+            .first_fit(req)
+            .map(|idx| PmId(idx as u32))
     }
 
     /// The PMs a VM is currently reserved on (current host first).
@@ -131,9 +418,26 @@ impl Datacenter {
         self.vm_index.get(&vm).and_then(|v| v.first().copied())
     }
 
+    /// Applies `f` to one PM and folds the footprint delta into `stats`.
+    fn update_pm<R>(&mut self, id: PmId, f: impl FnOnce(&mut Pm) -> R) -> R {
+        let idx = id.0 as usize;
+        let before = PmFootprint::of(&self.pms[idx]);
+        let result = f(&mut self.pms[idx]);
+        let pm = &self.pms[idx];
+        let after = PmFootprint::of(pm);
+        if after != before {
+            self.stats.retire(id, &before);
+            self.stats.admit(id, &after);
+            self.stats
+                .capacity
+                .set(idx, pm.is_available(), &pm.headroom());
+        }
+        result
+    }
+
     /// Reserves `demand` for `vm` on `pm` as its (sole) current host.
     pub fn place(&mut self, vm: VmId, pm: PmId, demand: ResourceVector) -> Result<(), PmError> {
-        self.pms[pm.0 as usize].reserve(vm, demand)?;
+        self.update_pm(pm, |p| p.reserve(vm, demand))?;
         self.vm_index.entry(vm).or_default().push(pm);
         Ok(())
     }
@@ -146,7 +450,7 @@ impl Datacenter {
         to: PmId,
         demand: ResourceVector,
     ) -> Result<(), PmError> {
-        self.pms[to.0 as usize].reserve(vm, demand)?;
+        self.update_pm(to, |p| p.reserve(vm, demand))?;
         let hosts = self.vm_index.entry(vm).or_default();
         hosts.insert(0, to);
         Ok(())
@@ -154,7 +458,7 @@ impl Datacenter {
 
     /// Completes a live migration: releases the reservation on `from`.
     pub fn finish_migration(&mut self, vm: VmId, from: PmId) -> Result<(), PmError> {
-        self.pms[from.0 as usize].release(vm)?;
+        self.update_pm(from, |p| p.release(vm))?;
         if let Some(hosts) = self.vm_index.get_mut(&vm) {
             hosts.retain(|&p| p != from);
         }
@@ -166,8 +470,7 @@ impl Datacenter {
     pub fn remove_vm(&mut self, vm: VmId) -> Vec<PmId> {
         let hosts = self.vm_index.remove(&vm).unwrap_or_default();
         for &pm in &hosts {
-            self.pms[pm.0 as usize]
-                .release(vm)
+            self.update_pm(pm, |p| p.release(vm))
                 .expect("index and reservations agree");
         }
         hosts
@@ -177,8 +480,11 @@ impl Datacenter {
     /// that were also reserved elsewhere (mid-migration) keep their other
     /// reservation.
     pub fn fail_pm(&mut self, pm: PmId) -> Vec<VmId> {
-        let evicted = self.pms[pm.0 as usize].evict_all();
-        self.pms[pm.0 as usize].state = PmState::Failed;
+        let evicted = self.update_pm(pm, |p| {
+            let evicted = p.evict_all();
+            p.state = PmState::Failed;
+            evicted
+        });
         for &vm in &evicted {
             if let Some(hosts) = self.vm_index.get_mut(&vm) {
                 hosts.retain(|&p| p != pm);
@@ -194,7 +500,8 @@ impl Datacenter {
     ///
     /// # Panics
     /// Panics if a PM's `used` does not equal the sum of its reservations,
-    /// or the VM index disagrees with the per-PM reservation sets.
+    /// the VM index disagrees with the per-PM reservation sets, or the
+    /// incremental fleet aggregates have drifted from a fresh recompute.
     pub fn assert_consistent(&self) {
         for pm in &self.pms {
             let mut sum = ResourceVector::zero(pm.capacity().k());
@@ -220,6 +527,49 @@ impl Datacenter {
                     "{vm} indexed on {pm} without a reservation"
                 );
             }
+        }
+        assert_eq!(
+            self.stats,
+            FleetStats::rebuild(&self.classes, &self.pms),
+            "incremental fleet aggregates drifted from recompute"
+        );
+    }
+}
+
+/// Drop guard returned by [`Datacenter::pm_mut`]: dereferences to the PM
+/// and folds whatever changed into the fleet aggregates when dropped.
+#[derive(Debug)]
+pub struct PmMut<'a> {
+    dc: &'a mut Datacenter,
+    idx: usize,
+    before: PmFootprint,
+}
+
+impl Deref for PmMut<'_> {
+    type Target = Pm;
+    fn deref(&self) -> &Pm {
+        &self.dc.pms[self.idx]
+    }
+}
+
+impl DerefMut for PmMut<'_> {
+    fn deref_mut(&mut self) -> &mut Pm {
+        &mut self.dc.pms[self.idx]
+    }
+}
+
+impl Drop for PmMut<'_> {
+    fn drop(&mut self) {
+        let pm = &self.dc.pms[self.idx];
+        let after = PmFootprint::of(pm);
+        if after != self.before {
+            let id = PmId(self.idx as u32);
+            self.dc.stats.retire(id, &self.before);
+            self.dc.stats.admit(id, &after);
+            self.dc
+                .stats
+                .capacity
+                .set(self.idx, pm.is_available(), &pm.headroom());
         }
     }
 }
@@ -441,5 +791,113 @@ mod tests {
         dc.pm_mut(PmId(1)).state = PmState::Off;
         assert_eq!(dc.non_idle_count(), 1);
         assert_eq!(dc.idle_available_count(), 3);
+    }
+
+    #[test]
+    fn stats_survive_raw_state_edits_through_pm_mut() {
+        // The drop guard must fold arbitrary edits (state flips, direct
+        // reservations, reliability tweaks) into the aggregates.
+        let mut dc = on_fleet();
+        dc.pm_mut(PmId(2)).state = PmState::ShuttingDown {
+            off_at: dvmp_simcore::SimTime::from_secs(55),
+        };
+        dc.pm_mut(PmId(3)).state = PmState::Failed;
+        {
+            let mut pm = dc.pm_mut(PmId(0));
+            pm.reserve(VmId(7), vm_demand()).unwrap();
+            pm.reliability = 0.5;
+        }
+        // Keep the VM index in sync with the raw reservation so the full
+        // consistency check (index ⇄ reservations) also passes.
+        dc.vm_index.entry(VmId(7)).or_default().push(PmId(0));
+        dc.assert_consistent();
+        assert_eq!(dc.powered_count(), 4, "failed PM no longer powered");
+        assert_eq!(dc.non_idle_count(), 1);
+    }
+
+    #[test]
+    fn off_and_on_idle_sets_track_transitions() {
+        let mut dc = on_fleet();
+        assert_eq!(dc.off_pm_ids().count(), 0);
+        assert_eq!(
+            dc.on_idle_pm_ids().collect::<Vec<_>>(),
+            vec![PmId(0), PmId(1), PmId(2), PmId(3), PmId(4)]
+        );
+        dc.pm_mut(PmId(1)).state = PmState::Off;
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        assert_eq!(dc.off_pm_ids().collect::<Vec<_>>(), vec![PmId(1)]);
+        assert_eq!(
+            dc.on_idle_pm_ids().rev().collect::<Vec<_>>(),
+            vec![PmId(4), PmId(3), PmId(2)],
+            "reverse order serves shutdown-highest-first"
+        );
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn first_off_fitting_respects_class_capacity_and_id_order() {
+        let mut dc = paper_fleet(); // everything off: 25 fast, 75 slow
+        assert_eq!(
+            dc.first_off_fitting(&ResourceVector::cpu_mem(1, 512)),
+            Some(PmId(0))
+        );
+        // Needs > 4 cores: only the fast class fits.
+        assert_eq!(
+            dc.first_off_fitting(&ResourceVector::cpu_mem(6, 512)),
+            Some(PmId(0))
+        );
+        dc.pm_mut(PmId(0)).state = PmState::On;
+        assert_eq!(
+            dc.first_off_fitting(&ResourceVector::cpu_mem(6, 512)),
+            Some(PmId(1))
+        );
+        // Nothing fits a demand beyond every class.
+        assert_eq!(
+            dc.first_off_fitting(&ResourceVector::cpu_mem(16, 512)),
+            None
+        );
+        // Small demand boots the lowest id overall even when fast PMs are
+        // exhausted.
+        for id in 0..25u32 {
+            dc.pm_mut(PmId(id)).state = PmState::On;
+        }
+        assert_eq!(
+            dc.first_off_fitting(&ResourceVector::cpu_mem(1, 512)),
+            Some(PmId(25))
+        );
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn first_fit_available_matches_linear_scan() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(8, 1_024))
+            .unwrap();
+        dc.pm_mut(PmId(1)).state = PmState::Off;
+        for req in [
+            ResourceVector::cpu_mem(1, 512),
+            ResourceVector::cpu_mem(4, 4_096),
+            ResourceVector::cpu_mem(5, 512),
+            ResourceVector::cpu_mem(9, 512),
+        ] {
+            let linear = dc.pms().iter().find(|pm| pm.can_host(&req)).map(|pm| pm.id);
+            assert_eq!(dc.first_fit_available(&req), linear, "req {req}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_stats() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.pm_mut(PmId(4)).state = PmState::Off;
+        let json = serde_json::to_string(&dc).unwrap();
+        let back: Datacenter = serde_json::from_str(&json).unwrap();
+        back.assert_consistent();
+        assert_eq!(back.total_power_w(), dc.total_power_w());
+        assert_eq!(back.powered_count(), dc.powered_count());
+        assert_eq!(
+            back.first_fit_available(&vm_demand()),
+            dc.first_fit_available(&vm_demand())
+        );
     }
 }

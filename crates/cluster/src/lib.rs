@@ -13,14 +13,16 @@
 
 pub mod datacenter;
 pub mod digest;
+pub mod index;
 pub mod pm;
 pub mod power;
 pub mod reliability;
 pub mod resources;
 pub mod vm;
 
-pub use datacenter::{paper_fleet, Datacenter, FleetBuilder};
+pub use datacenter::{paper_fleet, Datacenter, FleetBuilder, PmMut};
 pub use digest::Fnv64;
+pub use index::CapacityIndex;
 pub use pm::{Pm, PmClass, PmId, PmState};
 pub use power::PowerModel;
 pub use resources::ResourceVector;

@@ -41,7 +41,7 @@ impl ReliabilityModel {
             ReliabilityModel::Jittered { spread } => {
                 let mut rng = stream_rng(seed, Stream::Reliability);
                 for id in dc.pm_ids().collect::<Vec<_>>() {
-                    let pm = dc.pm_mut(id);
+                    let mut pm = dc.pm_mut(id);
                     let base = pm.reliability;
                     let jitter: f64 = rng.gen_range(-spread..=spread);
                     pm.reliability = (base + jitter).clamp(1e-6, 1.0);

@@ -7,7 +7,8 @@
 
 use crate::config::SimConfig;
 use crate::simulator::Simulation;
-use dvmp_cluster::datacenter::{paper_fleet, Datacenter};
+use dvmp_cluster::datacenter::{paper_fleet, Datacenter, FleetBuilder};
+use dvmp_cluster::pm::PmClass;
 use dvmp_cluster::reliability::ReliabilityModel;
 use dvmp_cluster::vm::VmSpec;
 use dvmp_metrics::recorder::RunReport;
@@ -52,6 +53,36 @@ impl Scenario {
     /// the policy). Fully determined by `seed`.
     pub fn paper(seed: u64) -> Self {
         Self::from_profile("paper-week", LpcProfile::paper_calibrated(), seed)
+    }
+
+    /// A scaled-up paper week for throughput experiments: a fleet of
+    /// `pm_count` machines in the paper's 1:3 fast:slow class mix, driven
+    /// by the calibrated LPC week with arrivals multiplied so the run sees
+    /// roughly five VM requests per PM over the seven days (the paper's
+    /// 100-PM week has ~4 574 arrivals ≈ 100 PMs × 5 × 9.15, so the
+    /// multiplier is `pm_count / 915`). At 10 000 PMs that is a ~50 000-VM
+    /// week. Fully determined by `seed`; everything else (control period,
+    /// ε, horizon) matches [`Scenario::paper`].
+    pub fn scaled(pm_count: usize, seed: u64) -> Self {
+        assert!(pm_count >= 4, "scaled fleets need at least 4 PMs");
+        let fast = pm_count / 4;
+        let slow = pm_count - fast;
+        let fleet = FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), fast, 0.99)
+            .add_class(PmClass::paper_slow(), slow, 0.99)
+            .initially_on(false)
+            .build();
+        let mut profile = LpcProfile::paper_calibrated();
+        let factor = pm_count as f64 / 915.0;
+        for d in &mut profile.daily_arrivals {
+            *d *= factor;
+        }
+        let days = profile.days() as u64;
+        let trace = SyntheticGenerator::new(profile, seed).generate();
+        let mut sim = SimConfig::default();
+        sim.seed = seed;
+        sim.horizon = SimTime::from_days(days);
+        Self::from_trace(format!("scaled-{pm_count}pm"), fleet, &trace, sim)
     }
 
     /// A scenario from any synthetic workload profile on the paper fleet.
@@ -134,6 +165,18 @@ impl Scenario {
         .run()
     }
 
+    /// Like [`run`](Self::run), additionally returning the number of
+    /// events the engine processed (for events/sec throughput rows).
+    pub fn run_counting(&self, policy: Box<dyn PlacementPolicy>) -> (RunReport, u64) {
+        Simulation::new(
+            self.fleet.clone(),
+            self.requests.clone(),
+            policy,
+            self.sim.clone(),
+        )
+        .run_counting()
+    }
+
     /// Like [`run`](Self::run), additionally collecting the milestone
     /// [`Timeline`](crate::timeline::Timeline) of the run.
     pub fn run_with_timeline(
@@ -201,6 +244,25 @@ mod tests {
         let load = s.mean_offered_concurrency();
         assert!(load < 450.0, "offered load {load}");
         assert_eq!(s.control_periods(), 7 * 24);
+    }
+
+    #[test]
+    fn scaled_scenario_shape() {
+        let s = Scenario::scaled(1_000, 42);
+        assert_eq!(s.fleet().len(), 1_000);
+        assert_eq!(s.days(), 7);
+        // ~5 VM requests per PM over the week.
+        let n = s.requests().len() as f64;
+        let expected = 4_574.0 * 1_000.0 / 915.0;
+        assert!((n - expected).abs() < expected * 0.05, "requests {n}");
+        // The class mix stays 1:3 fast:slow.
+        let fast = s
+            .fleet()
+            .pms()
+            .iter()
+            .filter(|p| p.class.name == PmClass::paper_fast().name)
+            .count();
+        assert_eq!(fast, 250);
     }
 
     #[test]

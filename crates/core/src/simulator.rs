@@ -182,22 +182,19 @@ impl SimWorld {
         if self.cfg.spare.is_none() {
             return; // all machines are permanently on
         }
-        let candidate = self
-            .dc
-            .pms()
-            .iter()
-            .find(|pm| pm.state == PmState::Off && spec.resources.le(pm.capacity()))
-            .map(|pm| pm.id);
-        if let Some(pm) = candidate {
+        if let Some(pm) = self.dc.first_off_fitting(&spec.resources) {
             self.boot_pm(pm, now, sched);
         }
     }
 
     fn boot_pm(&mut self, id: PmId, now: SimTime, sched: &mut Scheduler<Event>) {
-        let pm = self.dc.pm_mut(id);
-        debug_assert_eq!(pm.state, PmState::Off);
-        let ready = now + pm.class.on_off_time;
-        pm.state = PmState::Booting { ready_at: ready };
+        let ready = {
+            let mut pm = self.dc.pm_mut(id);
+            debug_assert_eq!(pm.state, PmState::Off);
+            let ready = now + pm.class.on_off_time;
+            pm.state = PmState::Booting { ready_at: ready };
+            ready
+        };
         sched.schedule_at(ready, Event::BootDone(id));
         self.mark(now, Milestone::BootStarted(id));
     }
@@ -206,10 +203,13 @@ impl SimWorld {
         if let Some(ev) = self.failure_events.remove(&id) {
             sched.cancel(ev);
         }
-        let pm = self.dc.pm_mut(id);
-        debug_assert!(pm.is_idle() && pm.state == PmState::On);
-        let off_at = now + pm.class.on_off_time;
-        pm.state = PmState::ShuttingDown { off_at };
+        let off_at = {
+            let mut pm = self.dc.pm_mut(id);
+            debug_assert!(pm.is_idle() && pm.state == PmState::On);
+            let off_at = now + pm.class.on_off_time;
+            pm.state = PmState::ShuttingDown { off_at };
+            off_at
+        };
         sched.schedule_at(off_at, Event::ShutdownDone(id));
         self.mark(now, Milestone::ShutdownStarted(id));
     }
@@ -339,39 +339,18 @@ impl SimWorld {
         let desired = self.spare_target as usize;
         let idle_avail = self.dc.idle_available_count();
         if idle_avail < desired {
-            let mut need = desired - idle_avail;
-            let off: Vec<PmId> = self
-                .dc
-                .pms()
-                .iter()
-                .filter(|pm| pm.state == PmState::Off)
-                .map(|pm| pm.id)
-                .collect();
+            let need = desired - idle_avail;
+            let off: Vec<PmId> = self.dc.off_pm_ids().take(need).collect();
             for id in off {
-                if need == 0 {
-                    break;
-                }
                 self.boot_pm(id, now, sched);
-                need -= 1;
             }
         } else if idle_avail > desired {
-            let mut excess = idle_avail - desired;
+            let excess = idle_avail - desired;
             // Shut highest ids first: in the paper fleet those are the slow
             // nodes, keeping the efficient machines warm.
-            let on_idle: Vec<PmId> = self
-                .dc
-                .pms()
-                .iter()
-                .rev()
-                .filter(|pm| pm.state == PmState::On && pm.is_idle())
-                .map(|pm| pm.id)
-                .collect();
+            let on_idle: Vec<PmId> = self.dc.on_idle_pm_ids().rev().take(excess).collect();
             for id in on_idle {
-                if excess == 0 {
-                    break;
-                }
                 self.shutdown_pm(id, now, sched);
-                excess -= 1;
             }
         }
     }
@@ -691,6 +670,16 @@ impl Simulation {
     /// Runs to the horizon and produces the report.
     pub fn run(mut self) -> RunReport {
         self.execute()
+    }
+
+    /// Runs to the horizon, returning the report together with the number
+    /// of events the engine processed — the numerator of the events/sec
+    /// throughput metric the scaling benchmarks record. (`run` consumes
+    /// the simulation, so the count cannot be read afterwards otherwise.)
+    pub fn run_counting(mut self) -> (RunReport, u64) {
+        let report = self.execute();
+        let events = self.events_processed();
+        (report, events)
     }
 
     fn execute(&mut self) -> RunReport {

@@ -37,13 +37,20 @@ pub struct DynamicConfig {
     /// across worker threads. Below it the sequential path runs — thread
     /// spawn overhead dwarfs the win on small fleets. The parallel build is
     /// bit-identical to the sequential one (DESIGN.md §8), so this is a
-    /// pure performance knob.
+    /// pure performance knob. The default is host-aware (see
+    /// [`DynamicConfig::auto_par_rows_cutoff`]); set it explicitly to force
+    /// either path.
     #[serde(default = "default_par_rows_cutoff")]
     pub par_rows_cutoff: usize,
 }
 
+/// Measured crossover on a multi-core host (`perf_report` matrix-build
+/// rows): below roughly this many rows the sequential fill wins; above it
+/// chunking pays for its thread-spawn overhead.
+pub const MEASURED_PAR_ROWS_CUTOFF: usize = 256;
+
 fn default_par_rows_cutoff() -> usize {
-    256
+    DynamicConfig::auto_par_rows_cutoff()
 }
 
 impl Default for DynamicConfig {
@@ -62,6 +69,22 @@ impl Default for DynamicConfig {
 }
 
 impl DynamicConfig {
+    /// Host-aware default for [`par_rows_cutoff`](Self::par_rows_cutoff):
+    /// the measured crossover ([`MEASURED_PAR_ROWS_CUTOFF`]) when the host
+    /// has more than one worker available, and `usize::MAX` (never chunk)
+    /// on a single-worker host, where the chunked path is pure overhead at
+    /// any problem size.
+    pub fn auto_par_rows_cutoff() -> usize {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if workers > 1 {
+            MEASURED_PAR_ROWS_CUTOFF
+        } else {
+            usize::MAX
+        }
+    }
+
     /// Validates the configuration, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -89,7 +112,7 @@ mod tests {
         assert_eq!(c.mig_round, 20);
         assert_eq!(c.overhead_mode, OverheadMode::PaperJoint);
         assert!(c.use_vir && c.use_rel && c.use_eff);
-        assert_eq!(c.par_rows_cutoff, 256);
+        assert_eq!(c.par_rows_cutoff, DynamicConfig::auto_par_rows_cutoff());
         assert!(c.validate().is_ok());
     }
 
@@ -99,7 +122,11 @@ mod tests {
         // the default cutoff: strip the field from a serialized default
         // config and parse what remains.
         let full = serde_json::to_string(&DynamicConfig::default()).unwrap();
-        let legacy = full.replace(",\"par_rows_cutoff\":256", "");
+        let knob = format!(
+            ",\"par_rows_cutoff\":{}",
+            DynamicConfig::auto_par_rows_cutoff()
+        );
+        let legacy = full.replace(&knob, "");
         assert_ne!(legacy, full, "the knob serializes");
         let c: DynamicConfig = serde_json::from_str(&legacy).expect("legacy config parses");
         assert_eq!(c, DynamicConfig::default());

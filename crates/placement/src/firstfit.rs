@@ -1,7 +1,9 @@
 //! First-fit static baseline (Section V): *"the new arrival VM request will
 //! be placed to the first PM with available computation resources"*.
 //!
-//! PMs are scanned in id order; the scheme never migrates.
+//! PMs are considered in id order; the scheme never migrates. The scan is
+//! answered by the datacenter's capacity index in O(log M) — exactly the
+//! PM a linear id-order sweep would pick.
 
 use crate::policy::{PlacementPolicy, PlacementView};
 use dvmp_cluster::pm::PmId;
@@ -17,11 +19,7 @@ impl PlacementPolicy for FirstFit {
     }
 
     fn place(&mut self, view: &PlacementView<'_>, vm: &VmSpec) -> Option<PmId> {
-        view.dc
-            .pms()
-            .iter()
-            .find(|pm| pm.can_host(&vm.resources))
-            .map(|pm| pm.id)
+        view.dc.first_fit_available(&vm.resources)
     }
 }
 

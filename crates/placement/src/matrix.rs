@@ -77,6 +77,18 @@ pub struct ProbabilityMatrix {
     kernel: MatrixKernel,
 }
 
+/// Number of worker threads a chunked (re)build uses for a `rows`-row
+/// matrix on this host: the available parallelism, clamped to at least 2
+/// chunks (so the chunked path and its determinism are always exercised
+/// when enabled) and at most one chunk per row. Public so `perf_report`
+/// can record the worker count the benchmarks actually ran with.
+pub fn parallel_workers(rows: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, rows.max(2))
+}
+
 /// Fills one PM row's entries into `out` (`out.len() == plan.vms.len()`).
 /// Free function so parallel builds can run it on disjoint row chunks.
 /// `vir_cache` is the class-major cache described on [`ProbabilityMatrix`]
@@ -136,16 +148,19 @@ impl ProbabilityMatrix {
     /// entry and cache allocations. The planner holds one matrix across
     /// passes and calls this instead of [`build`](Self::build), so
     /// steady-state planning does not allocate here.
+    ///
+    /// The buffers are resized without clearing: every `rows × cols` entry
+    /// (and every `host_p` / live `vir_cache` slot) is overwritten below,
+    /// so the fresh build's zero-fill would be a pure memset tax on the
+    /// reuse path — measurably the difference between arena reuse winning
+    /// and merely tying (`perf_report`'s `plan_pass` row).
     pub fn rebuild(&mut self, plan: &PlanState, ctx: &EvalContext<'_>) {
         self.rows = plan.pms.len();
         self.cols = plan.vms.len();
-        self.p.clear();
         self.p.resize(self.rows * self.cols, 0.0);
-        self.host_p.clear();
         self.host_p.resize(self.cols, 0.0);
         if self.kernel == MatrixKernel::Fast {
             self.class_table.rebuild(plan, &ctx.cfg.min_vm);
-            self.vir_cache.clear();
             self.vir_cache
                 .resize(self.class_table.class_count() * self.cols, 0.0);
             for class in 0..self.class_table.class_count() {
@@ -198,12 +213,7 @@ impl ProbabilityMatrix {
         let (rows, cols, kernel) = (*rows, *cols, *kernel);
         let table = &*class_table;
         let vir_cache = &*vir_cache;
-        // At least 2 chunks even on a single-core host, so the chunked
-        // path (and its determinism) is always exercised when enabled.
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .clamp(2, rows);
+        let threads = parallel_workers(rows);
         let chunk_rows = rows.div_ceil(threads);
         crossbeam::scope(|s| {
             for (i, chunk) in p.chunks_mut(chunk_rows * cols).enumerate() {

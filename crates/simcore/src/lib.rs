@@ -11,6 +11,9 @@
 //! - [`event`] and [`queue`]: a cancellable priority event queue with a
 //!   *stable* total order — ties in time are broken by insertion sequence so
 //!   that simulations are bit-reproducible.
+//! - [`calendar`]: a calendar-queue (bucketed timing-wheel) implementation
+//!   of the same future-event list with O(1) amortized schedule/pop; the
+//!   engine's default. Selected per [`Scheduler`] via [`QueueKind`].
 //! - [`engine`]: a minimal event loop driving a user-supplied [`World`]
 //!   state machine.
 //! - [`rng`]: seed-derivation utilities so that independent stochastic
@@ -22,6 +25,7 @@
 //!
 //! Nothing in this crate knows about VMs or PMs; it is a reusable kernel.
 
+pub mod calendar;
 pub mod dist;
 pub mod engine;
 pub mod event;
@@ -31,7 +35,8 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Engine, Scheduler, World};
+pub use calendar::CalendarQueue;
+pub use engine::{Engine, QueueKind, Scheduler, World};
 pub use event::{EventEntry, EventId};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};
