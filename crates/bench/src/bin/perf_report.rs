@@ -16,7 +16,17 @@
 //!    fleets (up to 10k PMs / ~50k VM requests at full scale), recording
 //!    wall time and engine events/sec, the throughput metric the
 //!    calendar-queue scheduler and incremental fleet accounting exist
-//!    to improve.
+//!    to improve — plus dynamic-scheme rows at 1k/5k PMs, which measure
+//!    the planning pass itself at scale;
+//! 6. incremental planning — steady-state passes of the journal-driven
+//!    delta update (DESIGN.md §8) vs forced fresh rebuilds, on converged
+//!    fleets at 100×500 and 1k×5k, asserting the two paths propose
+//!    identical migration plans.
+//!
+//! Each matrix-build row also records the kernel
+//! `DynamicConfig::auto_par_rows_cutoff` selects for that shape next to
+//! the measured per-kernel timings; the CI gate fails when the selected
+//! kernel is not (within noise) the measured winner.
 //!
 //! Results go to stdout and to `BENCH_placement.json` in the working
 //! directory (schema documented in DESIGN.md §8). `--smoke` shrinks the
@@ -25,7 +35,10 @@
 //! Usage: `perf_report [--smoke] [seed]`
 
 use dvmp::prelude::*;
-use dvmp_bench::fragmented_fixture;
+use dvmp_bench::{fragmented_fixture, fragmented_fixture_scaled};
+use dvmp_cluster::pm::PmId;
+use dvmp_cluster::vm::VmState;
+use dvmp_cluster::FleetDelta;
 use dvmp_placement::factors::EvalContext;
 use dvmp_placement::matrix::MatrixKernel;
 use dvmp_placement::plan::PlanState;
@@ -44,6 +57,31 @@ struct MatrixBuildBench {
     speedup_fast_vs_reference: f64,
     speedup_parallel_vs_reference: f64,
     bit_identical: bool,
+    /// Kernel `DynamicConfig::auto_par_rows_cutoff` picks at this shape on
+    /// this host ("sequential" or "parallel") and its measured time.
+    chosen_kernel: &'static str,
+    chosen_ns: f64,
+    /// The faster of the two auto-selectable kernels at this shape.
+    winner_kernel: &'static str,
+    winner_ns: f64,
+}
+
+#[derive(Serialize)]
+struct IncrementalPlanBench {
+    pms: usize,
+    vms: usize,
+    iters: usize,
+    /// Median full planning pass with `incremental = false` (fresh matrix
+    /// rebuild each pass, arena reuse on).
+    fresh_ns: f64,
+    /// Median planning pass consuming a small steady-state fleet delta
+    /// (two dirty PMs, one churned VM) through the journal-driven update.
+    delta_ns: f64,
+    speedup_delta: f64,
+    /// The two paths proposed identical migration sequences.
+    plans_identical: bool,
+    incremental_passes: u64,
+    full_rebuilds: u64,
 }
 
 #[derive(Serialize)]
@@ -101,10 +139,20 @@ struct PerfReport {
     matrix_workers: usize,
     matrix_build: Vec<MatrixBuildBench>,
     plan_pass: PlanPassBench,
+    incremental_plan: Vec<IncrementalPlanBench>,
     end_to_end: EndToEndBench,
     oracle_overhead: OracleOverheadBench,
     scaling: Vec<ScalingBench>,
 }
+
+/// Full-scale acceptance floor: a steady-state delta pass at 1k PMs must
+/// beat a fresh rebuild by at least this factor (DESIGN.md §8).
+const DELTA_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Tolerance for the kernel auto-selection check: the selected kernel may
+/// measure at most this much slower than the per-shape winner before the
+/// report (and the CI gate) treat it as a mis-selection rather than noise.
+const KERNEL_SELECTION_TOLERANCE: f64 = 1.3;
 
 /// The acceptance budget for checked mode: the oracle may cost at most
 /// this much end-to-end wall time at paper scale (DESIGN.md §9).
@@ -167,6 +215,24 @@ fn bench_matrix_build(n_vms: u32, iters: usize) -> MatrixBuildBench {
         }
     }
 
+    // What auto selection would run at this shape on this host, vs the
+    // kernel that actually measured fastest here.
+    let chosen_kernel = if plan.pms.len() >= DynamicConfig::auto_par_rows_cutoff() {
+        "parallel"
+    } else {
+        "sequential"
+    };
+    let chosen_ns = if chosen_kernel == "parallel" {
+        parallel_ns
+    } else {
+        fast_ns
+    };
+    let (winner_kernel, winner_ns) = if fast_ns <= parallel_ns {
+        ("sequential", fast_ns)
+    } else {
+        ("parallel", parallel_ns)
+    };
+
     MatrixBuildBench {
         pms: plan.pms.len(),
         vms: plan.vms.len(),
@@ -177,6 +243,10 @@ fn bench_matrix_build(n_vms: u32, iters: usize) -> MatrixBuildBench {
         speedup_fast_vs_reference: reference_ns / fast_ns,
         speedup_parallel_vs_reference: reference_ns / parallel_ns,
         bit_identical,
+        chosen_kernel,
+        chosen_ns,
+        winner_kernel,
+        winner_ns,
     }
 }
 
@@ -203,6 +273,87 @@ fn bench_plan_pass(n_vms: u32, iters: usize) -> PlanPassBench {
         fresh_policy_ns,
         reused_arena_ns,
         speedup_reuse: fresh_policy_ns / reused_arena_ns,
+    }
+}
+
+/// Steady-state incremental planning: converge a fragmented fleet under
+/// the scheme first (so the measured passes reflect a settled datacenter,
+/// not the initial consolidation storm), then time full passes of a
+/// forced-rebuild policy against passes of an incremental policy fed a
+/// small per-pass fleet delta through the journal interface.
+fn bench_incremental_plan(pm_count: usize, n_vms: u32, iters: usize) -> IncrementalPlanBench {
+    let (mut dc, mut vms) = fragmented_fixture_scaled(pm_count, n_vms);
+    let now = dvmp_simcore::SimTime::from_secs(1_000);
+
+    let mut conv = DynamicPlacement::paper_default();
+    for _ in 0..200 {
+        let moves = {
+            let view = PlacementView {
+                dc: &dc,
+                vms: &vms,
+                now,
+            };
+            conv.plan_migrations(&view)
+        };
+        if moves.is_empty() {
+            break;
+        }
+        for m in &moves {
+            let res = vms[&m.vm].spec.resources;
+            if dc.host_of(m.vm) == Some(m.from) && dc.pm(m.to).can_host(&res) {
+                dc.begin_migration(m.vm, m.to, res).unwrap();
+                dc.finish_migration(m.vm, m.from).unwrap();
+                vms.get_mut(&m.vm).unwrap().state = VmState::Running { pm: m.to };
+            }
+        }
+    }
+    dc.take_fleet_delta(); // discard the convergence dirt
+
+    // The steady-state delta a control period typically drains: a couple
+    // of PM footprint changes and one churned VM.
+    let mut delta = FleetDelta::new();
+    delta.note_pm(PmId(0));
+    delta.note_pm(PmId((pm_count / 2) as u32));
+    if let Some(&vm0) = vms.keys().next() {
+        delta.note_vm(vm0);
+    }
+    let view = PlacementView {
+        dc: &dc,
+        vms: &vms,
+        now,
+    };
+
+    let fresh_cfg = DynamicConfig {
+        incremental: false,
+        ..DynamicConfig::default()
+    };
+    let mut fresh = DynamicPlacement::new(fresh_cfg);
+    fresh.plan_migrations(&view); // warm the arenas
+    let fresh_ns = median_ns(iters, || {
+        fresh.plan_migrations(&view);
+    });
+
+    let mut inc = DynamicPlacement::paper_default();
+    inc.plan_migrations(&view); // warm: full build + snapshot capture
+    let delta_ns = median_ns(iters, || {
+        inc.note_fleet_delta(delta.clone());
+        inc.plan_migrations(&view);
+    });
+
+    inc.note_fleet_delta(delta.clone());
+    let a = inc.plan_migrations(&view);
+    let b = fresh.plan_migrations(&view);
+
+    IncrementalPlanBench {
+        pms: dc.len(),
+        vms: vms.len(),
+        iters,
+        fresh_ns,
+        delta_ns,
+        speedup_delta: fresh_ns / delta_ns,
+        plans_identical: a == b,
+        incremental_passes: inc.incremental_passes(),
+        full_rebuilds: inc.full_rebuilds(),
     }
 }
 
@@ -257,22 +408,27 @@ fn bench_oracle_overhead(seed: u64, days: u64) -> OracleOverheadBench {
     }
 }
 
-fn bench_scaling(pm_count: usize, days: u64, seed: u64) -> ScalingBench {
-    // First-fit is the policy that makes sense at these scales: the
-    // dynamic scheme's planning pass is O(M·N) per control period, so the
-    // rows measure the event core (scheduler + fleet accounting), not the
-    // placement matrix.
+// First-fit rows measure the event core (scheduler + fleet accounting)
+// without planning cost; dynamic rows add the scheme's control-period
+// planning pass, the thing incremental planning exists to make scale.
+fn bench_scaling(
+    pm_count: usize,
+    days: u64,
+    seed: u64,
+    policy: &'static str,
+    make: impl Fn() -> Box<dyn PlacementPolicy>,
+) -> ScalingBench {
     let scenario = Scenario::scaled(pm_count, seed).with_days(days);
     let vm_requests = scenario.requests().len();
     let t = Instant::now();
-    let (report, events) = scenario.run_counting(Box::new(FirstFit));
+    let (report, events) = scenario.run_counting(make());
     let wall_seconds = t.elapsed().as_secs_f64();
     assert!(report.total_arrivals > 0, "scaled scenario saw no arrivals");
     ScalingBench {
         pms: pm_count,
         vm_requests,
         days,
-        policy: "first-fit",
+        policy,
         events,
         wall_seconds,
         events_per_sec: events as f64 / wall_seconds,
@@ -330,6 +486,30 @@ fn main() {
         plan_pass.speedup_reuse
     );
 
+    // Incremental planning: smoke keeps the paper-scale shape only; the
+    // full run adds the 1k×5k acceptance shape.
+    let inc_shapes: &[(usize, u32)] = if smoke {
+        &[(100, 500)]
+    } else {
+        &[(100, 500), (1_000, 5_000)]
+    };
+    let incremental_plan: Vec<IncrementalPlanBench> = inc_shapes
+        .iter()
+        .map(|&(pms, n_vms)| {
+            let b = bench_incremental_plan(pms, n_vms, iters);
+            eprintln!(
+                "incremental plan {}x{}: fresh {:.2} ms, delta {:.2} ms ({:.2}x), plans identical: {}",
+                b.pms,
+                b.vms,
+                b.fresh_ns / 1e6,
+                b.delta_ns / 1e6,
+                b.speedup_delta,
+                b.plans_identical
+            );
+            b
+        })
+        .collect();
+
     let end_to_end = bench_end_to_end(seed, days);
     eprintln!(
         "end-to-end {}d sim: fast {:.2} s, reference {:.2} s ({:.2}x), energy identical: {}",
@@ -352,10 +532,22 @@ fn main() {
         oracle_overhead.trace_identical
     );
 
-    let scaling: Vec<ScalingBench> = fleet_scales
+    let dynamic_scales: &[usize] = if smoke { &[250, 500] } else { &[1_000, 5_000] };
+    let rows: Vec<(usize, &'static str)> = fleet_scales
         .iter()
-        .map(|&pms| {
-            let b = bench_scaling(pms, fleet_days, seed);
+        .map(|&pms| (pms, "first-fit"))
+        .chain(dynamic_scales.iter().map(|&pms| (pms, "dynamic")))
+        .collect();
+    let scaling: Vec<ScalingBench> = rows
+        .into_iter()
+        .map(|(pms, policy)| {
+            let b = bench_scaling(pms, fleet_days, seed, policy, || {
+                if policy == "dynamic" {
+                    Box::new(DynamicPlacement::paper_default())
+                } else {
+                    Box::new(FirstFit)
+                }
+            });
             eprintln!(
                 "scaling {} PMs / {} VM requests, {}d ({}): {} events in {:.2} s = {:.0} events/s",
                 b.pms, b.vm_requests, b.days, b.policy, b.events, b.wall_seconds, b.events_per_sec
@@ -366,12 +558,13 @@ fn main() {
 
     let max_rows = matrix_build.iter().map(|b| b.pms).max().unwrap_or(2);
     let report = PerfReport {
-        schema: "dvmp/perf-report/v2",
+        schema: "dvmp/perf-report/v3",
         smoke,
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         matrix_workers: dvmp_placement::matrix::parallel_workers(max_rows),
         matrix_build,
         plan_pass,
+        incremental_plan,
         end_to_end,
         oracle_overhead,
         scaling,
@@ -384,6 +577,35 @@ fn main() {
     if !report.matrix_build.iter().all(|b| b.bit_identical) || !report.end_to_end.energy_identical {
         eprintln!("FAIL: fast path is not bit-identical to the reference");
         healthy = false;
+    }
+    if !report.incremental_plan.iter().all(|b| b.plans_identical) {
+        eprintln!("FAIL: incremental planning diverged from the fresh-rebuild plans");
+        healthy = false;
+    }
+    for b in &report.matrix_build {
+        if b.chosen_ns > KERNEL_SELECTION_TOLERANCE * b.winner_ns {
+            eprintln!(
+                "FAIL: auto-selected {} kernel at {}x{} measures {:.2} ms vs winner {} at {:.2} ms",
+                b.chosen_kernel,
+                b.pms,
+                b.vms,
+                b.chosen_ns / 1e6,
+                b.winner_kernel,
+                b.winner_ns / 1e6
+            );
+            healthy = false;
+        }
+    }
+    // The 1k-PM steady-state acceptance floor; smoke runs only carry the
+    // (already fast) 100-PM shape, whose floor lives in the CI gate.
+    if let Some(big) = report.incremental_plan.iter().find(|b| b.pms == 1_000) {
+        if big.speedup_delta < DELTA_SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: delta pass at 1k PMs is only {:.2}x a fresh rebuild (floor {DELTA_SPEEDUP_FLOOR}x)",
+                big.speedup_delta
+            );
+            healthy = false;
+        }
     }
     if report.oracle_overhead.violations > 0 || !report.oracle_overhead.trace_identical {
         eprintln!("FAIL: checked mode found violations or perturbed the run");

@@ -49,6 +49,20 @@ pub fn fragmented_fixture(
     dvmp_cluster::datacenter::Datacenter,
     std::collections::BTreeMap<dvmp_cluster::vm::VmId, dvmp_cluster::vm::Vm>,
 ) {
+    fragmented_fixture_scaled(100, n)
+}
+
+/// [`fragmented_fixture`] at an arbitrary fleet size: `pm_count` machines
+/// with the same 1:3 fast/slow mix, hosting `n` single-vCPU VMs spread
+/// round-robin. Used by the incremental-planning rows of `perf_report`,
+/// which need a 1k-PM / 5k-VM planning problem.
+pub fn fragmented_fixture_scaled(
+    pm_count: usize,
+    n: u32,
+) -> (
+    dvmp_cluster::datacenter::Datacenter,
+    std::collections::BTreeMap<dvmp_cluster::vm::VmId, dvmp_cluster::vm::Vm>,
+) {
     use dvmp_cluster::pm::{PmClass, PmId};
     use dvmp_cluster::resources::ResourceVector;
     use dvmp_cluster::vm::{Vm, VmId, VmSpec, VmState};
@@ -58,9 +72,10 @@ pub fn fragmented_fixture(
     fast.capacity = ResourceVector::cpu_mem(16, 8_192);
     let mut slow = PmClass::paper_slow();
     slow.capacity = ResourceVector::cpu_mem(8, 4_096);
+    let fast_count = pm_count / 4;
     let mut dc = dvmp_cluster::datacenter::FleetBuilder::new()
-        .add_class(fast, 25, 0.99)
-        .add_class(slow, 75, 0.99)
+        .add_class(fast, fast_count, 0.99)
+        .add_class(slow, pm_count - fast_count, 0.99)
         .initially_on(true)
         .build();
     let mut vms = std::collections::BTreeMap::new();

@@ -8,12 +8,20 @@ use std::fmt::Write as _;
 /// `run <spec.json>` — run the spec's policy and summarize. With
 /// `checked`, the release-grade invariant oracle audits every event and
 /// the summary (or JSON report) carries its verdict; a violating run is
-/// an error so scripts fail loudly.
-pub fn run(spec_text: &str, json_output: bool, checked: bool) -> Result<String, String> {
+/// an error so scripts fail loudly. With `full_replan`, the dynamic
+/// policy rebuilds its probability matrix from scratch every planning
+/// interval instead of patching the persistent one — same plans bit for
+/// bit, only slower (the A/B lever for the incremental planner).
+pub fn run(
+    spec_text: &str,
+    json_output: bool,
+    checked: bool,
+    full_replan: bool,
+) -> Result<String, String> {
     let spec = ScenarioSpec::from_json(spec_text)?;
     let mut scenario = spec.build()?;
     scenario.sim.checked = checked;
-    let policy = spec.policy.build(spec.seed)?;
+    let policy = spec.policy.build(spec.seed, full_replan)?;
     let report = scenario.run(policy);
     if let Some(oracle) = &report.oracle {
         if !oracle.is_clean() {
@@ -57,7 +65,7 @@ pub fn sweep(spec_text: &str, seeds: usize, json_output: bool) -> Result<String,
         return Err("--seeds must be at least 1".into());
     }
     let base = ScenarioSpec::from_json(spec_text)?;
-    base.policy.build(base.seed)?; // validate the policy spec up front
+    base.policy.build(base.seed, false)?; // validate the policy spec up front
     let mut scenarios = Vec::with_capacity(seeds);
     for i in 0..seeds as u64 {
         let mut spec = base.clone();
@@ -66,7 +74,11 @@ pub fn sweep(spec_text: &str, seeds: usize, json_output: bool) -> Result<String,
     }
     let policy = PolicyFactory::new("spec-policy", {
         let spec = base.clone();
-        move || spec.policy.build(spec.seed).expect("validated above")
+        move || {
+            spec.policy
+                .build(spec.seed, false)
+                .expect("validated above")
+        }
     });
     let swept = sweep_scenarios(&scenarios, &[policy]);
     let reports: Vec<RunReport> = swept.into_iter().flatten().collect();
@@ -209,10 +221,14 @@ pub fn help() -> String {
 dvmp-cli — dynamic VM placement experiments (ICPP 2014 reproduction)
 
 USAGE:
-  dvmp-cli run <spec.json> [--json] [--checked]
+  dvmp-cli run <spec.json> [--json] [--checked] [--full-replan]
                                          run the spec's policy, print summary;
                                          --checked audits every event with the
-                                         invariant oracle (DESIGN.md §9)
+                                         invariant oracle (DESIGN.md §9);
+                                         --full-replan rebuilds the dynamic
+                                         policy's matrix from scratch every
+                                         interval (same plans, bit for bit;
+                                         see DESIGN.md §8)
   dvmp-cli compare <spec.json> [--json]  run dynamic/first-fit/best-fit
   dvmp-cli sweep <spec.json> [--seeds N] [--json]
                                          re-run the spec's policy under N
@@ -241,14 +257,14 @@ mod tests {
 
     #[test]
     fn run_produces_summary() {
-        let out = run(SPEC, false, false).unwrap();
+        let out = run(SPEC, false, false, false).unwrap();
         assert!(out.contains("first-fit"), "{out}");
         assert!(out.contains("energy"), "{out}");
     }
 
     #[test]
     fn run_json_is_parseable() {
-        let out = run(SPEC, true, false).unwrap();
+        let out = run(SPEC, true, false, false).unwrap();
         let report: dvmp_metrics::RunReport = serde_json::from_str(&out).unwrap();
         assert_eq!(report.policy, "first-fit");
         assert!(report.total_energy_kwh > 0.0);
@@ -257,14 +273,25 @@ mod tests {
 
     #[test]
     fn checked_run_reports_a_clean_oracle() {
-        let out = run(SPEC, false, true).unwrap();
+        let out = run(SPEC, false, true, false).unwrap();
         assert!(out.contains("oracle"), "{out}");
 
-        let json = run(SPEC, true, true).unwrap();
+        let json = run(SPEC, true, true, false).unwrap();
         let report: dvmp_metrics::RunReport = serde_json::from_str(&json).unwrap();
         let oracle = report.oracle.expect("checked run attaches a summary");
         assert!(oracle.is_clean(), "{}", oracle.render());
         assert!(oracle.events_audited > 0);
+    }
+
+    #[test]
+    fn full_replan_run_is_bit_identical() {
+        // The incremental planner must be invisible in the results: a
+        // dynamic-policy run with cross-interval reuse disabled produces
+        // the exact same report.
+        let dyn_spec = SPEC.replace("first-fit", "dynamic");
+        let fast = run(&dyn_spec, true, false, false).unwrap();
+        let fresh = run(&dyn_spec, true, false, true).unwrap();
+        assert_eq!(fast, fresh);
     }
 
     #[test]
@@ -311,7 +338,7 @@ mod tests {
 
     #[test]
     fn bad_spec_errors_cleanly() {
-        assert!(run("{", false, false).is_err());
+        assert!(run("{", false, false, false).is_err());
         assert!(compare("not json", true).is_err());
     }
 
@@ -325,6 +352,7 @@ mod tests {
             "workload",
             "export-swf",
             "--checked",
+            "--full-replan",
         ] {
             assert!(h.contains(cmd));
         }

@@ -8,6 +8,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let checked = args.iter().any(|a| a == "--checked");
+    let full_replan = args.iter().any(|a| a == "--full-replan");
     let positional: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -17,7 +18,7 @@ fn main() -> ExitCode {
     let result = match positional.as_slice() {
         ["run", path, ..] => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))
-            .and_then(|text| commands::run(&text, json, checked)),
+            .and_then(|text| commands::run(&text, json, checked, full_replan)),
         ["compare", path, ..] => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))
             .and_then(|text| commands::compare(&text, json)),

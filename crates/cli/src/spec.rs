@@ -115,8 +115,12 @@ pub struct PolicySpec {
 }
 
 impl PolicySpec {
-    /// Builds the policy. `seed` feeds the random baseline.
-    pub fn build(&self, seed: u64) -> Result<Box<dyn PlacementPolicy>, String> {
+    /// Builds the policy. `seed` feeds the random baseline. `full_replan`
+    /// disables cross-interval matrix reuse on the dynamic policy (a
+    /// no-op for the baselines) — the escape hatch for A/B-ing the
+    /// incremental planner against the fresh-rebuild reference, whose
+    /// plans it matches bit for bit.
+    pub fn build(&self, seed: u64, full_replan: bool) -> Result<Box<dyn PlacementPolicy>, String> {
         match self.kind.as_str() {
             "dynamic" => {
                 let mut cfg = DynamicConfig::default();
@@ -126,6 +130,7 @@ impl PolicySpec {
                 if let Some(r) = self.mig_round {
                     cfg.mig_round = r;
                 }
+                cfg.incremental = !full_replan;
                 cfg.validate()?;
                 Ok(Box::new(DynamicPlacement::new(cfg)))
             }
@@ -236,7 +241,7 @@ mod tests {
         assert_eq!(scenario.fleet().len(), 100);
         assert_eq!(scenario.days(), 1);
         assert!(!scenario.requests().is_empty());
-        let policy = spec.policy.build(spec.seed).unwrap();
+        let policy = spec.policy.build(spec.seed, false).unwrap();
         assert_eq!(policy.name(), "first-fit");
     }
 
@@ -262,7 +267,7 @@ mod tests {
             scenario.fleet().classes()[0].capacity,
             ResourceVector::cpu_mem(16, 32_768)
         );
-        let policy = spec.policy.build(7).unwrap();
+        let policy = spec.policy.build(7, false).unwrap();
         assert_eq!(policy.name(), "dynamic");
     }
 
@@ -297,7 +302,7 @@ mod tests {
             mig_threshold: None,
             mig_round: None,
         };
-        match bad_policy.build(1) {
+        match bad_policy.build(1, false) {
             Err(e) => assert!(e.contains("oracle")),
             Ok(_) => panic!("unknown policy must error"),
         }
@@ -322,7 +327,7 @@ mod tests {
             mig_threshold: Some(0.2),
             mig_round: None,
         };
-        assert!(spec.build(1).is_err());
+        assert!(spec.build(1, false).is_err());
     }
 
     #[test]

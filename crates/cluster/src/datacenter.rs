@@ -26,6 +26,7 @@
 //! history that reaches the same fleet state.
 
 use crate::index::CapacityIndex;
+use crate::journal::FleetDelta;
 use crate::pm::{Pm, PmClass, PmError, PmId, PmState};
 use crate::resources::ResourceVector;
 use crate::vm::VmId;
@@ -45,6 +46,12 @@ pub struct Datacenter {
     /// Incrementally maintained aggregates (see the module docs). Derived
     /// state: never serialized, rebuilt on deserialize.
     stats: FleetStats,
+    /// Dirt accumulated since the last [`Datacenter::take_fleet_delta`],
+    /// fed from the same footprint-diff funnel as `stats` (plus a
+    /// reliability diff, which the footprint does not cover). Never
+    /// serialized; a deserialized fleet starts with a *full* journal since
+    /// any pre-existing consumer snapshot is of unknown provenance.
+    journal: FleetDelta,
 }
 
 // Hand-written serde impls (the derive cannot express a skipped +
@@ -72,6 +79,7 @@ impl Deserialize for Datacenter {
             pms,
             vm_index,
             stats,
+            journal: FleetDelta::new_full(),
         })
     }
 }
@@ -261,6 +269,7 @@ impl Datacenter {
             pms,
             vm_index: BTreeMap::new(),
             stats,
+            journal: FleetDelta::new(),
         }
     }
 
@@ -291,10 +300,12 @@ impl Datacenter {
     pub fn pm_mut(&mut self, id: PmId) -> PmMut<'_> {
         let idx = id.0 as usize;
         let before = PmFootprint::of(&self.pms[idx]);
+        let before_rel = self.pms[idx].reliability;
         PmMut {
             dc: self,
             idx,
             before,
+            before_rel,
         }
     }
 
@@ -418,10 +429,12 @@ impl Datacenter {
         self.vm_index.get(&vm).and_then(|v| v.first().copied())
     }
 
-    /// Applies `f` to one PM and folds the footprint delta into `stats`.
+    /// Applies `f` to one PM and folds the footprint delta into `stats`
+    /// and the fleet-delta journal.
     fn update_pm<R>(&mut self, id: PmId, f: impl FnOnce(&mut Pm) -> R) -> R {
         let idx = id.0 as usize;
         let before = PmFootprint::of(&self.pms[idx]);
+        let before_rel = self.pms[idx].reliability;
         let result = f(&mut self.pms[idx]);
         let pm = &self.pms[idx];
         let after = PmFootprint::of(pm);
@@ -432,13 +445,30 @@ impl Datacenter {
                 .capacity
                 .set(idx, pm.is_available(), &pm.headroom());
         }
+        if after != before || pm.reliability != before_rel {
+            self.journal.note_pm(id);
+        }
         result
+    }
+
+    /// Drains the fleet-delta journal: everything that changed since the
+    /// previous drain (or a [full](FleetDelta::is_full) delta if the
+    /// journal overflowed / the fleet was deserialized). The journal
+    /// restarts empty.
+    pub fn take_fleet_delta(&mut self) -> FleetDelta {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Read-only view of the accumulated (undrained) fleet delta.
+    pub fn fleet_delta(&self) -> &FleetDelta {
+        &self.journal
     }
 
     /// Reserves `demand` for `vm` on `pm` as its (sole) current host.
     pub fn place(&mut self, vm: VmId, pm: PmId, demand: ResourceVector) -> Result<(), PmError> {
         self.update_pm(pm, |p| p.reserve(vm, demand))?;
         self.vm_index.entry(vm).or_default().push(pm);
+        self.journal.note_vm(vm);
         Ok(())
     }
 
@@ -453,6 +483,7 @@ impl Datacenter {
         self.update_pm(to, |p| p.reserve(vm, demand))?;
         let hosts = self.vm_index.entry(vm).or_default();
         hosts.insert(0, to);
+        self.journal.note_vm(vm);
         Ok(())
     }
 
@@ -462,6 +493,7 @@ impl Datacenter {
         if let Some(hosts) = self.vm_index.get_mut(&vm) {
             hosts.retain(|&p| p != from);
         }
+        self.journal.note_vm(vm);
         Ok(())
     }
 
@@ -472,6 +504,9 @@ impl Datacenter {
         for &pm in &hosts {
             self.update_pm(pm, |p| p.release(vm))
                 .expect("index and reservations agree");
+        }
+        if !hosts.is_empty() {
+            self.journal.note_vm(vm);
         }
         hosts
     }
@@ -492,6 +527,7 @@ impl Datacenter {
                     self.vm_index.remove(&vm);
                 }
             }
+            self.journal.note_vm(vm);
         }
         evicted
     }
@@ -543,6 +579,7 @@ pub struct PmMut<'a> {
     dc: &'a mut Datacenter,
     idx: usize,
     before: PmFootprint,
+    before_rel: f64,
 }
 
 impl Deref for PmMut<'_> {
@@ -562,14 +599,17 @@ impl Drop for PmMut<'_> {
     fn drop(&mut self) {
         let pm = &self.dc.pms[self.idx];
         let after = PmFootprint::of(pm);
+        let id = PmId(self.idx as u32);
         if after != self.before {
-            let id = PmId(self.idx as u32);
             self.dc.stats.retire(id, &self.before);
             self.dc.stats.admit(id, &after);
             self.dc
                 .stats
                 .capacity
                 .set(self.idx, pm.is_available(), &pm.headroom());
+        }
+        if after != self.before || pm.reliability != self.before_rel {
+            self.dc.journal.note_pm(id);
         }
     }
 }
@@ -883,6 +923,63 @@ mod tests {
             let linear = dc.pms().iter().find(|pm| pm.can_host(&req)).map(|pm| pm.id);
             assert_eq!(dc.first_fit_available(&req), linear, "req {req}");
         }
+    }
+
+    #[test]
+    fn journal_records_every_mutation_path() {
+        let mut dc = on_fleet();
+        // Creation starts clean.
+        assert!(dc.fleet_delta().is_empty());
+
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.begin_migration(VmId(1), PmId(1), vm_demand()).unwrap();
+        dc.finish_migration(VmId(1), PmId(0)).unwrap();
+        dc.pm_mut(PmId(3)).state = PmState::Off;
+        dc.pm_mut(PmId(4)).reliability = 0.42; // footprint-invisible change
+        let d = dc.take_fleet_delta();
+        assert!(!d.is_full());
+        assert_eq!(
+            d.dirty_pms().iter().copied().collect::<Vec<_>>(),
+            vec![PmId(0), PmId(1), PmId(3), PmId(4)]
+        );
+        assert_eq!(
+            d.dirty_vms().iter().copied().collect::<Vec<_>>(),
+            vec![VmId(1)]
+        );
+
+        // Drain resets; the next window only sees new dirt.
+        assert!(dc.fleet_delta().is_empty());
+        dc.place(VmId(2), PmId(2), vm_demand()).unwrap();
+        let evicted = dc.fail_pm(PmId(2));
+        assert_eq!(evicted, vec![VmId(2)]);
+        dc.remove_vm(VmId(1));
+        let d = dc.take_fleet_delta();
+        assert_eq!(
+            d.dirty_pms().iter().copied().collect::<Vec<_>>(),
+            vec![PmId(1), PmId(2)]
+        );
+        assert_eq!(
+            d.dirty_vms().iter().copied().collect::<Vec<_>>(),
+            vec![VmId(1), VmId(2)]
+        );
+
+        // A no-op guard (borrow and drop without edits) journals nothing;
+        // a failed reservation journals nothing.
+        drop(dc.pm_mut(PmId(0)));
+        assert!(dc
+            .place(VmId(9), PmId(0), ResourceVector::cpu_mem(999, 512))
+            .is_err());
+        assert!(dc.fleet_delta().is_empty());
+    }
+
+    #[test]
+    fn deserialized_fleet_reports_full_delta() {
+        let dc = on_fleet();
+        let json = serde_json::to_string(&dc).unwrap();
+        let mut back: Datacenter = serde_json::from_str(&json).unwrap();
+        assert!(back.fleet_delta().is_full());
+        assert!(back.take_fleet_delta().is_full());
+        assert!(back.fleet_delta().is_empty(), "drain resets to empty");
     }
 
     #[test]

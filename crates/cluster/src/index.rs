@@ -108,6 +108,33 @@ impl CapacityIndex {
         }
     }
 
+    /// Visits **every** available PM whose headroom covers `req`, in
+    /// ascending index order — the same indices, in the same order, that a
+    /// linear `filter(can_host)` scan would yield. Non-admitting subtrees
+    /// are pruned wholesale, so the cost is O(hits · log M) rather than
+    /// O(M); this is what lets a placement scheme enumerate only *feasible*
+    /// hosts per VM when the fleet is mostly full.
+    pub fn for_each_fit(&self, req: &ResourceVector, mut f: impl FnMut(usize)) {
+        if self.n == 0 {
+            return;
+        }
+        self.visit_fits(1, req, &mut f);
+    }
+
+    fn visit_fits(&self, i: usize, req: &ResourceVector, f: &mut impl FnMut(usize)) {
+        // Padding leaves (index >= n) are unavailable, so they can never
+        // admit and need no special casing.
+        if !self.nodes[i].admits(req) {
+            return;
+        }
+        if i >= self.size {
+            f(i - self.size);
+            return;
+        }
+        self.visit_fits(2 * i, req, f);
+        self.visit_fits(2 * i + 1, req, f);
+    }
+
     /// Lowest index of an available PM whose headroom covers `req` in every
     /// dimension — identical to a linear first-fit `find(can_host)` scan.
     pub fn first_fit(&self, req: &ResourceVector) -> Option<usize> {
@@ -203,6 +230,38 @@ mod tests {
         assert_eq!(idx.first_fit(&rv(4, 1)), Some(2));
         idx.set(0, true, &rv(4, 4_096));
         assert_eq!(idx.first_fit(&rv(4, 1)), Some(0));
+    }
+
+    #[test]
+    fn for_each_fit_matches_linear_filter() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pms: Vec<(bool, ResourceVector)> = (0..53)
+            .map(|_| {
+                let avail = next() % 5 != 0;
+                (avail, rv(next() % 7, next() % 3_000))
+            })
+            .collect();
+        let idx = CapacityIndex::build(pms.clone());
+        for probe in 0..100u64 {
+            let req = rv(probe % 8, (probe * 53) % 3_500);
+            let brute: Vec<usize> = pms
+                .iter()
+                .enumerate()
+                .filter(|(_, (a, h))| *a && req.get(0) <= h.get(0) && req.get(1) <= h.get(1))
+                .map(|(i, _)| i)
+                .collect();
+            let mut visited = Vec::new();
+            idx.for_each_fit(&req, |i| visited.push(i));
+            assert_eq!(visited, brute, "probe {probe}");
+        }
+        // Empty index visits nothing.
+        CapacityIndex::default().for_each_fit(&rv(0, 0), |_| panic!("no leaves"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 pub mod datacenter;
 pub mod digest;
 pub mod index;
+pub mod journal;
 pub mod pm;
 pub mod power;
 pub mod reliability;
@@ -23,6 +24,7 @@ pub mod vm;
 pub use datacenter::{paper_fleet, Datacenter, FleetBuilder, PmMut};
 pub use digest::Fnv64;
 pub use index::CapacityIndex;
+pub use journal::FleetDelta;
 pub use pm::{Pm, PmClass, PmId, PmState};
 pub use power::PowerModel;
 pub use resources::ResourceVector;

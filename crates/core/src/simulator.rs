@@ -258,6 +258,13 @@ impl SimWorld {
         if !self.policy.is_dynamic() {
             return;
         }
+        // Drain the fleet-delta journal accumulated since the previous
+        // pass and hand it to the policy *before* building the view: an
+        // incremental planner updates its persistent matrix from exactly
+        // this dirt (static policies never drain — the journal saturates
+        // at its cap and stays O(1) there).
+        let delta = self.dc.take_fleet_delta();
+        self.policy.note_fleet_delta(delta);
         let moves = self.policy.plan_migrations(&PlacementView {
             dc: &self.dc,
             vms: &self.vms,

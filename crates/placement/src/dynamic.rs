@@ -21,8 +21,117 @@ use crate::matrix::{MatrixKernel, ProbabilityMatrix};
 use crate::plan::PlanState;
 use crate::policy::{Migration, PlacementPolicy, PlacementView};
 use dvmp_cluster::pm::PmId;
-use dvmp_cluster::vm::VmSpec;
+use dvmp_cluster::vm::{VmId, VmSpec};
+use dvmp_cluster::FleetDelta;
 use std::sync::Arc;
+
+/// What the planner remembers about the matrix it kept alive from the
+/// previous pass: which PM occupied each row, which VM each column, and
+/// which of them the pass itself touched (migration endpoints — dirty next
+/// pass even when the simulator ends up skipping the move, since the
+/// planner's own targeted recomputes already rewrote those rows/columns
+/// against the mutated plan).
+#[derive(Debug, Clone, Default)]
+struct PassSnapshot {
+    /// `false` until a pass leaves a matrix the next pass may extend
+    /// (incremental planning enabled, no extra factors, complete eff
+    /// cache).
+    valid: bool,
+    /// Row → PM id of the kept matrix, ascending (plan row order).
+    row_pms: Vec<PmId>,
+    /// Column → VM id of the kept matrix, ascending (plan column order).
+    col_vms: Vec<VmId>,
+    /// Endpoints of the pass's own proposed migrations.
+    touched_pms: Vec<PmId>,
+    /// VMs the pass proposed to move.
+    touched_vms: Vec<VmId>,
+}
+
+impl PassSnapshot {
+    fn capture(&mut self, valid: bool, plan: &PlanState, moves: &[Migration]) {
+        self.valid = valid;
+        self.row_pms.clear();
+        self.col_vms.clear();
+        self.touched_pms.clear();
+        self.touched_vms.clear();
+        if !valid {
+            return;
+        }
+        self.row_pms.extend(plan.pms.iter().map(|pm| pm.id));
+        self.col_vms.extend(plan.vms.iter().map(|vm| vm.id));
+        for m in moves {
+            self.touched_pms.push(m.from);
+            self.touched_pms.push(m.to);
+            self.touched_vms.push(m.vm);
+        }
+        // Plan rows follow datacenter id order and columns BTreeMap key
+        // order, so both maps support binary search.
+        debug_assert!(self.row_pms.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(self.col_vms.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+/// Reusable dirty-set / index-mapping buffers for the incremental matrix
+/// update (one allocation across passes, like the rest of the arena).
+#[derive(Debug, Clone, Default)]
+struct IncScratch {
+    dirty_rows: Vec<bool>,
+    row_src: Vec<u32>,
+    dirty_cols: Vec<bool>,
+    col_src: Vec<u32>,
+}
+
+impl IncScratch {
+    /// Classifies every row/column of the new plan against the snapshot
+    /// and the drained journal: an entry is *clean* only when it existed
+    /// in the kept matrix AND neither the fleet (journal) nor the previous
+    /// pass itself (touched sets) laid hands on it — over-reporting dirt
+    /// is always sound, under-reporting never happens because every fleet
+    /// mutation funnels through the journal. Returns `false` when the
+    /// dirty fraction exceeds `threshold` (full rebuild is cheaper).
+    fn prepare(
+        &mut self,
+        plan: &PlanState,
+        snap: &PassSnapshot,
+        delta: &FleetDelta,
+        threshold: f64,
+    ) -> bool {
+        let rows = plan.pms.len();
+        let cols = plan.vms.len();
+        self.dirty_rows.clear();
+        self.row_src.clear();
+        self.dirty_cols.clear();
+        self.col_src.clear();
+        let mut dirty_row_count = 0usize;
+        for pm in &plan.pms {
+            let (src, dirty) = match snap.row_pms.binary_search(&pm.id) {
+                Ok(i) => (
+                    i as u32,
+                    delta.dirty_pms().contains(&pm.id) || snap.touched_pms.contains(&pm.id),
+                ),
+                Err(_) => (0, true),
+            };
+            self.row_src.push(src);
+            self.dirty_rows.push(dirty);
+            dirty_row_count += dirty as usize;
+        }
+        let mut dirty_col_count = 0usize;
+        for vm in &plan.vms {
+            let (src, dirty) = match snap.col_vms.binary_search(&vm.id) {
+                Ok(i) => (
+                    i as u32,
+                    delta.dirty_vms().contains(&vm.id) || snap.touched_vms.contains(&vm.id),
+                ),
+                Err(_) => (0, true),
+            };
+            self.col_src.push(src);
+            self.dirty_cols.push(dirty);
+            dirty_col_count += dirty as usize;
+        }
+        let dirty_entries = dirty_row_count * cols + (rows - dirty_row_count) * dirty_col_count;
+        (dirty_entries as f64) <= threshold * (rows as f64) * (cols as f64)
+    }
+}
 
 /// The dynamic placement scheme.
 ///
@@ -46,6 +155,17 @@ pub struct DynamicPlacement {
     matrix: ProbabilityMatrix,
     /// Arena: Algorithm 1's per-column best-candidate cache.
     best: Vec<Option<(usize, f64)>>,
+    /// Fleet-delta journal accumulated (via
+    /// [`PlacementPolicy::note_fleet_delta`]) since the last planning pass.
+    pending_delta: Option<FleetDelta>,
+    /// Row/column map of the matrix kept alive from the previous pass.
+    snap: PassSnapshot,
+    /// Dirty-set scratch for the incremental update.
+    inc: IncScratch,
+    /// Passes that extended the previous matrix incrementally.
+    incremental_passes: u64,
+    /// Passes that rebuilt the matrix from scratch.
+    full_rebuilds: u64,
 }
 
 impl DynamicPlacement {
@@ -64,6 +184,11 @@ impl DynamicPlacement {
             plan_arena: PlanState::default(),
             matrix: ProbabilityMatrix::default(),
             best: Vec::new(),
+            pending_delta: None,
+            snap: PassSnapshot::default(),
+            inc: IncScratch::default(),
+            incremental_passes: 0,
+            full_rebuilds: 0,
         }
     }
 
@@ -111,11 +236,28 @@ impl DynamicPlacement {
         self.round_cap_hits
     }
 
+    /// Planning passes that extended the previous pass's matrix from the
+    /// fleet-delta journal instead of rebuilding it.
+    pub fn incremental_passes(&self) -> u64 {
+        self.incremental_passes
+    }
+
+    /// Planning passes that (re)built the matrix from scratch — the first
+    /// pass, passes without a usable journal, and passes whose dirty
+    /// fraction exceeded [`DynamicConfig::rebuild_threshold`].
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
     /// Algorithm 1 against an explicit plan state (exposed for tests and
     /// benchmarks; [`PlacementPolicy::plan_migrations`] builds the state
     /// from the live view).
     pub fn plan_on(&mut self, plan: &mut PlanState) -> Vec<Migration> {
+        let delta = self.pending_delta.take();
         if plan.vms.is_empty() || plan.pms.len() < 2 {
+            // The matrix (and the snapshot describing it) is untouched, so
+            // the drained dirt must survive until the next real pass.
+            self.pending_delta = delta;
             return Vec::new();
         }
         // Disjoint field borrows: the context reads cfg/extras while the
@@ -127,15 +269,51 @@ impl DynamicPlacement {
             round_cap_hits,
             matrix,
             best,
+            snap,
+            inc,
+            incremental_passes,
+            full_rebuilds,
             ..
         } = self;
         let ctx = EvalContext::with_extras(cfg, extras);
-        matrix.rebuild(plan, &ctx);
-        // Per-column cache of the best non-host candidate.
-        best.clear();
-        best.extend((0..plan.vms.len()).map(|col| matrix.best_move_for(plan, col)));
+        // Incremental path: the previous pass left its matrix (and eff
+        // operands) behind, and the journal bounds everything that changed
+        // since. Extra factors may vary with time, so their entries cannot
+        // be carried across passes.
+        let incremental = cfg.incremental
+            && extras.is_empty()
+            && snap.valid
+            && delta.as_ref().is_some_and(|d| !d.is_full())
+            && inc.prepare(
+                plan,
+                snap,
+                delta.as_ref().expect("checked is_some above"),
+                cfg.rebuild_threshold,
+            )
+            && matrix.update_incremental(
+                plan,
+                &ctx,
+                &inc.dirty_rows,
+                &inc.row_src,
+                &inc.dirty_cols,
+                &inc.col_src,
+                best,
+            );
+        if incremental {
+            *incremental_passes += 1;
+        } else {
+            matrix.rebuild(plan, &ctx);
+            *full_rebuilds += 1;
+            // Per-column cache of the best non-host candidate, refilled in
+            // one row-major sweep (the incremental update folds this into
+            // its own sweep). The cache itself never carries across
+            // passes: `p^vir` decays every pass, which rescales entries
+            // unevenly.
+            matrix.refill_best(plan, best);
+        }
 
         let mut moves = Vec::new();
+        let mut capped = true;
         for _round in 0..cfg.mig_round {
             // Global argmax over the cached per-column bests.
             let mut winner: Option<(usize, usize, f64)> = None;
@@ -147,7 +325,8 @@ impl DynamicPlacement {
                 }
             }
             let Some((col, to_row, _d)) = winner else {
-                return moves; // threshold-terminated
+                capped = false; // threshold-terminated
+                break;
             };
 
             let vm_id = plan.vms[col].id;
@@ -176,9 +355,12 @@ impl DynamicPlacement {
                     *entry = matrix.best_move_for(plan, c);
                 } else {
                     // Only rows from/to changed; see if either now beats the
-                    // cached best.
+                    // cached best. Most columns don't even fit the touched
+                    // PMs, so test the raw entry first — an infeasible (or
+                    // otherwise zero) entry can never win and skipping it
+                    // avoids the normalization divide.
                     for row in [from_row, to_row] {
-                        if row == host {
+                        if row == host || matrix.get(row, c) <= 0.0 {
                             continue;
                         }
                         let d = matrix.normalized(plan, row, c);
@@ -189,7 +371,13 @@ impl DynamicPlacement {
                 }
             }
         }
-        *round_cap_hits += 1;
+        if capped {
+            *round_cap_hits += 1;
+        }
+        // Remember what the matrix now describes so the next pass can
+        // extend it instead of rebuilding.
+        let resumable = cfg.incremental && extras.is_empty() && matrix.eff_cache_complete();
+        snap.capture(resumable, plan, &moves);
         moves
     }
 }
@@ -239,6 +427,13 @@ impl PlacementPolicy for DynamicPlacement {
 
     fn is_dynamic(&self) -> bool {
         true
+    }
+
+    fn note_fleet_delta(&mut self, delta: FleetDelta) {
+        match &mut self.pending_delta {
+            Some(pending) => pending.merge(delta),
+            None => self.pending_delta = Some(delta),
+        }
     }
 }
 
@@ -556,6 +751,161 @@ mod tests {
             reference.plan_migrations(&view_of(&dc2, &vms2, 0))
         );
         assert_eq!(fast.total_migrations(), reference.total_migrations());
+    }
+
+    /// Algorithm 1 with no repair heuristics at all: every round rebuilds
+    /// the per-column candidate list with a full `best_move_for` scan. The
+    /// production repair loop must reproduce this move-for-move.
+    fn naive_plan(cfg: &DynamicConfig, plan: &mut PlanState) -> Vec<Migration> {
+        let ctx = EvalContext::new(cfg);
+        let mut matrix = ProbabilityMatrix::build(plan, &ctx);
+        let mut moves = Vec::new();
+        for _ in 0..cfg.mig_round {
+            let mut winner: Option<(usize, usize, f64)> = None;
+            for col in 0..plan.vms.len() {
+                if let Some((row, d)) = matrix.best_move_for(plan, col) {
+                    if d > cfg.mig_threshold && winner.map_or(true, |(_, _, wd)| d > wd) {
+                        winner = Some((col, row, d));
+                    }
+                }
+            }
+            let Some((col, to_row, _)) = winner else {
+                break;
+            };
+            let vm = plan.vms[col].id;
+            let (from_row, to_row) = plan.apply_migration(col, to_row);
+            moves.push(Migration {
+                vm,
+                from: plan.pms[from_row].id,
+                to: plan.pms[to_row].id,
+            });
+            matrix.recompute_row(plan, &ctx, from_row);
+            matrix.recompute_row(plan, &ctx, to_row);
+            matrix.recompute_col(plan, &ctx, col);
+        }
+        moves
+    }
+
+    #[test]
+    fn repair_heuristics_match_naive_full_rescan() {
+        // Fragmented, stressed and mixed fleets: the cached-best repair
+        // (including its zero-entry skip) must yield exactly the naive
+        // planner's migration sequence on each.
+        let shapes: [&[u32]; 3] = [
+            &[0, 1, 2, 3],
+            &[0, 1, 2, 3, 0, 1, 2, 3, 0, 1],
+            &[2, 3, 2, 3, 1],
+        ];
+        for (shape_no, shape) in shapes.iter().enumerate() {
+            let mut dc = small_fleet();
+            let mut vms = BTreeMap::new();
+            for (i, pm) in shape.iter().enumerate() {
+                install(
+                    &mut dc,
+                    &mut vms,
+                    spec(i as u32 + 1, 512, 150_000 + i as u64 * 3_000),
+                    PmId(*pm),
+                    SimTime::ZERO,
+                );
+            }
+            let cfg = DynamicConfig::default();
+            let view = view_of(&dc, &vms, 0);
+            let mut plan = PlanState::from_view(&view, &cfg.min_vm);
+            let expected = naive_plan(&cfg, &mut plan);
+            let mut policy = DynamicPlacement::paper_default();
+            assert_eq!(
+                policy.plan_migrations(&view),
+                expected,
+                "shape {shape_no}: repair loop diverged from full rescan"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_pass_matches_full_rebuild_planner() {
+        // Drive an incremental policy and a forced-rebuild policy through
+        // the same fleet history; every pass must propose identical moves.
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        // Consolidated start: four VMs on PM 0, nothing to do in pass 1.
+        for i in 0..4 {
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i + 1, 512, 200_000),
+                PmId(0),
+                SimTime::ZERO,
+            );
+        }
+        let mut inc = DynamicPlacement::paper_default();
+        let mut full_cfg = DynamicConfig::default();
+        full_cfg.incremental = false;
+        let mut full = DynamicPlacement::new(full_cfg);
+
+        inc.note_fleet_delta(dc.take_fleet_delta());
+        let m1 = inc.plan_migrations(&view_of(&dc, &vms, 0));
+        assert_eq!(m1, full.plan_migrations(&view_of(&dc, &vms, 0)));
+        assert!(m1.is_empty(), "consolidated fleet is stable");
+        assert_eq!((inc.incremental_passes(), inc.full_rebuilds()), (0, 1));
+
+        // A lone arrival on slow PM 2: the journal dirties exactly that PM
+        // and VM, so pass 2 extends the kept matrix incrementally.
+        install(
+            &mut dc,
+            &mut vms,
+            spec(9, 512, 150_000),
+            PmId(2),
+            SimTime::from_secs(100),
+        );
+        inc.note_fleet_delta(dc.take_fleet_delta());
+        let m2 = inc.plan_migrations(&view_of(&dc, &vms, 100));
+        assert_eq!(m2, full.plan_migrations(&view_of(&dc, &vms, 100)));
+        assert_eq!(m2.len(), 1, "the straggler consolidates");
+        assert_eq!(
+            (inc.incremental_passes(), inc.full_rebuilds()),
+            (1, 1),
+            "pass 2 must take the incremental path"
+        );
+
+        // Pass 3: the straggler departs again (journals its host PM 2,
+        // which the pass-2 move endpoints already dirty), plus more time
+        // decay. Dirty set: rows {PM 0, PM 2}, no surviving dirty column —
+        // 8 of 16 entries, exactly at the default 0.5 rebuild threshold.
+        dc.remove_vm(VmId(9));
+        vms.remove(&VmId(9));
+        inc.note_fleet_delta(dc.take_fleet_delta());
+        let m3 = inc.plan_migrations(&view_of(&dc, &vms, 200));
+        assert_eq!(m3, full.plan_migrations(&view_of(&dc, &vms, 200)));
+        assert!(m3.is_empty(), "back to the consolidated state");
+        assert_eq!(
+            (inc.incremental_passes(), inc.full_rebuilds()),
+            (2, 1),
+            "pass 3 must take the incremental path too"
+        );
+    }
+
+    #[test]
+    fn incremental_planner_handles_missing_journal() {
+        // plan_migrations without note_fleet_delta (no journal source at
+        // all) must fall back to full rebuilds and still plan correctly.
+        let mut dc = small_fleet();
+        let mut vms = BTreeMap::new();
+        for (i, pm) in [0u32, 1, 2, 3].iter().enumerate() {
+            install(
+                &mut dc,
+                &mut vms,
+                spec(i as u32 + 1, 512, 200_000),
+                PmId(*pm),
+                SimTime::ZERO,
+            );
+        }
+        let mut policy = DynamicPlacement::paper_default();
+        let first = policy.plan_migrations(&view_of(&dc, &vms, 0));
+        assert_eq!(first.len(), 3);
+        let again = policy.plan_migrations(&view_of(&dc, &vms, 0));
+        assert_eq!(first, again, "same view, same plan");
+        assert_eq!(policy.incremental_passes(), 0);
+        assert_eq!(policy.full_rebuilds(), 2);
     }
 
     #[test]

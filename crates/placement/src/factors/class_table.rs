@@ -165,6 +165,14 @@ impl ClassTable {
     pub fn class_of_row(&self, row: usize) -> Option<usize> {
         self.row_entry.get(row).copied().flatten()
     }
+
+    /// `true` when every row resolved to a class entry — the precondition
+    /// for the incremental matrix update, whose clean-entry refresh can
+    /// only reconstruct fast-kernel entries.
+    #[inline]
+    pub fn all_rows_eligible(&self) -> bool {
+        self.row_entry.iter().all(Option::is_some)
+    }
 }
 
 /// `p^vir` for a cross-machine move to a PM of this class — Eq. 3 with the
@@ -215,6 +223,11 @@ fn class_eff_prospective(prospective: &ResourceVector, entry: &ClassEntry) -> f6
     entry.level_eff[w as usize]
 }
 
+/// Sentinel recorded by [`joint_with_class_recording`] for entries that
+/// failed the feasibility test. `p^eff` itself can never be `NaN` (it is a
+/// `level_eff` table value or `0.0`), so the sentinel is unambiguous.
+pub const INFEASIBLE_EFF: f64 = f64::NAN;
+
 /// The joint probability through the class cache: the exact multiplication
 /// sequence of [`super::joint`] with the class-constant factor inputs read
 /// from `entry`. `vir` must be the value [`class_vir`] yields for this
@@ -229,6 +242,31 @@ pub fn joint_with_class(
     ctx: &EvalContext<'_>,
     now: dvmp_simcore::SimTime,
 ) -> f64 {
+    let mut eff = 0.0;
+    joint_with_class_recording(pm, vm, hosted, entry, vir, ctx, now, &mut eff)
+}
+
+/// [`joint_with_class`] that additionally records the entry's `p^eff`
+/// operand (or [`INFEASIBLE_EFF`]) into `eff_out` — the one factor the
+/// incremental matrix update cannot recompute cheaply, because it depends
+/// on the prospective occupancy product. A later pass can then rebuild a
+/// *clean* entry bit-identically as `vir · rel · eff` from the recorded
+/// operand (see `ProbabilityMatrix::update_incremental`): the eff operand
+/// is hoisted out of the multiply chain here, but the chain itself —
+/// `1.0`, then `vir`, then `rel`, then `eff` — is byte-for-byte the
+/// reference sequence, so hoisting changes no result bit.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn joint_with_class_recording(
+    pm: &PlanPm,
+    vm: &PlanVm,
+    hosted: bool,
+    entry: &ClassEntry,
+    vir: f64,
+    ctx: &EvalContext<'_>,
+    now: dvmp_simcore::SimTime,
+    eff_out: &mut f64,
+) -> f64 {
     let cfg = ctx.cfg;
     // Eq. 2 and the prospective occupancy of Eq. 4 share one vector add:
     // `used + demand ≤ capacity` is exactly `fits_with` (both saturate),
@@ -239,8 +277,15 @@ pub fn joint_with_class(
         pm.used.add(&vm.resources)
     };
     if !hosted && !prospective.le(&pm.capacity) {
+        *eff_out = INFEASIBLE_EFF;
         return 0.0;
     }
+    let eff = if cfg.use_eff {
+        class_eff_prospective(&prospective, entry)
+    } else {
+        0.0
+    };
+    *eff_out = eff;
     let mut p = 1.0;
     if ctx.vir_enabled() {
         p *= if hosted { 1.0 } else { vir };
@@ -249,7 +294,7 @@ pub fn joint_with_class(
         p *= rel::p_rel(pm);
     }
     if cfg.use_eff {
-        p *= class_eff_prospective(&prospective, entry);
+        p *= eff;
     }
     for extra in ctx.extras {
         if p == 0.0 {

@@ -8,6 +8,7 @@
 use dvmp_cluster::datacenter::Datacenter;
 use dvmp_cluster::pm::PmId;
 use dvmp_cluster::vm::{Vm, VmId, VmSpec};
+use dvmp_cluster::FleetDelta;
 use dvmp_simcore::SimTime;
 use std::collections::BTreeMap;
 
@@ -70,6 +71,13 @@ pub trait PlacementPolicy {
     fn is_dynamic(&self) -> bool {
         false
     }
+
+    /// Hands the policy the fleet-delta journal drained since its previous
+    /// planning pass: which PMs changed footprint, power state or
+    /// reliability, and which VMs arrived, departed or moved. Incremental
+    /// planners fold it into persistent planning state; the default
+    /// (stateless schemes) discards it.
+    fn note_fleet_delta(&mut self, _delta: FleetDelta) {}
 }
 
 #[cfg(test)]
