@@ -1,0 +1,207 @@
+//! Observability overhead smoke (DESIGN.md §10).
+//!
+//! The flight-recorder layer makes two cost promises:
+//!
+//! 1. **tracing on** may cost at most 10 % end-to-end wall time, and
+//! 2. **tracing off** (the default) costs only the per-site disabled
+//!    branch — one relaxed atomic load — which must stay under 1 % of
+//!    the run, and must leave the simulation bit-identical.
+//!
+//! This binary measures both on a 1k-PM day under the paper's dynamic
+//! scheme, so the planning-pass emission sites (kernel choice, dirty
+//! sets, fallbacks) are exercised alongside the event core's:
+//!
+//! - min-of-N wall time with every obs switch off vs with recording and
+//!   profiling on (repetitions adapt until a sample is long enough to
+//!   trust);
+//! - the disabled-path cost from first principles: a calibrated
+//!   per-call cost of a switched-off emission site, times the number of
+//!   sites the enabled run actually visited, as a fraction of the
+//!   switched-off wall time;
+//! - a full `RunReport` equality check between the traced and untraced
+//!   runs — enabling tracing must never change a simulation result.
+//!
+//! Results go to stdout and `OBS_overhead.json` (temp file + rename).
+//! Exit code 1 when any gate fails, so CI can run it directly.
+//!
+//! Usage: `obs_overhead [--smoke] [seed]`
+
+use dvmp::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Enabled tracing may cost at most this much end-to-end.
+const ENABLED_OVERHEAD_BUDGET_PERCENT: f64 = 10.0;
+
+/// The switched-off layer may cost at most this much (cost model, not a
+/// wall-clock diff: two runs of the same binary cannot resolve sub-1 %).
+const DISABLED_OVERHEAD_BUDGET_PERCENT: f64 = 1.0;
+
+/// Keep timing a configuration until one sample takes at least this
+/// long, so short smoke runs still produce a trustworthy minimum.
+const MIN_SAMPLE_SECONDS: f64 = 0.1;
+
+#[derive(Serialize)]
+struct ObsOverheadReport {
+    schema: &'static str,
+    smoke: bool,
+    seed: u64,
+    pms: usize,
+    days: u64,
+    events: u64,
+    /// Back-to-back runs per timing sample (adapted so one sample lasts
+    /// long enough to trust).
+    repetitions: usize,
+    disabled_seconds: f64,
+    enabled_seconds: f64,
+    enabled_overhead_percent: f64,
+    /// Emission sites the enabled run visited (trace records emitted).
+    records_emitted: u64,
+    /// Calibrated cost of one switched-off emission site, in ns.
+    disabled_site_ns: f64,
+    /// Modelled disabled-path cost: `records_emitted × disabled_site_ns`
+    /// as a percentage of the switched-off wall time.
+    disabled_overhead_percent: f64,
+    /// The traced and untraced runs produced equal `RunReport`s.
+    reports_identical: bool,
+}
+
+/// Minimum per-run wall time over several samples, where each sample
+/// batches enough back-to-back runs to last [`MIN_SAMPLE_SECONDS`] —
+/// a smoke scenario is sub-millisecond, far below timer noise for a
+/// single run.
+fn min_wall_seconds(f: &mut impl FnMut()) -> (f64, usize) {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_secs_f64().max(1e-9);
+    let batch = ((MIN_SAMPLE_SECONDS / once).ceil() as usize).clamp(1, 10_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    (best, batch)
+}
+
+/// Per-call cost of a switched-off emission site: the branch the whole
+/// fleet pays when nobody is tracing.
+fn calibrate_disabled_site_ns() -> f64 {
+    assert!(!dvmp_obs::enabled(), "calibration needs the switch off");
+    const CALLS: u64 = 20_000_000;
+    let t = Instant::now();
+    for i in 0..CALLS {
+        dvmp_obs::note_vm_placed(std::hint::black_box(i), std::hint::black_box(i));
+    }
+    t.elapsed().as_nanos() as f64 / CALLS as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(42);
+    // The 1k-PM day is ~25 ms per run, cheap enough that smoke keeps the
+    // acceptance shape: smaller fleets do so little work per event that
+    // the overhead ratio measures the clock, not the recorder.
+    let (pms, days) = (1_000, 1);
+
+    eprintln!("# obs_overhead{}", if smoke { " (smoke)" } else { "" });
+    let scenario = Scenario::scaled(pms, seed).with_days(days);
+
+    // Switched-off baseline.
+    dvmp_obs::set_enabled(false);
+    dvmp_obs::set_profiling(false);
+    dvmp_obs::set_span_capture(false);
+    let (disabled_report, events) =
+        scenario.run_counting(Box::new(DynamicPlacement::paper_default())); // warm caches
+    let mut run_disabled = || {
+        scenario.run_counting(Box::new(DynamicPlacement::paper_default()));
+    };
+    let (disabled_seconds, batch_off) = min_wall_seconds(&mut run_disabled);
+
+    // Recording + profiling on.
+    dvmp_obs::set_enabled(true);
+    dvmp_obs::set_profiling(true);
+    let emitted_before = dvmp_obs::records_emitted();
+    let (enabled_report, _) = scenario.run_counting(Box::new(DynamicPlacement::paper_default()));
+    let records_emitted = dvmp_obs::records_emitted() - emitted_before;
+    let mut run_enabled = || {
+        scenario.run_counting(Box::new(DynamicPlacement::paper_default()));
+    };
+    let (enabled_seconds, batch_on) = min_wall_seconds(&mut run_enabled);
+
+    // Disabled-path cost model.
+    dvmp_obs::set_enabled(false);
+    dvmp_obs::set_profiling(false);
+    let disabled_site_ns = calibrate_disabled_site_ns();
+    let disabled_overhead_percent =
+        100.0 * (records_emitted as f64 * disabled_site_ns * 1e-9) / disabled_seconds;
+
+    let report = ObsOverheadReport {
+        schema: "dvmp/obs-overhead/v1",
+        smoke,
+        seed,
+        pms,
+        days,
+        events,
+        repetitions: batch_off.max(batch_on),
+        disabled_seconds,
+        enabled_seconds,
+        enabled_overhead_percent: 100.0 * (enabled_seconds / disabled_seconds - 1.0),
+        records_emitted,
+        disabled_site_ns,
+        disabled_overhead_percent,
+        reports_identical: serde_json::to_string(&disabled_report).expect("serializes")
+            == serde_json::to_string(&enabled_report).expect("serializes"),
+    };
+
+    eprintln!(
+        "{} PMs, {}d, {} events: off {:.3} s, on {:.3} s ({:+.2}%), {} records, \
+         disabled site {:.2} ns ({:.3}% modelled), reports identical: {}",
+        report.pms,
+        report.days,
+        report.events,
+        report.disabled_seconds,
+        report.enabled_seconds,
+        report.enabled_overhead_percent,
+        report.records_emitted,
+        report.disabled_site_ns,
+        report.disabled_overhead_percent,
+        report.reports_identical
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("OBS_overhead.json.tmp", &json).expect("write OBS_overhead.json.tmp");
+    std::fs::rename("OBS_overhead.json.tmp", "OBS_overhead.json")
+        .expect("rename OBS_overhead.json into place");
+    println!("{json}");
+
+    let mut healthy = true;
+    if !report.reports_identical {
+        eprintln!("FAIL: enabling tracing changed the simulation result");
+        healthy = false;
+    }
+    if report.enabled_overhead_percent > ENABLED_OVERHEAD_BUDGET_PERCENT {
+        eprintln!(
+            "FAIL: tracing-on overhead {:.2}% exceeds the {ENABLED_OVERHEAD_BUDGET_PERCENT}% budget",
+            report.enabled_overhead_percent
+        );
+        healthy = false;
+    }
+    if report.disabled_overhead_percent > DISABLED_OVERHEAD_BUDGET_PERCENT {
+        eprintln!(
+            "FAIL: tracing-off cost {:.3}% exceeds the {DISABLED_OVERHEAD_BUDGET_PERCENT}% budget",
+            report.disabled_overhead_percent
+        );
+        healthy = false;
+    }
+    if !healthy {
+        std::process::exit(1);
+    }
+}

@@ -118,6 +118,17 @@ struct OracleOverheadBench {
 }
 
 #[derive(Serialize)]
+struct ProfiledRunBench {
+    seed: u64,
+    days: u64,
+    wall_seconds: f64,
+    /// Per-phase histograms (DESIGN.md §10) from a paper-scale dynamic
+    /// week with every obs switch on. Runs last so the timers cover
+    /// exactly this pass and the other benches stay instrumentation-free.
+    profile: dvmp_obs::ProfileReport,
+}
+
+#[derive(Serialize)]
 struct ScalingBench {
     pms: usize,
     vm_requests: usize,
@@ -143,6 +154,7 @@ struct PerfReport {
     end_to_end: EndToEndBench,
     oracle_overhead: OracleOverheadBench,
     scaling: Vec<ScalingBench>,
+    profile: ProfiledRunBench,
 }
 
 /// Full-scale acceptance floor: a steady-state delta pass at 1k PMs must
@@ -435,6 +447,27 @@ fn bench_scaling(
     }
 }
 
+fn bench_profiled_run(seed: u64, days: u64) -> ProfiledRunBench {
+    // Fresh timers, then all three obs switches on (the checked bench may
+    // have armed recording already — checked mode does so automatically).
+    dvmp_obs::reset();
+    dvmp_obs::set_enabled(true);
+    dvmp_obs::set_profiling(true);
+    let scenario = Scenario::paper(seed).with_days(days);
+    let t = Instant::now();
+    let report = scenario.run(Box::new(DynamicPlacement::paper_default()));
+    let wall_seconds = t.elapsed().as_secs_f64();
+    dvmp_obs::set_profiling(false);
+    dvmp_obs::set_enabled(false);
+    assert!(report.total_arrivals > 0, "profiled run saw no arrivals");
+    ProfiledRunBench {
+        seed,
+        days,
+        wall_seconds,
+        profile: dvmp_obs::profile_report(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -556,9 +589,19 @@ fn main() {
         })
         .collect();
 
+    // Profiled pass last: every earlier bench ran with the span timers
+    // off, so instrumentation cannot distort their numbers.
+    let profile = bench_profiled_run(seed, days);
+    eprintln!(
+        "profiled {}d sim: {:.2} s wall, {} phase(s) timed",
+        profile.days,
+        profile.wall_seconds,
+        profile.profile.phases.len()
+    );
+
     let max_rows = matrix_build.iter().map(|b| b.pms).max().unwrap_or(2);
     let report = PerfReport {
-        schema: "dvmp/perf-report/v3",
+        schema: "dvmp/perf-report/v4",
         smoke,
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         matrix_workers: dvmp_placement::matrix::parallel_workers(max_rows),
@@ -568,9 +611,14 @@ fn main() {
         end_to_end,
         oracle_overhead,
         scaling,
+        profile,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_placement.json", &json).expect("write BENCH_placement.json");
+    // Temp file + rename: a crash mid-write must never leave a truncated
+    // BENCH_placement.json shadowing the previous good report.
+    std::fs::write("BENCH_placement.json.tmp", &json).expect("write BENCH_placement.json.tmp");
+    std::fs::rename("BENCH_placement.json.tmp", "BENCH_placement.json")
+        .expect("rename BENCH_placement.json into place");
     println!("{json}");
 
     let mut healthy = true;
@@ -606,6 +654,10 @@ fn main() {
             );
             healthy = false;
         }
+    }
+    if report.profile.profile.phases.is_empty() {
+        eprintln!("FAIL: profiled run recorded no phase timings");
+        healthy = false;
     }
     if report.oracle_overhead.violations > 0 || !report.oracle_overhead.trace_identical {
         eprintln!("FAIL: checked mode found violations or perturbed the run");

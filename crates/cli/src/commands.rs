@@ -5,38 +5,89 @@ use dvmp::prelude::*;
 use dvmp_metrics::report::render_summary;
 use std::fmt::Write as _;
 
+/// Parsed flags for the `run` command.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Emit the full [`RunReport`] as JSON instead of the text summary.
+    pub json: bool,
+    /// Audit every event with the invariant oracle (DESIGN.md §9).
+    pub checked: bool,
+    /// Rebuild the dynamic policy's matrix from scratch every interval.
+    pub full_replan: bool,
+    /// Arm the obs layer and append per-run counters + phase profile.
+    pub obs_summary: bool,
+    /// Write a chrome://tracing JSON of every timed span to this path.
+    pub trace_out: Option<std::path::PathBuf>,
+}
+
 /// `run <spec.json>` — run the spec's policy and summarize. With
 /// `checked`, the release-grade invariant oracle audits every event and
 /// the summary (or JSON report) carries its verdict; a violating run is
 /// an error so scripts fail loudly. With `full_replan`, the dynamic
 /// policy rebuilds its probability matrix from scratch every planning
 /// interval instead of patching the persistent one — same plans bit for
-/// bit, only slower (the A/B lever for the incremental planner).
-pub fn run(
-    spec_text: &str,
-    json_output: bool,
-    checked: bool,
-    full_replan: bool,
-) -> Result<String, String> {
+/// bit, only slower (the A/B lever for the incremental planner). With
+/// `obs_summary`, the flight-recorder layer (DESIGN.md §10) is armed and
+/// the output gains per-run counters and the phase profile; `trace_out`
+/// additionally captures every timed span and writes a chrome://tracing
+/// JSON file (written even when a checked run fails, so CI can attach
+/// the trace of the failing run as an artifact).
+pub fn run(spec_text: &str, opts: &RunOptions) -> Result<String, String> {
     let spec = ScenarioSpec::from_json(spec_text)?;
     let mut scenario = spec.build()?;
-    scenario.sim.checked = checked;
-    let policy = spec.policy.build(spec.seed, full_replan)?;
+    scenario.sim.checked = opts.checked;
+    scenario.sim.obs_summary = opts.obs_summary;
+    if opts.obs_summary {
+        dvmp_obs::set_profiling(true);
+    }
+    if opts.trace_out.is_some() {
+        dvmp_obs::set_span_capture(true);
+    }
+    let policy = spec.policy.build(spec.seed, opts.full_replan)?;
     let report = scenario.run(policy);
+
+    // Dump the trace before the oracle verdict: a violating checked run
+    // is exactly when the span timeline is most wanted.
+    let mut obs_trailer = String::new();
+    if let Some(path) = &opts.trace_out {
+        let spans = write_atomic(path, &dvmp_obs::chrome_trace_json())?;
+        let _ = writeln!(
+            obs_trailer,
+            "trace: {spans} bytes of chrome://tracing JSON -> {}",
+            path.display()
+        );
+    }
+    if let Some(obs) = &report.obs {
+        let _ = write!(obs_trailer, "{}", obs.totals.render());
+        let _ = write!(obs_trailer, "{}", dvmp_obs::profile_report().render());
+    }
+
     if let Some(oracle) = &report.oracle {
         if !oracle.is_clean() {
             return Err(format!("invariant violations:\n{}", oracle.render()));
         }
     }
-    if json_output {
+    if opts.json {
         serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
     } else {
         let mut out = render_summary(&[&report]);
         if let Some(oracle) = &report.oracle {
             let _ = write!(out, "\n{}", oracle.render());
         }
+        if !obs_trailer.is_empty() {
+            let _ = write!(out, "\n{obs_trailer}");
+        }
         Ok(out)
     }
+}
+
+/// Write `text` to `path` via a sibling temp file + rename, so a crash
+/// mid-write never leaves a truncated file behind.
+fn write_atomic(path: &std::path::Path, text: &str) -> Result<usize, String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename to {}: {e}", path.display()))?;
+    Ok(text.len())
 }
 
 /// `compare <spec.json>` — run the paper trio on the spec's scenario.
@@ -222,13 +273,21 @@ dvmp-cli — dynamic VM placement experiments (ICPP 2014 reproduction)
 
 USAGE:
   dvmp-cli run <spec.json> [--json] [--checked] [--full-replan]
+                           [--obs-summary] [--trace-out <file>]
                                          run the spec's policy, print summary;
                                          --checked audits every event with the
                                          invariant oracle (DESIGN.md §9);
                                          --full-replan rebuilds the dynamic
                                          policy's matrix from scratch every
                                          interval (same plans, bit for bit;
-                                         see DESIGN.md §8)
+                                         see DESIGN.md §8);
+                                         --obs-summary arms the flight-recorder
+                                         layer and appends per-run counters and
+                                         the phase profile (DESIGN.md §10);
+                                         --trace-out writes every timed span as
+                                         chrome://tracing JSON to <file>
+                                         (open via chrome://tracing or
+                                         https://ui.perfetto.dev)
   dvmp-cli compare <spec.json> [--json]  run dynamic/first-fit/best-fit
   dvmp-cli sweep <spec.json> [--seeds N] [--json]
                                          re-run the spec's policy under N
@@ -255,16 +314,25 @@ mod tests {
         "seed": 42
     }"#;
 
+    fn opts(json: bool, checked: bool, full_replan: bool) -> RunOptions {
+        RunOptions {
+            json,
+            checked,
+            full_replan,
+            ..RunOptions::default()
+        }
+    }
+
     #[test]
     fn run_produces_summary() {
-        let out = run(SPEC, false, false, false).unwrap();
+        let out = run(SPEC, &opts(false, false, false)).unwrap();
         assert!(out.contains("first-fit"), "{out}");
         assert!(out.contains("energy"), "{out}");
     }
 
     #[test]
     fn run_json_is_parseable() {
-        let out = run(SPEC, true, false, false).unwrap();
+        let out = run(SPEC, &opts(true, false, false)).unwrap();
         let report: dvmp_metrics::RunReport = serde_json::from_str(&out).unwrap();
         assert_eq!(report.policy, "first-fit");
         assert!(report.total_energy_kwh > 0.0);
@@ -273,10 +341,10 @@ mod tests {
 
     #[test]
     fn checked_run_reports_a_clean_oracle() {
-        let out = run(SPEC, false, true, false).unwrap();
+        let out = run(SPEC, &opts(false, true, false)).unwrap();
         assert!(out.contains("oracle"), "{out}");
 
-        let json = run(SPEC, true, true, false).unwrap();
+        let json = run(SPEC, &opts(true, true, false)).unwrap();
         let report: dvmp_metrics::RunReport = serde_json::from_str(&json).unwrap();
         let oracle = report.oracle.expect("checked run attaches a summary");
         assert!(oracle.is_clean(), "{}", oracle.render());
@@ -289,9 +357,58 @@ mod tests {
         // dynamic-policy run with cross-interval reuse disabled produces
         // the exact same report.
         let dyn_spec = SPEC.replace("first-fit", "dynamic");
-        let fast = run(&dyn_spec, true, false, false).unwrap();
-        let fresh = run(&dyn_spec, true, false, true).unwrap();
+        let fast = run(&dyn_spec, &opts(true, false, false)).unwrap();
+        let fresh = run(&dyn_spec, &opts(true, false, true)).unwrap();
         assert_eq!(fast, fresh);
+    }
+
+    #[test]
+    fn obs_summary_appends_counters_and_profile() {
+        let _guard = dvmp_obs::test_lock();
+        let run_opts = RunOptions {
+            obs_summary: true,
+            ..RunOptions::default()
+        };
+        let out = run(SPEC, &run_opts).unwrap();
+        assert!(out.contains("obs counters:"), "{out}");
+        assert!(out.contains("events_dispatched"), "{out}");
+        assert!(out.contains("phase profile:"), "{out}");
+
+        let json = run(
+            SPEC,
+            &RunOptions {
+                json: true,
+                obs_summary: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let report: dvmp_metrics::RunReport = serde_json::from_str(&json).unwrap();
+        let obs = report.obs.expect("--obs-summary attaches an ObsReport");
+        assert!(obs.totals.events_dispatched > 0, "{obs:?}");
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_atomically() {
+        let _guard = dvmp_obs::test_lock();
+        let dir = std::env::temp_dir().join("dvmp-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let run_opts = RunOptions {
+            obs_summary: true,
+            trace_out: Some(path.clone()),
+            ..RunOptions::default()
+        };
+        let out = run(SPEC, &run_opts).unwrap();
+        assert!(out.contains("chrome://tracing"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{'), "{text}");
+        assert!(text.contains("\"traceEvents\""), "{text}");
+        assert!(
+            !dir.join("trace.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -338,7 +455,7 @@ mod tests {
 
     #[test]
     fn bad_spec_errors_cleanly() {
-        assert!(run("{", false, false, false).is_err());
+        assert!(run("{", &RunOptions::default()).is_err());
         assert!(compare("not json", true).is_err());
     }
 
@@ -353,6 +470,8 @@ mod tests {
             "export-swf",
             "--checked",
             "--full-replan",
+            "--obs-summary",
+            "--trace-out",
         ] {
             assert!(h.contains(cmd));
         }

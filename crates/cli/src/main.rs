@@ -9,16 +9,37 @@ fn main() -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
     let checked = args.iter().any(|a| a == "--checked");
     let full_replan = args.iter().any(|a| a == "--full-replan");
+    let obs_summary = args.iter().any(|a| a == "--obs-summary");
+    let trace_out_idx = args.iter().position(|a| a == "--trace-out");
+    let trace_out = trace_out_idx.and_then(|i| args.get(i + 1)).cloned();
+    if trace_out_idx.is_some() && trace_out.is_none() {
+        eprintln!("error: --trace-out takes a file path");
+        return ExitCode::FAILURE;
+    }
+    // `--trace-out`'s value is a bare path, so drop it from the
+    // positional view by index rather than by `--` prefix.
     let positional: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && trace_out_idx != Some(i.wrapping_sub(1)))
+        .map(|(_, a)| a.as_str())
         .collect();
 
     let result = match positional.as_slice() {
         ["run", path, ..] => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))
-            .and_then(|text| commands::run(&text, json, checked, full_replan)),
+            .and_then(|text| {
+                commands::run(
+                    &text,
+                    &commands::RunOptions {
+                        json,
+                        checked,
+                        full_replan,
+                        obs_summary,
+                        trace_out: trace_out.map(Into::into),
+                    },
+                )
+            }),
         ["compare", path, ..] => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))
             .and_then(|text| commands::compare(&text, json)),

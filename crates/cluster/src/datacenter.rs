@@ -456,7 +456,18 @@ impl Datacenter {
     /// journal overflowed / the fleet was deserialized). The journal
     /// restarts empty.
     pub fn take_fleet_delta(&mut self) -> FleetDelta {
-        std::mem::take(&mut self.journal)
+        let delta = std::mem::take(&mut self.journal);
+        if dvmp_obs::enabled() {
+            dvmp_obs::note_journal_drained(if delta.is_full() {
+                None
+            } else {
+                Some((
+                    delta.dirty_pms().len() as u64,
+                    delta.dirty_vms().len() as u64,
+                ))
+            });
+        }
+        delta
     }
 
     /// Read-only view of the accumulated (undrained) fleet delta.
@@ -469,6 +480,7 @@ impl Datacenter {
         self.update_pm(pm, |p| p.reserve(vm, demand))?;
         self.vm_index.entry(vm).or_default().push(pm);
         self.journal.note_vm(vm);
+        dvmp_obs::note_vm_placed(vm.0 as u64, pm.0 as u64);
         Ok(())
     }
 
@@ -484,6 +496,7 @@ impl Datacenter {
         let hosts = self.vm_index.entry(vm).or_default();
         hosts.insert(0, to);
         self.journal.note_vm(vm);
+        dvmp_obs::note_migration_started(vm.0 as u64, to.0 as u64);
         Ok(())
     }
 
@@ -494,6 +507,7 @@ impl Datacenter {
             hosts.retain(|&p| p != from);
         }
         self.journal.note_vm(vm);
+        dvmp_obs::note_migration_finished(vm.0 as u64, from.0 as u64);
         Ok(())
     }
 
@@ -507,6 +521,7 @@ impl Datacenter {
         }
         if !hosts.is_empty() {
             self.journal.note_vm(vm);
+            dvmp_obs::note_vm_removed(vm.0 as u64, hosts.len() as u64);
         }
         hosts
     }
@@ -529,6 +544,7 @@ impl Datacenter {
             }
             self.journal.note_vm(vm);
         }
+        dvmp_obs::note_pm_failed(pm.0 as u64, evicted.len() as u64);
         evicted
     }
 

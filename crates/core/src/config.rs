@@ -46,6 +46,13 @@ pub struct SimConfig {
     /// Costs a constant factor per event; off by default.
     #[serde(default)]
     pub checked: bool,
+    /// Observability summary: arm the global obs layer (counters + flight
+    /// recorder) for this run and attach an
+    /// [`ObsReport`](dvmp_metrics::ObsReport) with per-control-interval
+    /// counter samples to the report. Off by default; tracing-disabled
+    /// runs stay bit-identical (DESIGN.md §10).
+    #[serde(default)]
+    pub obs_summary: bool,
 }
 
 impl Default for SimConfig {
@@ -59,6 +66,7 @@ impl Default for SimConfig {
             power_groups: None,
             seed: 42,
             checked: false,
+            obs_summary: false,
         }
     }
 }

@@ -239,8 +239,10 @@ impl ReferenceModel {
 pub struct Oracle {
     reference: ReferenceModel,
     /// Op-stream errors found by the reference model, waiting for the
-    /// next audit to be attributed to an event.
-    pending_op_errors: Vec<String>,
+    /// next audit to surface them. Each is stamped with the sim time and
+    /// event ordinal of the *op itself* (not of the audit that drains it),
+    /// so `Violation` reports carry the failing event uniformly.
+    pending_op_errors: Vec<PendingOpError>,
     /// PMs touched by ops since the last audit (incremental check scope).
     touched_pms: Vec<PmId>,
     /// VMs touched by ops since the last audit (incremental check scope).
@@ -253,6 +255,18 @@ pub struct Oracle {
     events_audited: u64,
     violations: Vec<Violation>,
     dropped: u64,
+    /// Flight-recorder capture taken at the first violation (kept for the
+    /// summary). `None` while the run is clean or when obs recording is
+    /// disabled.
+    flight_dump: Option<dvmp_obs::FlightDump>,
+}
+
+/// An op-stream error with the identity of the event that caused it.
+#[derive(Debug, Clone)]
+struct PendingOpError {
+    time: SimTime,
+    seq: u64,
+    detail: String,
 }
 
 impl Oracle {
@@ -269,6 +283,7 @@ impl Oracle {
             events_audited: 0,
             violations: Vec::new(),
             dropped: 0,
+            flight_dump: None,
         }
     }
 
@@ -284,7 +299,10 @@ impl Oracle {
 
     /// Feeds one fleet mutation to the reference model, marking the PMs
     /// and VMs it touches so the next audit can verify exactly those.
-    pub fn record(&mut self, op: &FleetOp) {
+    /// `now` is the sim time of the event performing the op; any op-stream
+    /// error is stamped with it (and the event's ordinal) rather than with
+    /// the later audit that reports it.
+    pub fn record(&mut self, now: SimTime, op: &FleetOp) {
         match *op {
             FleetOp::Place { vm, pm, .. } => {
                 self.touched_vms.push(vm);
@@ -316,7 +334,14 @@ impl Oracle {
             }
         }
         if let Err(e) = self.reference.apply(op) {
-            self.pending_op_errors.push(e);
+            // The op belongs to the event the *next* audit will stamp:
+            // `events_audited` counts completed audits, so the in-flight
+            // event's ordinal is the successor.
+            self.pending_op_errors.push(PendingOpError {
+                time: now,
+                seq: self.events_audited + 1,
+                detail: e,
+            });
         }
     }
 
@@ -336,10 +361,6 @@ impl Oracle {
     ) {
         self.events_audited += 1;
         let mut found: Vec<(Invariant, String)> = Vec::new();
-
-        for e in self.pending_op_errors.drain(..) {
-            found.push((Invariant::ReferenceDivergence, e));
-        }
 
         // Time monotonicity.
         if now < self.last_time {
@@ -417,9 +438,6 @@ impl Oracle {
     ) -> OracleSummary {
         self.events_audited += 1;
         let mut found: Vec<(Invariant, String)> = Vec::new();
-        for e in self.pending_op_errors.drain(..) {
-            found.push((Invariant::ReferenceDivergence, e));
-        }
         // Close the integral out to the horizon, like the meter does.
         self.energy_j += self.last_power_w * horizon.saturating_since(self.last_time).as_secs_f64();
         self.last_time = horizon;
@@ -432,6 +450,7 @@ impl Oracle {
             events_audited: self.events_audited,
             violations: self.violations,
             dropped_violations: self.dropped,
+            flight_dump: self.flight_dump,
         }
     }
 
@@ -575,24 +594,63 @@ impl Oracle {
         }
     }
 
-    /// Stamps and stores this audit's findings (shared digest, capped).
+    /// Stamps and stores this audit's findings (shared digest, capped),
+    /// surfacing any pending op-stream errors under their *own* time/seq.
+    /// The first violation of the run also captures a flight-recorder dump
+    /// (when obs recording is on — checked mode arms it) so the failure
+    /// ships the records that led up to it.
     fn commit(&mut self, seq: u64, now: SimTime, dc: &Datacenter, found: Vec<(Invariant, String)>) {
-        if found.is_empty() {
+        if found.is_empty() && self.pending_op_errors.is_empty() {
             return;
         }
         let digest = dc.state_digest();
+        let push = |violations: &mut Vec<Violation>, dropped: &mut u64, v: Violation| {
+            if violations.len() < MAX_RETAINED_VIOLATIONS {
+                violations.push(v);
+            } else {
+                *dropped += 1;
+            }
+        };
+        let op_errors = std::mem::take(&mut self.pending_op_errors);
+        let total = (op_errors.len() + found.len()) as u64;
+        // Header identity: the earliest failing event in this batch.
+        let (first_seq, first_time) = op_errors.first().map_or((seq, now), |e| (e.seq, e.time));
+        for e in op_errors {
+            push(
+                &mut self.violations,
+                &mut self.dropped,
+                Violation {
+                    seq: e.seq,
+                    time: e.time,
+                    invariant: Invariant::ReferenceDivergence,
+                    detail: e.detail,
+                    state_digest: digest,
+                },
+            );
+        }
         for (invariant, detail) in found {
-            if self.violations.len() < MAX_RETAINED_VIOLATIONS {
-                self.violations.push(Violation {
+            push(
+                &mut self.violations,
+                &mut self.dropped,
+                Violation {
                     seq,
                     time: now,
                     invariant,
                     detail,
                     state_digest: digest,
-                });
-            } else {
-                self.dropped += 1;
-            }
+                },
+            );
+        }
+        dvmp_obs::note_oracle_violation(first_seq, total);
+        if self.flight_dump.is_none() && dvmp_obs::enabled() {
+            let first = self.violations.first().expect("just pushed at least one");
+            let reason = format!("{}: {}", first.invariant, first.detail);
+            self.flight_dump = Some(dvmp_obs::capture_flight_dump(
+                &reason,
+                first_seq,
+                first_time.as_secs(),
+                digest,
+            ));
         }
     }
 }
@@ -644,7 +702,7 @@ mod tests {
                 dc.fail_pm(pm);
             }
         }
-        oracle.record(&op);
+        oracle.record(SimTime::ZERO, &op);
     }
 
     fn audit_clean(
@@ -815,10 +873,13 @@ mod tests {
         let mut oracle = Oracle::new(&dc);
         let mut meter = EnergyMeter::new();
         meter.record(SimTime::ZERO, dc.total_power_w());
-        oracle.record(&FleetOp::FinishMigration {
-            vm: VmId(7),
-            from: PmId(0),
-        });
+        oracle.record(
+            SimTime::ZERO,
+            &FleetOp::FinishMigration {
+                vm: VmId(7),
+                from: PmId(0),
+            },
+        );
         oracle.audit(
             SimTime::ZERO,
             1,
@@ -872,10 +933,13 @@ mod tests {
         // One nonsense op per event → one violation per audit; loop enough
         // audits to overflow the cap.
         for seq in 0..(MAX_RETAINED_VIOLATIONS as u64 + 40) {
-            oracle.record(&FleetOp::FinishMigration {
-                vm: VmId(5),
-                from: PmId(0),
-            });
+            oracle.record(
+                SimTime::from_secs(seq),
+                &FleetOp::FinishMigration {
+                    vm: VmId(5),
+                    from: PmId(0),
+                },
+            );
             oracle.audit(SimTime::from_secs(seq), seq + 1, &dc, &vms, &q, &meter);
         }
         assert_eq!(oracle.violations.len(), MAX_RETAINED_VIOLATIONS);

@@ -99,7 +99,14 @@ impl SimWorld {
     fn initial_sample(&mut self) {
         self.recorder.sample_fleet(SimTime::ZERO, &self.dc);
         if self.cfg.checked && self.oracle.is_none() {
+            // Checked mode arms the flight recorder too, so any violation
+            // can ship the records leading up to it (DESIGN.md §10). The
+            // switch is sticky and process-global by design.
+            dvmp_obs::set_enabled(true);
             self.oracle = Some(Box::new(Oracle::new(&self.dc)));
+        }
+        if self.cfg.obs_summary {
+            self.recorder.enable_obs_sampling();
         }
     }
 
@@ -110,12 +117,13 @@ impl SimWorld {
         }
     }
 
-    /// Reports one fleet mutation to the oracle's reference model. The
-    /// closure keeps op construction off the unchecked path.
+    /// Reports one fleet mutation to the oracle's reference model, stamped
+    /// with the sim time of the event performing it. The closure keeps op
+    /// construction off the unchecked path.
     #[inline]
-    fn note(&mut self, op: impl FnOnce() -> FleetOp) {
+    fn note(&mut self, now: SimTime, op: impl FnOnce() -> FleetOp) {
         if let Some(o) = &mut self.oracle {
-            o.record(&op());
+            o.record(now, &op());
         }
     }
 
@@ -144,7 +152,7 @@ impl SimWorld {
         }
         let ev = sched.schedule_at(ready, Event::CreationDone(id));
         self.creation_events.insert(id, ev);
-        self.note(|| FleetOp::Place {
+        self.note(now, || FleetOp::Place {
             vm: id,
             pm,
             demand: res,
@@ -270,8 +278,11 @@ impl SimWorld {
             vms: &self.vms,
             now,
         });
-        for m in moves {
-            self.apply_migration(m, now, sched);
+        {
+            let _span = dvmp_obs::span!(dvmp_obs::Phase::PlanApply);
+            for m in moves {
+                self.apply_migration(m, now, sched);
+            }
         }
         if let Some(sp) = &mut self.spare {
             sp.update_n_ave(self.dc.active_vm_count(), self.dc.non_idle_count());
@@ -290,13 +301,14 @@ impl SimWorld {
             && self.dc.pm(m.to).can_host(&self.vms[&m.vm].spec.resources);
         if !valid {
             self.recorder.record_skipped_migration();
+            dvmp_obs::note_migration_skipped(m.vm.0 as u64);
             return;
         }
         let res = self.vms[&m.vm].spec.resources;
         self.dc
             .begin_migration(m.vm, m.to, res)
             .expect("validated migration");
-        self.note(|| FleetOp::BeginMigration {
+        self.note(now, || FleetOp::BeginMigration {
             vm: m.vm,
             to: m.to,
             demand: res,
@@ -396,7 +408,7 @@ impl SimWorld {
             return; // raced with a shutdown
         }
         let evicted = self.dc.fail_pm(pm);
-        self.note(|| FleetOp::Fail { pm });
+        self.note(now, || FleetOp::Fail { pm });
         self.recorder.record_pm_failure();
         self.mark(now, Milestone::PmFailed(pm));
         for id in evicted {
@@ -418,11 +430,12 @@ impl SimWorld {
                         vm.state = VmState::Running { pm: from };
                         self.reschedule_departure(id, sched);
                         self.recorder.record_failure_aborted_migration();
+                        dvmp_obs::note_migration_aborted(id.0 as u64);
                     } else {
                         // Source died: execution lost; drop the destination
                         // reservation too and restart from the queue.
                         self.dc.remove_vm(id);
-                        self.note(|| FleetOp::Remove { vm: id });
+                        self.note(now, || FleetOp::Remove { vm: id });
                         self.requeue_vm(id, sched);
                         self.recorder.record_failure_lost_migration();
                     }
@@ -439,8 +452,10 @@ impl SimWorld {
     }
 
     fn handle_control_period(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.recorder.sample_obs(now);
         let Some(sp) = &mut self.spare else { return };
         let period = sp.config().control_period;
+        let _span = dvmp_obs::span!(dvmp_obs::Phase::SpareControl);
         let n_dep = departures_within(
             self.vms
                 .values()
@@ -495,7 +510,7 @@ impl World for SimWorld {
                     sched.cancel(ev);
                 }
                 self.dc.remove_vm(id);
-                self.note(|| FleetOp::Remove { vm: id });
+                self.note(now, || FleetOp::Remove { vm: id });
                 self.vms.get_mut(&id).expect("VM exists").state = VmState::Completed { at: now };
                 let spec = &self.vms[&id].spec;
                 let core_seconds = spec.actual_runtime.as_secs_f64() * spec.resources.get(0) as f64;
@@ -513,7 +528,7 @@ impl World for SimWorld {
                     self.dc
                         .finish_migration(id, from)
                         .expect("migration bookkeeping consistent");
-                    self.note(|| FleetOp::FinishMigration { vm: id, from });
+                    self.note(now, || FleetOp::FinishMigration { vm: id, from });
                     self.vms.get_mut(&id).expect("VM exists").state = VmState::Running { pm: to };
                     self.mark(now, Milestone::MigrationFinished(id));
                     self.drain_queue(now, sched);
@@ -552,6 +567,7 @@ impl World for SimWorld {
         // Take/put-back dance: the oracle needs `&mut` while reading the
         // rest of the world.
         if let Some(mut oracle) = self.oracle.take() {
+            let _span = dvmp_obs::span!(dvmp_obs::Phase::OracleAudit);
             oracle.audit(
                 now,
                 seq,

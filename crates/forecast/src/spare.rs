@@ -158,6 +158,7 @@ impl SpareServerController {
             n_ave: self.n_ave,
             spare,
         });
+        dvmp_obs::note_spare_decision(n_arrival, spare);
         spare
     }
 }

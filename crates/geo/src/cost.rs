@@ -81,6 +81,7 @@ mod tests {
             failure_aborted_migrations: 0,
             failure_lost_migrations: 0,
             oracle: None,
+            obs: None,
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
             group_names: groups,

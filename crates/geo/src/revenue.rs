@@ -100,6 +100,7 @@ mod tests {
             failure_aborted_migrations: 0,
             failure_lost_migrations: 0,
             oracle: None,
+            obs: None,
             served_core_hours: core_hours,
             qos: qos.summary(),
             group_names: vec!["r".into()],

@@ -22,5 +22,5 @@ pub mod violation;
 
 pub use energy::EnergyMeter;
 pub use qos::{QosSummary, QosTracker};
-pub use recorder::{PowerGroups, RunReport, SimulationRecorder};
+pub use recorder::{ObsIntervalSample, ObsReport, PowerGroups, RunReport, SimulationRecorder};
 pub use violation::{Invariant, OracleSummary, Violation};

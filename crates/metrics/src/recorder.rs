@@ -9,6 +9,7 @@ use crate::energy::EnergyMeter;
 use crate::qos::{QosSummary, QosTracker};
 use crate::violation::OracleSummary;
 use dvmp_cluster::datacenter::Datacenter;
+use dvmp_obs::CounterSnapshot as ObsCounters;
 use dvmp_simcore::series::{CountSeries, StepSeries};
 use dvmp_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,11 @@ pub struct SimulationRecorder {
     failure_aborted_migrations: u64,
     failure_lost_migrations: u64,
     served_core_seconds: f64,
+    /// Counter state at `enable_obs_sampling` time; `Some` arms per-interval
+    /// observability sampling (the global counters are process-cumulative,
+    /// so per-run numbers are deltas against this baseline).
+    obs_baseline: Option<ObsCounters>,
+    obs_intervals: Vec<ObsIntervalSample>,
 }
 
 impl Default for SimulationRecorder {
@@ -91,6 +97,32 @@ impl SimulationRecorder {
             failure_aborted_migrations: 0,
             failure_lost_migrations: 0,
             served_core_seconds: 0.0,
+            obs_baseline: None,
+            obs_intervals: Vec::new(),
+        }
+    }
+
+    /// Arms per-interval observability sampling: [`sample_obs`] calls start
+    /// recording counter deltas, and [`finish`] attaches an [`ObsReport`].
+    /// Also ensures the global obs layer is recording.
+    ///
+    /// [`sample_obs`]: SimulationRecorder::sample_obs
+    /// [`finish`]: SimulationRecorder::finish
+    pub fn enable_obs_sampling(&mut self) {
+        dvmp_obs::set_enabled(true);
+        self.obs_baseline = Some(dvmp_obs::counters_snapshot());
+    }
+
+    /// Samples the live counters (as deltas since arming) at a control
+    /// interval boundary. No-op unless [`enable_obs_sampling`] was called.
+    ///
+    /// [`enable_obs_sampling`]: SimulationRecorder::enable_obs_sampling
+    pub fn sample_obs(&mut self, now: SimTime) {
+        if let Some(base) = &self.obs_baseline {
+            self.obs_intervals.push(ObsIntervalSample {
+                t_s: now.as_secs(),
+                counters: dvmp_obs::counters_snapshot().delta_from(base),
+            });
         }
     }
 
@@ -218,8 +250,32 @@ impl SimulationRecorder {
             served_core_hours: self.served_core_seconds / 3_600.0,
             qos: self.qos.summary(),
             oracle: None,
+            obs: self.obs_baseline.as_ref().map(|base| ObsReport {
+                totals: dvmp_obs::counters_snapshot().delta_from(base),
+                intervals: self.obs_intervals.clone(),
+            }),
         }
     }
+}
+
+/// One per-interval observability sample: counter values (as deltas since
+/// the run started) at a control-period boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsIntervalSample {
+    /// Sample time, whole seconds.
+    pub t_s: u64,
+    /// Counter deltas since the run's obs baseline.
+    pub counters: ObsCounters,
+}
+
+/// The observability section of a [`RunReport`]: per-run counter totals
+/// plus the per-control-interval series (`--obs-summary`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Counter deltas over the whole run.
+    pub totals: ObsCounters,
+    /// Per-control-interval samples, in time order.
+    pub intervals: Vec<ObsIntervalSample>,
 }
 
 /// Immutable results of one simulation run — everything Figs. 3–5 plot.
@@ -267,6 +323,9 @@ pub struct RunReport {
     pub qos: QosSummary,
     /// Checked-mode audit summary (`None` unless the run was checked).
     pub oracle: Option<OracleSummary>,
+    /// Observability counters (`None` unless obs sampling was armed).
+    #[serde(default)]
+    pub obs: Option<ObsReport>,
     /// Names of the power groups (empty unless grouping was enabled).
     pub group_names: Vec<String>,
     /// Per-group energy per hour, kWh (`group_hourly_kwh[g][h]`).
@@ -367,6 +426,7 @@ mod tests {
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
             oracle: None,
+            obs: None,
             group_names: vec![],
             group_hourly_kwh: vec![],
         };

@@ -193,6 +193,7 @@ mod tests {
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
             oracle: None,
+            obs: None,
             group_names: vec![],
             group_hourly_kwh: vec![],
         }

@@ -86,6 +86,12 @@ pub struct OracleSummary {
     /// Violations beyond the retention cap (counted, not stored, so a
     /// catastrophically broken run cannot exhaust memory).
     pub dropped_violations: u64,
+    /// Flight-recorder capture taken at the first violation: the last N
+    /// trace records (with sim time, event ordinal and phase) leading up
+    /// to the failure. `None` on clean runs or when obs recording was off
+    /// (checked mode arms it automatically).
+    #[serde(default)]
+    pub flight_dump: Option<dvmp_obs::FlightDump>,
 }
 
 impl OracleSummary {
@@ -115,6 +121,9 @@ impl OracleSummary {
         if self.dropped_violations > 0 {
             let _ = writeln!(out, "  ... and {} more (dropped)", self.dropped_violations);
         }
+        if let Some(dump) = &self.flight_dump {
+            out.push_str(&dump.render(16));
+        }
         out
     }
 }
@@ -139,6 +148,7 @@ mod tests {
             events_audited: 100,
             violations: vec![],
             dropped_violations: 0,
+            flight_dump: None,
         };
         assert!(clean.is_clean());
         assert_eq!(clean.total_violations(), 0);
@@ -147,6 +157,7 @@ mod tests {
             events_audited: 100,
             violations: vec![violation()],
             dropped_violations: 5,
+            flight_dump: None,
         };
         assert!(!dirty.is_clean());
         assert_eq!(dirty.total_violations(), 6);

@@ -1,0 +1,203 @@
+//! The enum-coded, allocation-free trace record.
+//!
+//! A [`Record`] is what the flight recorder stores: eight machine words of
+//! plain data — no strings, no heap. Event kinds and phases are `u8`
+//! discriminants packed into a single word inside the ring (see
+//! [`crate::ring`]); the decoded form here is what drains and dumps hand
+//! back.
+
+use std::fmt;
+
+/// What happened. One discriminant per instrumented site in the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// Scheduler popped an event (`a` = events still pending).
+    EventDispatched = 0,
+    /// Fleet mutation: VM placed (`a` = vm id, `b` = pm id).
+    VmPlaced = 1,
+    /// Fleet mutation: VM removed (`a` = vm id, `b` = host count).
+    VmRemoved = 2,
+    /// Fleet mutation: migration reservation opened (`a` = vm, `b` = target pm).
+    MigrationStarted = 3,
+    /// Fleet mutation: migration committed (`a` = vm, `b` = source pm).
+    MigrationFinished = 4,
+    /// Planned migration dropped before starting (stale or failed source).
+    MigrationAborted = 5,
+    /// Planned migration skipped by the simulator's validity check.
+    MigrationSkipped = 6,
+    /// Fleet mutation: PM failed (`a` = pm id, `b` = displaced VM count).
+    PmFailed = 7,
+    /// Fleet-delta journal drained (`a` = dirty PMs, `b` = dirty VMs;
+    /// both `u64::MAX` when the journal had overflowed to "full").
+    JournalDrained = 8,
+    /// Planning pass ran the incremental delta kernel (`a` = dirty rows,
+    /// `b` = dirty columns actually patched).
+    PlanKernelDelta = 9,
+    /// Planning pass ran a fresh full matrix rebuild (`a` = rows, `b` = cols).
+    PlanKernelFresh = 10,
+    /// Dirty-set size at delta-kernel entry (`a` = dirty rows, `b` = dirty cols).
+    PlanDirtySet = 11,
+    /// Delta kernel was eligible but fell back to a rebuild
+    /// (`a` = reason: 0 = dirty fraction over threshold, 1 = sweep refused).
+    PlanRebuildFallback = 12,
+    /// Spare-server controller decision (`a` = forecast arrivals, `b` = spare target).
+    SpareDecision = 13,
+    /// Checked-mode oracle flagged a violation (`a` = event seq, `b` = count).
+    OracleViolation = 14,
+    /// Free-form marker (tests, ad-hoc probes).
+    Mark = 15,
+}
+
+impl RecordKind {
+    pub(crate) fn from_u8(v: u8) -> RecordKind {
+        match v {
+            0 => RecordKind::EventDispatched,
+            1 => RecordKind::VmPlaced,
+            2 => RecordKind::VmRemoved,
+            3 => RecordKind::MigrationStarted,
+            4 => RecordKind::MigrationFinished,
+            5 => RecordKind::MigrationAborted,
+            6 => RecordKind::MigrationSkipped,
+            7 => RecordKind::PmFailed,
+            8 => RecordKind::JournalDrained,
+            9 => RecordKind::PlanKernelDelta,
+            10 => RecordKind::PlanKernelFresh,
+            11 => RecordKind::PlanDirtySet,
+            12 => RecordKind::PlanRebuildFallback,
+            13 => RecordKind::SpareDecision,
+            14 => RecordKind::OracleViolation,
+            _ => RecordKind::Mark,
+        }
+    }
+
+    /// Stable lowercase name used in dumps and chrome traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordKind::EventDispatched => "event-dispatched",
+            RecordKind::VmPlaced => "vm-placed",
+            RecordKind::VmRemoved => "vm-removed",
+            RecordKind::MigrationStarted => "migration-started",
+            RecordKind::MigrationFinished => "migration-finished",
+            RecordKind::MigrationAborted => "migration-aborted",
+            RecordKind::MigrationSkipped => "migration-skipped",
+            RecordKind::PmFailed => "pm-failed",
+            RecordKind::JournalDrained => "journal-drained",
+            RecordKind::PlanKernelDelta => "plan-kernel-delta",
+            RecordKind::PlanKernelFresh => "plan-kernel-fresh",
+            RecordKind::PlanDirtySet => "plan-dirty-set",
+            RecordKind::PlanRebuildFallback => "plan-rebuild-fallback",
+            RecordKind::SpareDecision => "spare-decision",
+            RecordKind::OracleViolation => "oracle-violation",
+            RecordKind::Mark => "mark",
+        }
+    }
+}
+
+impl fmt::Display for RecordKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The profiled phase a record was emitted under (the innermost open
+/// [`crate::span_guard`] on the emitting thread; `None` outside any span).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    None = 0,
+    EventDispatch = 1,
+    MatrixBuild = 2,
+    DeltaSweep = 3,
+    PlanApply = 4,
+    OracleAudit = 5,
+    SpareControl = 6,
+}
+
+/// Number of distinct [`Phase`] discriminants (histogram slot count).
+pub const PHASE_COUNT: usize = 7;
+
+impl Phase {
+    /// Every timed phase, in discriminant order (excludes `None`).
+    pub const TIMED: [Phase; 6] = [
+        Phase::EventDispatch,
+        Phase::MatrixBuild,
+        Phase::DeltaSweep,
+        Phase::PlanApply,
+        Phase::OracleAudit,
+        Phase::SpareControl,
+    ];
+
+    pub(crate) fn from_u8(v: u8) -> Phase {
+        match v {
+            1 => Phase::EventDispatch,
+            2 => Phase::MatrixBuild,
+            3 => Phase::DeltaSweep,
+            4 => Phase::PlanApply,
+            5 => Phase::OracleAudit,
+            6 => Phase::SpareControl,
+            _ => Phase::None,
+        }
+    }
+
+    /// Stable lowercase name used in dumps, profiles and chrome traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::None => "none",
+            Phase::EventDispatch => "event-dispatch",
+            Phase::MatrixBuild => "matrix-build",
+            Phase::DeltaSweep => "delta-sweep",
+            Phase::PlanApply => "plan-apply",
+            Phase::OracleAudit => "oracle-audit",
+            Phase::SpareControl => "spare-control",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One decoded flight-recorder record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Global emission order (monotone across all threads; the drain sort key).
+    pub stamp: u64,
+    /// Small dense id of the emitting thread (registration order).
+    pub tid: u64,
+    /// Simulation time, in whole seconds, of the event being dispatched
+    /// when the record was emitted.
+    pub time_s: u64,
+    /// 1-based engine event ordinal current at emission (0 before the
+    /// first dispatch).
+    pub ordinal: u64,
+    pub kind: RecordKind,
+    pub phase: Phase,
+    /// Kind-specific payload (see [`RecordKind`] variant docs).
+    pub a: u64,
+    pub b: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrips_through_u8() {
+        for v in 0..=15u8 {
+            let k = RecordKind::from_u8(v);
+            assert_eq!(k as u8, v, "{k}");
+        }
+    }
+
+    #[test]
+    fn phase_roundtrips_through_u8() {
+        for v in 0..PHASE_COUNT as u8 {
+            let p = Phase::from_u8(v);
+            assert_eq!(p as u8, v, "{p}");
+        }
+        assert_eq!(Phase::TIMED.len(), PHASE_COUNT - 1);
+    }
+}

@@ -280,30 +280,56 @@ impl DynamicPlacement {
         // operands) behind, and the journal bounds everything that changed
         // since. Extra factors may vary with time, so their entries cannot
         // be carried across passes.
-        let incremental = cfg.incremental
+        let eligible = cfg.incremental
             && extras.is_empty()
             && snap.valid
-            && delta.as_ref().is_some_and(|d| !d.is_full())
-            && inc.prepare(
+            && delta.as_ref().is_some_and(|d| !d.is_full());
+        let mut incremental = false;
+        if eligible {
+            if inc.prepare(
                 plan,
                 snap,
                 delta.as_ref().expect("checked is_some above"),
                 cfg.rebuild_threshold,
-            )
-            && matrix.update_incremental(
-                plan,
-                &ctx,
-                &inc.dirty_rows,
-                &inc.row_src,
-                &inc.dirty_cols,
-                &inc.col_src,
-                best,
-            );
+            ) {
+                if dvmp_obs::enabled() {
+                    dvmp_obs::note_plan_dirty_set(
+                        inc.dirty_rows.iter().filter(|&&d| d).count() as u64,
+                        inc.dirty_cols.iter().filter(|&&d| d).count() as u64,
+                    );
+                }
+                let _span = dvmp_obs::span!(dvmp_obs::Phase::DeltaSweep);
+                incremental = matrix.update_incremental(
+                    plan,
+                    &ctx,
+                    &inc.dirty_rows,
+                    &inc.row_src,
+                    &inc.dirty_cols,
+                    &inc.col_src,
+                    best,
+                );
+                if !incremental {
+                    dvmp_obs::note_plan_rebuild_fallback(dvmp_obs::FALLBACK_SWEEP_REFUSED);
+                }
+            } else {
+                dvmp_obs::note_plan_rebuild_fallback(dvmp_obs::FALLBACK_DIRTY_FRACTION);
+            }
+        }
         if incremental {
             *incremental_passes += 1;
+            if dvmp_obs::enabled() {
+                dvmp_obs::note_plan_kernel_delta(
+                    inc.dirty_rows.iter().filter(|&&d| d).count() as u64,
+                    inc.dirty_cols.iter().filter(|&&d| d).count() as u64,
+                );
+            }
         } else {
-            matrix.rebuild(plan, &ctx);
+            {
+                let _span = dvmp_obs::span!(dvmp_obs::Phase::MatrixBuild);
+                matrix.rebuild(plan, &ctx);
+            }
             *full_rebuilds += 1;
+            dvmp_obs::note_plan_kernel_fresh(plan.pms.len() as u64, plan.vms.len() as u64);
             // Per-column cache of the best non-host candidate, refilled in
             // one row-major sweep (the incremental update folds this into
             // its own sweep). The cache itself never carries across

@@ -226,8 +226,16 @@ impl<W: World> Engine<W> {
             debug_assert!(entry.time >= self.sched.now, "event queue went backwards");
             self.sched.now = entry.time;
             self.processed += 1;
-            self.world
-                .handle(entry.time, entry.payload, &mut self.sched);
+            dvmp_obs::note_dispatch(
+                entry.time.as_secs(),
+                self.processed,
+                self.sched.queue.len() as u64,
+            );
+            {
+                let _span = dvmp_obs::span!(dvmp_obs::Phase::EventDispatch);
+                self.world
+                    .handle(entry.time, entry.payload, &mut self.sched);
+            }
             self.world.after_event(entry.time, self.processed);
         }
         self.sched.now
