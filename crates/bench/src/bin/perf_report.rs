@@ -21,7 +21,12 @@
 //! 6. incremental planning — steady-state passes of the journal-driven
 //!    delta update (DESIGN.md §8) vs forced fresh rebuilds, on converged
 //!    fleets at 100×500 and 1k×5k, asserting the two paths propose
-//!    identical migration plans.
+//!    identical migration plans;
+//! 7. plan-kernel rows — steady-state passes of the dense kernel vs the
+//!    class-compressed planner on the same converged fleets, recording
+//!    the per-kernel row counts (`M` PM rows vs `C` superclasses), the
+//!    kernel `PlanKernel::Auto` selects at that fleet size, and that the
+//!    two kernels propose identical migration plans.
 //!
 //! Each matrix-build row also records the kernel
 //! `DynamicConfig::auto_par_rows_cutoff` selects for that shape next to
@@ -95,6 +100,32 @@ struct PlanPassBench {
 }
 
 #[derive(Serialize)]
+struct PlanKernelBench {
+    pms: usize,
+    vms: usize,
+    iters: usize,
+    /// Dense kernel row count: one row per powered PM (`M`).
+    dense_rows: usize,
+    /// Compressed kernel row count: registered superclasses (`C`).
+    compressed_rows: usize,
+    /// Median steady-state pass under the forced dense kernel, fed the
+    /// same per-pass fleet delta as the compressed policy.
+    dense_ns: f64,
+    /// Median steady-state pass under the forced class-compressed kernel.
+    compressed_ns: f64,
+    speedup_compressed: f64,
+    /// Both kernels proposed identical migration sequences.
+    plans_identical: bool,
+    /// Kernel [`PlanKernel::Auto`] selects at this fleet size
+    /// ("dense" or "compressed") and its measured time.
+    chosen_kernel: &'static str,
+    chosen_ns: f64,
+    /// The faster of the two kernels at this shape.
+    winner_kernel: &'static str,
+    winner_ns: f64,
+}
+
+#[derive(Serialize)]
 struct EndToEndBench {
     seed: u64,
     days: u64,
@@ -134,6 +165,9 @@ struct ScalingBench {
     vm_requests: usize,
     days: u64,
     policy: &'static str,
+    /// Planning kernel [`PlanKernel::Auto`] selects for dynamic rows at
+    /// this fleet size ("dense" or "compressed"); "n/a" for first-fit.
+    plan_kernel: &'static str,
     events: u64,
     wall_seconds: f64,
     events_per_sec: f64,
@@ -151,6 +185,7 @@ struct PerfReport {
     matrix_build: Vec<MatrixBuildBench>,
     plan_pass: PlanPassBench,
     incremental_plan: Vec<IncrementalPlanBench>,
+    plan_kernel: Vec<PlanKernelBench>,
     end_to_end: EndToEndBench,
     oracle_overhead: OracleOverheadBench,
     scaling: Vec<ScalingBench>,
@@ -169,6 +204,10 @@ const KERNEL_SELECTION_TOLERANCE: f64 = 1.3;
 /// The acceptance budget for checked mode: the oracle may cost at most
 /// this much end-to-end wall time at paper scale (DESIGN.md §9).
 const ORACLE_OVERHEAD_BUDGET_PERCENT: f64 = 15.0;
+
+/// Wall-clock budget for the 10k-PM / ~50k-VM 7-day week under the
+/// dynamic scheme — the scale the class-compressed kernel exists for.
+const DYNAMIC_10K_BUDGET_SECONDS: f64 = 10.0;
 
 /// Median wall time of `iters` runs of `f`, in nanoseconds.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -288,15 +327,18 @@ fn bench_plan_pass(n_vms: u32, iters: usize) -> PlanPassBench {
     }
 }
 
-/// Steady-state incremental planning: converge a fragmented fleet under
-/// the scheme first (so the measured passes reflect a settled datacenter,
-/// not the initial consolidation storm), then time full passes of a
-/// forced-rebuild policy against passes of an incremental policy fed a
-/// small per-pass fleet delta through the journal interface.
-fn bench_incremental_plan(pm_count: usize, n_vms: u32, iters: usize) -> IncrementalPlanBench {
+/// Converges a fragmented fleet under the scheme (so measured passes
+/// reflect a settled datacenter, not the initial consolidation storm)
+/// and discards the convergence dirt from the journal.
+fn converged_fixture(
+    pm_count: usize,
+    n_vms: u32,
+) -> (
+    dvmp_cluster::datacenter::Datacenter,
+    std::collections::BTreeMap<dvmp_cluster::vm::VmId, dvmp_cluster::vm::Vm>,
+) {
     let (mut dc, mut vms) = fragmented_fixture_scaled(pm_count, n_vms);
     let now = dvmp_simcore::SimTime::from_secs(1_000);
-
     let mut conv = DynamicPlacement::paper_default();
     for _ in 0..200 {
         let moves = {
@@ -320,23 +362,43 @@ fn bench_incremental_plan(pm_count: usize, n_vms: u32, iters: usize) -> Incremen
         }
     }
     dc.take_fleet_delta(); // discard the convergence dirt
+    (dc, vms)
+}
 
-    // The steady-state delta a control period typically drains: a couple
-    // of PM footprint changes and one churned VM.
+/// The steady-state delta a control period typically drains: a couple of
+/// PM footprint changes and one churned VM.
+fn steady_state_delta(
+    pm_count: usize,
+    vms: &std::collections::BTreeMap<dvmp_cluster::vm::VmId, dvmp_cluster::vm::Vm>,
+) -> FleetDelta {
     let mut delta = FleetDelta::new();
     delta.note_pm(PmId(0));
     delta.note_pm(PmId((pm_count / 2) as u32));
     if let Some(&vm0) = vms.keys().next() {
         delta.note_vm(vm0);
     }
+    delta
+}
+
+/// Steady-state incremental planning: time full passes of a
+/// forced-rebuild policy against passes of an incremental policy fed a
+/// small per-pass fleet delta through the journal interface.
+fn bench_incremental_plan(pm_count: usize, n_vms: u32, iters: usize) -> IncrementalPlanBench {
+    let (dc, vms) = converged_fixture(pm_count, n_vms);
+    let now = dvmp_simcore::SimTime::from_secs(1_000);
+    let delta = steady_state_delta(pm_count, &vms);
     let view = PlacementView {
         dc: &dc,
         vms: &vms,
         now,
     };
 
+    // Both policies pinned to the dense kernel: this section measures the
+    // dense journal-driven delta path against dense fresh rebuilds; the
+    // compressed kernel gets its own section (`bench_plan_kernel`).
     let fresh_cfg = DynamicConfig {
         incremental: false,
+        plan_kernel: PlanKernel::Dense,
         ..DynamicConfig::default()
     };
     let mut fresh = DynamicPlacement::new(fresh_cfg);
@@ -345,7 +407,11 @@ fn bench_incremental_plan(pm_count: usize, n_vms: u32, iters: usize) -> Incremen
         fresh.plan_migrations(&view);
     });
 
-    let mut inc = DynamicPlacement::paper_default();
+    let inc_cfg = DynamicConfig {
+        plan_kernel: PlanKernel::Dense,
+        ..DynamicConfig::default()
+    };
+    let mut inc = DynamicPlacement::new(inc_cfg);
     inc.plan_migrations(&view); // warm: full build + snapshot capture
     let delta_ns = median_ns(iters, || {
         inc.note_fleet_delta(delta.clone());
@@ -366,6 +432,81 @@ fn bench_incremental_plan(pm_count: usize, n_vms: u32, iters: usize) -> Incremen
         plans_identical: a == b,
         incremental_passes: inc.incremental_passes(),
         full_rebuilds: inc.full_rebuilds(),
+    }
+}
+
+/// Dense vs class-compressed planning kernel on the same converged fleet,
+/// both fed the same steady-state fleet delta per pass — the apples-to-
+/// apples comparison `PlanKernel::Auto` decides between at runtime.
+fn bench_plan_kernel(pm_count: usize, n_vms: u32, iters: usize) -> PlanKernelBench {
+    let (dc, vms) = converged_fixture(pm_count, n_vms);
+    let now = dvmp_simcore::SimTime::from_secs(1_000);
+    let delta = steady_state_delta(pm_count, &vms);
+    let view = PlacementView {
+        dc: &dc,
+        vms: &vms,
+        now,
+    };
+
+    let mut dense = DynamicPlacement::new(DynamicConfig {
+        plan_kernel: PlanKernel::Dense,
+        ..DynamicConfig::default()
+    });
+    dense.plan_migrations(&view); // warm: full build + snapshot capture
+    let dense_ns = median_ns(iters, || {
+        dense.note_fleet_delta(delta.clone());
+        dense.plan_migrations(&view);
+    });
+
+    let mut comp = DynamicPlacement::new(DynamicConfig {
+        plan_kernel: PlanKernel::Compressed,
+        ..DynamicConfig::default()
+    });
+    comp.plan_migrations(&view); // warm: compressed rebuild from the view
+    let compressed_ns = median_ns(iters, || {
+        comp.note_fleet_delta(delta.clone());
+        comp.plan_migrations(&view);
+    });
+
+    dense.note_fleet_delta(delta.clone());
+    comp.note_fleet_delta(delta.clone());
+    let a = dense.plan_migrations(&view);
+    let b = comp.plan_migrations(&view);
+    assert!(
+        !comp.compressed_poisoned() && comp.compressed_passes() > 0,
+        "forced compressed kernel fell back to dense at {pm_count} PMs"
+    );
+
+    let chosen_kernel = if pm_count >= dvmp_placement::COMPRESSED_ROWS_CUTOFF {
+        "compressed"
+    } else {
+        "dense"
+    };
+    let chosen_ns = if chosen_kernel == "compressed" {
+        compressed_ns
+    } else {
+        dense_ns
+    };
+    let (winner_kernel, winner_ns) = if dense_ns <= compressed_ns {
+        ("dense", dense_ns)
+    } else {
+        ("compressed", compressed_ns)
+    };
+
+    PlanKernelBench {
+        pms: dc.len(),
+        vms: vms.len(),
+        iters,
+        dense_rows: comp.compressed_active_rows(),
+        compressed_rows: comp.compressed_superclasses(),
+        dense_ns,
+        compressed_ns,
+        speedup_compressed: dense_ns / compressed_ns,
+        plans_identical: a == b,
+        chosen_kernel,
+        chosen_ns,
+        winner_kernel,
+        winner_ns,
     }
 }
 
@@ -436,11 +577,19 @@ fn bench_scaling(
     let (report, events) = scenario.run_counting(make());
     let wall_seconds = t.elapsed().as_secs_f64();
     assert!(report.total_arrivals > 0, "scaled scenario saw no arrivals");
+    let plan_kernel = if policy != "dynamic" {
+        "n/a"
+    } else if pm_count >= dvmp_placement::COMPRESSED_ROWS_CUTOFF {
+        "compressed"
+    } else {
+        "dense"
+    };
     ScalingBench {
         pms: pm_count,
         vm_requests,
         days,
         policy,
+        plan_kernel,
         events,
         wall_seconds,
         events_per_sec: events as f64 / wall_seconds,
@@ -543,6 +692,28 @@ fn main() {
         })
         .collect();
 
+    // Plan-kernel rows reuse the incremental shapes: the same converged
+    // fleets, dense vs class-compressed, identical per-pass deltas.
+    let plan_kernel: Vec<PlanKernelBench> = inc_shapes
+        .iter()
+        .map(|&(pms, n_vms)| {
+            let b = bench_plan_kernel(pms, n_vms, iters);
+            eprintln!(
+                "plan kernel {}x{}: dense {:.2} ms ({} rows), compressed {:.2} ms ({} superclasses, {:.2}x), auto picks {}, plans identical: {}",
+                b.pms,
+                b.vms,
+                b.dense_ns / 1e6,
+                b.dense_rows,
+                b.compressed_ns / 1e6,
+                b.compressed_rows,
+                b.speedup_compressed,
+                b.chosen_kernel,
+                b.plans_identical
+            );
+            b
+        })
+        .collect();
+
     let end_to_end = bench_end_to_end(seed, days);
     eprintln!(
         "end-to-end {}d sim: fast {:.2} s, reference {:.2} s ({:.2}x), energy identical: {}",
@@ -565,7 +736,11 @@ fn main() {
         oracle_overhead.trace_identical
     );
 
-    let dynamic_scales: &[usize] = if smoke { &[250, 500] } else { &[1_000, 5_000] };
+    let dynamic_scales: &[usize] = if smoke {
+        &[250, 500]
+    } else {
+        &[1_000, 5_000, 10_000]
+    };
     let rows: Vec<(usize, &'static str)> = fleet_scales
         .iter()
         .map(|&pms| (pms, "first-fit"))
@@ -582,8 +757,15 @@ fn main() {
                 }
             });
             eprintln!(
-                "scaling {} PMs / {} VM requests, {}d ({}): {} events in {:.2} s = {:.0} events/s",
-                b.pms, b.vm_requests, b.days, b.policy, b.events, b.wall_seconds, b.events_per_sec
+                "scaling {} PMs / {} VM requests, {}d ({}, kernel {}): {} events in {:.2} s = {:.0} events/s",
+                b.pms,
+                b.vm_requests,
+                b.days,
+                b.policy,
+                b.plan_kernel,
+                b.events,
+                b.wall_seconds,
+                b.events_per_sec
             );
             b
         })
@@ -601,13 +783,14 @@ fn main() {
 
     let max_rows = matrix_build.iter().map(|b| b.pms).max().unwrap_or(2);
     let report = PerfReport {
-        schema: "dvmp/perf-report/v4",
+        schema: "dvmp/perf-report/v5",
         smoke,
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         matrix_workers: dvmp_placement::matrix::parallel_workers(max_rows),
         matrix_build,
         plan_pass,
         incremental_plan,
+        plan_kernel,
         end_to_end,
         oracle_overhead,
         scaling,
@@ -629,6 +812,29 @@ fn main() {
     if !report.incremental_plan.iter().all(|b| b.plans_identical) {
         eprintln!("FAIL: incremental planning diverged from the fresh-rebuild plans");
         healthy = false;
+    }
+    if !report.plan_kernel.iter().all(|b| b.plans_identical) {
+        eprintln!("FAIL: compressed kernel diverged from the dense plans");
+        healthy = false;
+    }
+    // Kernel selection is only gated at and above the Auto cutoff: below
+    // it both kernels are sub-millisecond, the choice is immaterial, and
+    // per-run noise at that scale must not fail CI.
+    for b in &report.plan_kernel {
+        if b.pms >= dvmp_placement::COMPRESSED_ROWS_CUTOFF
+            && b.chosen_ns > KERNEL_SELECTION_TOLERANCE * b.winner_ns
+        {
+            eprintln!(
+                "FAIL: auto-selected {} plan kernel at {}x{} measures {:.2} ms vs winner {} at {:.2} ms",
+                b.chosen_kernel,
+                b.pms,
+                b.vms,
+                b.chosen_ns / 1e6,
+                b.winner_kernel,
+                b.winner_ns / 1e6
+            );
+            healthy = false;
+        }
     }
     for b in &report.matrix_build {
         if b.chosen_ns > KERNEL_SELECTION_TOLERANCE * b.winner_ns {
@@ -672,15 +878,41 @@ fn main() {
         );
         healthy = false;
     }
-    // Scaling budget: a 7-day 10k-PM / ~50k-VM week must finish under a
-    // minute in release (full mode only — smoke rows are smaller).
-    if let Some(big) = report.scaling.iter().find(|b| b.pms == 10_000) {
+    // Scaling budgets (full mode only — smoke rows are smaller): a 7-day
+    // 10k-PM / ~50k-VM first-fit week must finish under a minute, and the
+    // same week under the dynamic scheme — the row the class-compressed
+    // kernel exists for — must be present and finish under 10 s.
+    if let Some(big) = report
+        .scaling
+        .iter()
+        .find(|b| b.pms == 10_000 && b.policy == "first-fit")
+    {
         if big.wall_seconds > 60.0 {
             eprintln!(
-                "FAIL: 10k-PM week took {:.1} s, over the 60 s budget",
+                "FAIL: 10k-PM first-fit week took {:.1} s, over the 60 s budget",
                 big.wall_seconds
             );
             healthy = false;
+        }
+    }
+    if !smoke {
+        match report
+            .scaling
+            .iter()
+            .find(|b| b.pms == 10_000 && b.policy == "dynamic")
+        {
+            None => {
+                eprintln!("FAIL: full run is missing the 10k-PM dynamic scaling row");
+                healthy = false;
+            }
+            Some(big) if big.wall_seconds > DYNAMIC_10K_BUDGET_SECONDS => {
+                eprintln!(
+                    "FAIL: 10k-PM dynamic week took {:.1} s, over the {DYNAMIC_10K_BUDGET_SECONDS} s budget",
+                    big.wall_seconds
+                );
+                healthy = false;
+            }
+            Some(_) => {}
         }
     }
     if !healthy {

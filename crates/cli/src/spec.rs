@@ -112,6 +112,12 @@ pub struct PolicySpec {
     /// `MIG_round` (dynamic only).
     #[serde(default)]
     pub mig_round: Option<u32>,
+    /// Planning kernel (dynamic only): `"auto"` (default, pick by fleet
+    /// size), `"dense"` (the M×N probability matrix), or `"compressed"`
+    /// (the class-compressed sparse planner). Both produce bit-identical
+    /// plans; this is an A/B lever, like `--full-replan`.
+    #[serde(default)]
+    pub plan_kernel: Option<String>,
 }
 
 impl PolicySpec {
@@ -129,6 +135,14 @@ impl PolicySpec {
                 }
                 if let Some(r) = self.mig_round {
                     cfg.mig_round = r;
+                }
+                if let Some(k) = &self.plan_kernel {
+                    cfg.plan_kernel = match k.as_str() {
+                        "auto" => PlanKernel::Auto,
+                        "dense" => PlanKernel::Dense,
+                        "compressed" => PlanKernel::Compressed,
+                        other => return Err(format!("unknown plan kernel {other:?}")),
+                    };
                 }
                 cfg.incremental = !full_replan;
                 cfg.validate()?;
@@ -301,6 +315,7 @@ mod tests {
             kind: "oracle".into(),
             mig_threshold: None,
             mig_round: None,
+            plan_kernel: None,
         };
         match bad_policy.build(1, false) {
             Err(e) => assert!(e.contains("oracle")),
@@ -326,8 +341,32 @@ mod tests {
             kind: "dynamic".into(),
             mig_threshold: Some(0.2),
             mig_round: None,
+            plan_kernel: None,
         };
         assert!(spec.build(1, false).is_err());
+    }
+
+    #[test]
+    fn plan_kernel_knob_selects_kernels_and_rejects_typos() {
+        for kernel in ["auto", "dense", "compressed"] {
+            let spec = PolicySpec {
+                kind: "dynamic".into(),
+                mig_threshold: None,
+                mig_round: None,
+                plan_kernel: Some(kernel.into()),
+            };
+            assert!(spec.build(1, false).is_ok(), "kernel {kernel}");
+        }
+        let bad = PolicySpec {
+            kind: "dynamic".into(),
+            mig_threshold: None,
+            mig_round: None,
+            plan_kernel: Some("sparse".into()),
+        };
+        match bad.build(1, false) {
+            Err(e) => assert!(e.contains("sparse")),
+            Ok(_) => panic!("unknown kernel must error"),
+        }
     }
 
     #[test]

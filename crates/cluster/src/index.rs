@@ -62,20 +62,37 @@ impl CapacityIndex {
         I: IntoIterator<Item = (bool, ResourceVector)>,
         I::IntoIter: ExactSizeIterator,
     {
+        let mut idx = CapacityIndex::default();
+        idx.refill(items);
+        idx
+    }
+
+    /// [`CapacityIndex::build`] into this index, reusing its node buffer.
+    /// Callers that rebuild every planning pass (the plan arena) allocate
+    /// nothing here once the buffer has reached the fleet's size.
+    pub fn refill<I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (bool, ResourceVector)>,
+        I::IntoIter: ExactSizeIterator,
+    {
         let items = items.into_iter();
         let n = items.len();
+        self.n = n;
         if n == 0 {
-            return CapacityIndex::default();
+            self.size = 0;
+            self.nodes.clear();
+            return;
         }
         let size = n.next_power_of_two();
-        let mut nodes = vec![Node::default(); 2 * size];
+        self.size = size;
+        self.nodes.clear();
+        self.nodes.resize(2 * size, Node::default());
         for (i, (avail, headroom)) in items.enumerate() {
-            nodes[size + i] = Self::leaf(avail, &headroom);
+            self.nodes[size + i] = Self::leaf(avail, &headroom);
         }
         for i in (1..size).rev() {
-            nodes[i] = Node::join(nodes[2 * i], nodes[2 * i + 1]);
+            self.nodes[i] = Node::join(self.nodes[2 * i], self.nodes[2 * i + 1]);
         }
-        CapacityIndex { n, size, nodes }
     }
 
     fn leaf(avail: bool, headroom: &ResourceVector) -> Node {
@@ -262,6 +279,20 @@ mod tests {
         }
         // Empty index visits nothing.
         CapacityIndex::default().for_each_fit(&rv(0, 0), |_| panic!("no leaves"));
+    }
+
+    #[test]
+    fn refill_reuses_buffer_and_matches_fresh_build() {
+        let mut idx = CapacityIndex::build(vec![(true, rv(4, 4_096)); 64]);
+        // Shrink, grow, and shrink-to-empty through the same index; each
+        // refill must be indistinguishable from a fresh build.
+        for n in [5usize, 64, 3, 100, 0, 7] {
+            let pms: Vec<(bool, ResourceVector)> = (0..n)
+                .map(|i| (i % 4 != 0, rv(i as u64 % 9, (i as u64 * 37) % 4_096)))
+                .collect();
+            idx.refill(pms.clone());
+            assert_eq!(idx, CapacityIndex::build(pms), "n = {n}");
+        }
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub mod prelude {
     pub use dvmp_metrics::recorder::RunReport;
     pub use dvmp_placement::{
         BestFit, DynamicConfig, DynamicPlacement, FirstFit, Migration, OverheadMode,
-        PlacementPolicy, PlacementView, RandomFit, ThresholdConfig, ThresholdPolicy, WorstFit,
+        PlacementPolicy, PlacementView, PlanKernel, RandomFit, ThresholdConfig, ThresholdPolicy,
+        WorstFit,
     };
     pub use dvmp_simcore::{SimDuration, SimTime};
     pub use dvmp_workload::{LpcProfile, SyntheticGenerator, Trace, WorkloadStats};

@@ -165,6 +165,14 @@ impl SimWorld {
     /// the demand (capacity-wise), so the request can land once it is up.
     fn try_place(&mut self, id: VmId, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
         let spec = self.vms[&id].spec.clone();
+        // Hand the accumulated fleet dirt to stateful policies before they
+        // read the view: the class-compressed planner patches its
+        // persistent state from exactly this journal (a delta-merging
+        // dense policy just banks it for the next planning pass).
+        if self.policy.is_dynamic() {
+            let delta = self.dc.take_fleet_delta();
+            self.policy.note_fleet_delta(delta);
+        }
         let chosen = self.policy.place(
             &PlacementView {
                 dc: &self.dc,

@@ -85,6 +85,14 @@ counter_bank! {
     plan_passes_fresh,
     /// Delta-eligible passes that fell back to a fresh rebuild.
     plan_rebuild_fallbacks,
+    /// Planning passes served by the class-compressed kernel.
+    plan_passes_compressed,
+    /// Sum of rows re-synced by compressed journal patches.
+    compressed_patch_rows,
+    /// Sum of columns exactly refreshed by compressed journal patches.
+    compressed_patch_cols,
+    /// Compressed passes whose bound scan survived to the round loop.
+    compressed_round_passes,
     /// Persistent-matrix reuses (delta pass == one warm-cache hit).
     matrix_cache_hits,
     /// Spare-server controller decisions taken.
@@ -117,6 +125,10 @@ pub fn counters() -> &'static Counters {
         plan_passes_delta: AtomicU64::new(0),
         plan_passes_fresh: AtomicU64::new(0),
         plan_rebuild_fallbacks: AtomicU64::new(0),
+        plan_passes_compressed: AtomicU64::new(0),
+        compressed_patch_rows: AtomicU64::new(0),
+        compressed_patch_cols: AtomicU64::new(0),
+        compressed_round_passes: AtomicU64::new(0),
         matrix_cache_hits: AtomicU64::new(0),
         spare_decisions: AtomicU64::new(0),
         spare_servers_gauge: AtomicU64::new(0),

@@ -324,6 +324,40 @@ pub fn note_plan_dirty_set(dirty_rows: u64, dirty_cols: u64) {
     }
 }
 
+/// Planning pass kernel choice: the class-compressed planner served the
+/// whole pass (`rows`×`cols` in play, never materialized densely).
+#[inline]
+pub fn note_plan_kernel_compressed(rows: u64, cols: u64) {
+    if enabled() {
+        counters()
+            .plan_passes_compressed
+            .fetch_add(1, Ordering::Relaxed);
+        emit(RecordKind::PlanKernelCompressed, rows, cols);
+    }
+}
+
+/// Compressed journal patch applied: `rows` re-synced, `cols` exactly
+/// refreshed.
+#[inline]
+pub fn note_compressed_patch(rows: u64, cols: u64) {
+    if enabled() {
+        let c = counters();
+        c.compressed_patch_rows.fetch_add(rows, Ordering::Relaxed);
+        c.compressed_patch_cols.fetch_add(cols, Ordering::Relaxed);
+    }
+}
+
+/// A compressed pass's bound scan found a genuine threshold exceeder and
+/// entered Algorithm 1's round loop.
+#[inline]
+pub fn note_compressed_rounds_entered() {
+    if enabled() {
+        counters()
+            .compressed_round_passes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Reason codes for [`note_plan_rebuild_fallback`].
 pub const FALLBACK_DIRTY_FRACTION: u64 = 0;
 pub const FALLBACK_SWEEP_REFUSED: u64 = 1;

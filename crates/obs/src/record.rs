@@ -45,8 +45,11 @@ pub enum RecordKind {
     SpareDecision = 13,
     /// Checked-mode oracle flagged a violation (`a` = event seq, `b` = count).
     OracleViolation = 14,
+    /// Planning pass served by the class-compressed kernel
+    /// (`a` = rows, `b` = columns in play).
+    PlanKernelCompressed = 15,
     /// Free-form marker (tests, ad-hoc probes).
-    Mark = 15,
+    Mark = 16,
 }
 
 impl RecordKind {
@@ -67,6 +70,7 @@ impl RecordKind {
             12 => RecordKind::PlanRebuildFallback,
             13 => RecordKind::SpareDecision,
             14 => RecordKind::OracleViolation,
+            15 => RecordKind::PlanKernelCompressed,
             _ => RecordKind::Mark,
         }
     }
@@ -89,6 +93,7 @@ impl RecordKind {
             RecordKind::PlanRebuildFallback => "plan-rebuild-fallback",
             RecordKind::SpareDecision => "spare-decision",
             RecordKind::OracleViolation => "oracle-violation",
+            RecordKind::PlanKernelCompressed => "plan-kernel-compressed",
             RecordKind::Mark => "mark",
         }
     }
@@ -112,20 +117,22 @@ pub enum Phase {
     PlanApply = 4,
     OracleAudit = 5,
     SpareControl = 6,
+    CompressedPlan = 7,
 }
 
 /// Number of distinct [`Phase`] discriminants (histogram slot count).
-pub const PHASE_COUNT: usize = 7;
+pub const PHASE_COUNT: usize = 8;
 
 impl Phase {
     /// Every timed phase, in discriminant order (excludes `None`).
-    pub const TIMED: [Phase; 6] = [
+    pub const TIMED: [Phase; 7] = [
         Phase::EventDispatch,
         Phase::MatrixBuild,
         Phase::DeltaSweep,
         Phase::PlanApply,
         Phase::OracleAudit,
         Phase::SpareControl,
+        Phase::CompressedPlan,
     ];
 
     pub(crate) fn from_u8(v: u8) -> Phase {
@@ -136,6 +143,7 @@ impl Phase {
             4 => Phase::PlanApply,
             5 => Phase::OracleAudit,
             6 => Phase::SpareControl,
+            7 => Phase::CompressedPlan,
             _ => Phase::None,
         }
     }
@@ -150,6 +158,7 @@ impl Phase {
             Phase::PlanApply => "plan-apply",
             Phase::OracleAudit => "oracle-audit",
             Phase::SpareControl => "spare-control",
+            Phase::CompressedPlan => "compressed-plan",
         }
     }
 }
@@ -186,7 +195,7 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_u8() {
-        for v in 0..=15u8 {
+        for v in 0..=16u8 {
             let k = RecordKind::from_u8(v);
             assert_eq!(k as u8, v, "{k}");
         }

@@ -14,6 +14,35 @@ pub enum OverheadMode {
     Split,
 }
 
+/// Which planning kernel [`crate::DynamicPlacement`] runs per pass.
+///
+/// Both kernels produce bit-identical migration batches and placements
+/// (golden traces and the differential proptests in `dynamic.rs` hold
+/// them to it); this knob trades constant factors only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlanKernel {
+    /// Pick by total fleet size: the dense matrix below
+    /// [`COMPRESSED_ROWS_CUTOFF`] PMs, class-compressed at or above it.
+    #[default]
+    Auto,
+    /// Always the dense M×N probability matrix (the reference kernel).
+    Dense,
+    /// Always the class-compressed sparse planner (falls back to dense
+    /// only when the fleet cannot be compressed — see
+    /// `compressed.rs`).
+    Compressed,
+}
+
+/// Total fleet size at which `PlanKernel::Auto` switches from the dense
+/// matrix to the class-compressed planner. Below this the dense kernel's
+/// simplicity wins (its per-pass cost is small in absolute terms and the
+/// compressed bookkeeping isn't free); above it the dense O(M·N) refill
+/// dominates everything else in the run. Deliberately keyed on the
+/// *fleet*, not the powered count: the spare-server controller moves the
+/// powered count across any threshold mid-run, and kernel flapping costs
+/// a compressed rebuild per flip.
+pub const COMPRESSED_ROWS_CUTOFF: usize = 512;
+
 /// Tunables of [`crate::DynamicPlacement`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DynamicConfig {
@@ -56,6 +85,12 @@ pub struct DynamicConfig {
     /// any dirt; `1.0` never falls back.
     #[serde(default = "default_rebuild_threshold")]
     pub rebuild_threshold: f64,
+    /// Planning-kernel selection (see [`PlanKernel`]). `Auto` keeps
+    /// paper-scale fleets on the dense reference kernel and switches to
+    /// the class-compressed planner at [`COMPRESSED_ROWS_CUTOFF`] active
+    /// rows; both produce identical output.
+    #[serde(default)]
+    pub plan_kernel: PlanKernel,
 }
 
 /// Measured crossover (`perf_report` matrix-build rows): with few workers
@@ -95,6 +130,7 @@ impl Default for DynamicConfig {
             par_rows_cutoff: default_par_rows_cutoff(),
             incremental: default_incremental(),
             rebuild_threshold: default_rebuild_threshold(),
+            plan_kernel: PlanKernel::default(),
         }
     }
 }
@@ -188,6 +224,18 @@ mod tests {
         assert_ne!(legacy, full, "both knobs serialize");
         let c: DynamicConfig = serde_json::from_str(&legacy).expect("legacy config parses");
         assert_eq!(c, DynamicConfig::default());
+    }
+
+    #[test]
+    fn plan_kernel_defaults_when_absent_from_serialized_form() {
+        // Configs serialized before the kernel knob existed must still
+        // load with `Auto` (same pattern as par_rows_cutoff).
+        let full = serde_json::to_string(&DynamicConfig::default()).unwrap();
+        let legacy = full.replace(",\"plan_kernel\":\"Auto\"", "");
+        assert_ne!(legacy, full, "the knob serializes");
+        let c: DynamicConfig = serde_json::from_str(&legacy).expect("legacy config parses");
+        assert_eq!(c, DynamicConfig::default());
+        assert_eq!(c.plan_kernel, PlanKernel::Auto);
     }
 
     #[test]

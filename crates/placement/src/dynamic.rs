@@ -15,7 +15,8 @@
 //! a round costs `O(N + M)` instead of `O(M·N)` — the incremental update
 //! the paper calls out at the end of Section III-C.
 
-use crate::config::DynamicConfig;
+use crate::compressed::{self, CompressedPlanner};
+use crate::config::{DynamicConfig, PlanKernel, COMPRESSED_ROWS_CUTOFF};
 use crate::factors::{self, EvalContext, ExtraFactor};
 use crate::matrix::{MatrixKernel, ProbabilityMatrix};
 use crate::plan::PlanState;
@@ -166,6 +167,11 @@ pub struct DynamicPlacement {
     incremental_passes: u64,
     /// Passes that rebuilt the matrix from scratch.
     full_rebuilds: u64,
+    /// The class-compressed planner (kept across passes; see
+    /// `compressed.rs`).
+    comp: CompressedPlanner,
+    /// Planning passes served by the class-compressed kernel.
+    compressed_passes: u64,
 }
 
 impl DynamicPlacement {
@@ -189,6 +195,8 @@ impl DynamicPlacement {
             inc: IncScratch::default(),
             incremental_passes: 0,
             full_rebuilds: 0,
+            comp: CompressedPlanner::new(),
+            compressed_passes: 0,
         }
     }
 
@@ -249,16 +257,80 @@ impl DynamicPlacement {
         self.full_rebuilds
     }
 
+    /// Planning passes served end-to-end by the class-compressed kernel.
+    pub fn compressed_passes(&self) -> u64 {
+        self.compressed_passes
+    }
+
+    /// `true` once the compressed planner hit a structure it cannot
+    /// represent and every pass permanently routes to the dense kernel.
+    pub fn compressed_poisoned(&self) -> bool {
+        self.comp.poisoned()
+    }
+
+    /// Superclass count in the compressed planner — the row dimension `C`
+    /// the compressed kernel sweeps instead of the fleet's `M` PMs (0
+    /// before the first compressed pass).
+    pub fn compressed_superclasses(&self) -> usize {
+        self.comp.superclass_count()
+    }
+
+    /// Active per-PM rows mirrored by the compressed planner (`M` for the
+    /// powered fleet; 0 before the first compressed pass).
+    pub fn compressed_active_rows(&self) -> usize {
+        self.comp.active_row_count()
+    }
+
+    /// Whether the next pass over `view` would run the class-compressed
+    /// kernel (kernel knob, extension factors, ablation switches and the
+    /// `Auto` fleet-size cutoff all considered).
+    fn compressed_wanted(&self, view: &PlacementView<'_>) -> bool {
+        if self.comp.poisoned() || !self.extras.is_empty() || !self.cfg.use_eff {
+            return false;
+        }
+        match self.cfg.plan_kernel {
+            PlanKernel::Dense => false,
+            PlanKernel::Compressed => true,
+            // Total fleet size, not the powered count: the spare-server
+            // controller moves the powered count across any threshold
+            // mid-run, and every dense-served pass desyncs the compressed
+            // mirror — a fleet-stable basis keeps one kernel per run.
+            PlanKernel::Auto => view.dc.len() >= COMPRESSED_ROWS_CUTOFF,
+        }
+    }
+
     /// Algorithm 1 against an explicit plan state (exposed for tests and
     /// benchmarks; [`PlacementPolicy::plan_migrations`] builds the state
     /// from the live view).
     pub fn plan_on(&mut self, plan: &mut PlanState) -> Vec<Migration> {
+        // An explicit plan bypasses the journal continuity the persistent
+        // compressed planner relies on.
+        self.comp.desync();
         let delta = self.pending_delta.take();
         if plan.vms.is_empty() || plan.pms.len() < 2 {
             // The matrix (and the snapshot describing it) is untouched, so
             // the drained dirt must survive until the next real pass.
             self.pending_delta = delta;
             return Vec::new();
+        }
+        if self.cfg.plan_kernel == PlanKernel::Compressed
+            && self.extras.is_empty()
+            && self.cfg.use_eff
+        {
+            // One-shot compression of the explicit plan; `None` means the
+            // plan's structure cannot be compressed — run dense below.
+            let _span = dvmp_obs::span!(dvmp_obs::Phase::CompressedPlan);
+            if let Some((moves, capped)) = compressed::one_shot(&self.cfg, plan) {
+                self.total_migrations += moves.len() as u64;
+                if capped {
+                    self.round_cap_hits += 1;
+                }
+                self.compressed_passes += 1;
+                dvmp_obs::note_plan_kernel_compressed(plan.pms.len() as u64, plan.vms.len() as u64);
+                // The dense matrix was not built; nothing to carry over.
+                self.snap.capture(false, plan, &moves);
+                return moves;
+            }
         }
         // Disjoint field borrows: the context reads cfg/extras while the
         // matrix and cache are mutated — no per-pass clones needed.
@@ -419,6 +491,20 @@ impl PlacementPolicy for DynamicPlacement {
     /// fall back to the overhead-free column so feasible requests are never
     /// starved (DESIGN.md I9).
     fn place(&mut self, view: &PlacementView<'_>, vm: &VmSpec) -> Option<PmId> {
+        if self.compressed_wanted(view) {
+            let delta = self.pending_delta.take();
+            // The compressed planner consumes the journal continuity; a
+            // dense pass after this point must rebuild from scratch.
+            self.snap.valid = false;
+            let _span = dvmp_obs::span!(dvmp_obs::Phase::CompressedPlan);
+            if let Some(placed) = self.comp.place(view, vm, delta, &self.cfg) {
+                return placed;
+            }
+            // Poisoned mid-call: fall through to the dense scan (the snap
+            // is already invalid, so dropping the drained dirt is sound).
+        } else {
+            self.comp.desync();
+        }
         let mut plan = std::mem::take(&mut self.plan_arena);
         plan.refill(view, &self.cfg.min_vm);
         let est = vm.estimated_runtime.as_secs();
@@ -444,6 +530,24 @@ impl PlacementPolicy for DynamicPlacement {
     }
 
     fn plan_migrations(&mut self, view: &PlacementView<'_>) -> Vec<Migration> {
+        if self.compressed_wanted(view) {
+            let delta = self.pending_delta.take();
+            self.snap.valid = false;
+            let _span = dvmp_obs::span!(dvmp_obs::Phase::CompressedPlan);
+            if let Some((moves, capped)) = self.comp.plan_migrations(view, delta, &self.cfg) {
+                self.compressed_passes += 1;
+                self.total_migrations += moves.len() as u64;
+                if capped {
+                    self.round_cap_hits += 1;
+                }
+                dvmp_obs::note_plan_kernel_compressed(
+                    view.dc.non_idle_count() as u64,
+                    view.vms.len() as u64,
+                );
+                return moves;
+            }
+            // Poisoned mid-call: this pass (and all later ones) runs dense.
+        }
         let mut plan = std::mem::take(&mut self.plan_arena);
         plan.refill(view, &self.cfg.min_vm);
         let moves = self.plan_on(&mut plan);

@@ -64,7 +64,7 @@ pub struct ClassEntry {
 }
 
 impl ClassEntry {
-    fn from_pm(pm: &PlanPm, eff_c: f64, min_vm: &ResourceVector) -> Self {
+    pub(crate) fn from_pm(pm: &PlanPm, eff_c: f64, min_vm: &ResourceVector) -> Self {
         let w_max = eff::slots(pm, min_vm);
         let u_min = min_vm.joint_utilization(&pm.capacity);
         let level_eff = if w_max == 0 {
@@ -91,7 +91,7 @@ impl ClassEntry {
         }
     }
 
-    fn matches(&self, pm: &PlanPm) -> bool {
+    pub(crate) fn matches(&self, pm: &PlanPm) -> bool {
         pm.capacity == self.capacity
             && pm.creation_secs == self.creation_secs
             && pm.migration_secs == self.migration_secs
@@ -203,10 +203,17 @@ pub fn class_eff(pm: &PlanPm, demand: &ResourceVector, hosted: bool, entry: &Cla
 /// [`joint_with_class`] shares one vector add between the feasibility test
 /// and the efficiency factor.
 #[inline]
-fn class_eff_prospective(prospective: &ResourceVector, entry: &ClassEntry) -> f64 {
+pub(crate) fn class_eff_prospective(prospective: &ResourceVector, entry: &ClassEntry) -> f64 {
     if entry.w_max == 0 || entry.eff <= 0.0 {
         return 0.0;
     }
+    entry.level_eff[class_level(prospective, entry) as usize]
+}
+
+/// The Eq. 4 utilization level a prospective occupancy lands in, using the
+/// class's cached boundaries. Callers must have checked `w_max > 0`.
+#[inline]
+pub(crate) fn class_level(prospective: &ResourceVector, entry: &ClassEntry) -> u64 {
     // `joint_utilization` against the class capacity, with the casts and
     // zero-capacity filter precomputed in `cap_dims` (same operands in the
     // same multiplication order, so the product is bit-identical).
@@ -214,13 +221,12 @@ fn class_eff_prospective(prospective: &ResourceVector, entry: &ClassEntry) -> f6
     for &(dim, cap) in &entry.cap_dims {
         u *= prospective.get(dim) as f64 / cap;
     }
-    let w = if entry.u_min <= 0.0 {
+    if entry.u_min <= 0.0 {
         entry.w_max
     } else {
         let ratio = (u / entry.u_min).max(0.0);
         eff::level_from_boundaries(ratio, &entry.boundaries)
-    };
-    entry.level_eff[w as usize]
+    }
 }
 
 /// Sentinel recorded by [`joint_with_class_recording`] for entries that

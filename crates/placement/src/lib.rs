@@ -25,6 +25,7 @@
 //!   measurable.
 
 pub mod bestfit;
+mod compressed;
 pub mod config;
 pub mod dynamic;
 pub mod factors;
@@ -37,7 +38,7 @@ pub mod threshold;
 pub mod worstfit;
 
 pub use bestfit::BestFit;
-pub use config::{DynamicConfig, OverheadMode};
+pub use config::{DynamicConfig, OverheadMode, PlanKernel, COMPRESSED_ROWS_CUTOFF};
 pub use dynamic::DynamicPlacement;
 pub use firstfit::FirstFit;
 pub use matrix::{MatrixKernel, ProbabilityMatrix};

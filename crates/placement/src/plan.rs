@@ -162,11 +162,10 @@ impl PlanState {
     /// `refill` calls this; hand-built plans may call it to opt into
     /// sparse feasible-row enumeration.
     pub fn rebuild_capacity_index(&mut self) {
-        self.cap_index = CapacityIndex::build(
+        self.cap_index.refill(
             self.pms
                 .iter()
-                .map(|pm| (true, pm.capacity.saturating_sub(&pm.used)))
-                .collect::<Vec<_>>(),
+                .map(|pm| (true, pm.capacity.saturating_sub(&pm.used))),
         );
     }
 

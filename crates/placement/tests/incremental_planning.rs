@@ -22,7 +22,8 @@ use dvmp_cluster::vm::{Vm, VmId, VmSpec, VmState};
 use dvmp_placement::factors::EvalContext;
 use dvmp_placement::plan::PlanState;
 use dvmp_placement::{
-    DynamicConfig, DynamicPlacement, Migration, PlacementPolicy, PlacementView, ProbabilityMatrix,
+    DynamicConfig, DynamicPlacement, Migration, PlacementPolicy, PlacementView, PlanKernel,
+    ProbabilityMatrix,
 };
 use dvmp_simcore::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -254,6 +255,47 @@ proptest! {
         // accumulated journal forward).
         prop_assert_eq!(inc.incremental_passes(), real_passes.saturating_sub(1));
         prop_assert_eq!(inc.full_rebuilds(), real_passes.min(1));
+    }
+
+    /// The class-compressed kernel proposes the exact migration sequence
+    /// of the dense planner on every pass of every random fleet history —
+    /// including reliability-drifted (class-divergent) PMs, power
+    /// transitions and PM failures, with skipped-move divergence via the
+    /// simulator-style re-validation in `apply_moves`.
+    #[test]
+    fn compressed_kernel_matches_dense(history in history_strategy()) {
+        let (mut dc, mut vms) = seeded_fleet();
+        let mut next_id = 100u32;
+        let comp_cfg = DynamicConfig {
+            plan_kernel: PlanKernel::Compressed,
+            ..DynamicConfig::default()
+        };
+        let mut comp = DynamicPlacement::new(comp_cfg);
+        let dense_cfg = DynamicConfig {
+            incremental: false,
+            ..DynamicConfig::default()
+        };
+        let mut dense = DynamicPlacement::new(dense_cfg);
+
+        let mut now_secs = 0u64;
+        for (pass, ops) in history.iter().enumerate() {
+            for op in ops {
+                apply_op(&mut dc, &mut vms, &mut next_id, SimTime::from_secs(now_secs), op);
+            }
+            now_secs += 500;
+            comp.note_fleet_delta(dc.take_fleet_delta());
+            let now = SimTime::from_secs(now_secs);
+            let view = PlacementView { dc: &dc, vms: &vms, now };
+            let a = comp.plan_migrations(&view);
+            let b = dense.plan_migrations(&view);
+            prop_assert_eq!(&a, &b, "pass {} diverged", pass);
+            apply_moves(&mut dc, &mut vms, &a);
+            dc.assert_consistent();
+        }
+        // Seven PMs and a handful of drift values never exhaust the
+        // registries: every pass above really exercised the kernel.
+        prop_assert!(!comp.compressed_poisoned());
+        prop_assert!(comp.compressed_passes() > 0);
     }
 
     /// A journal-driven `update_incremental` leaves the probability matrix

@@ -257,6 +257,30 @@ fn checked_mode_does_not_change_the_trace() {
 }
 
 #[test]
+fn compressed_kernel_does_not_change_the_trace() {
+    // The class-compressed planner must be bit-identical to the dense
+    // reference end to end: same migrations, same energy series, same
+    // digest — on a full simulated day with arrivals, departures,
+    // failures and live migrations.
+    let mk = |kernel: PlanKernel| {
+        let mut s = Scenario::paper(13).with_days(1);
+        s.sim.checked = true;
+        let cfg = DynamicConfig {
+            plan_kernel: kernel,
+            ..DynamicConfig::default()
+        };
+        let report = s.run(Box::new(DynamicPlacement::new(cfg)));
+        assert!(report.oracle.as_ref().expect("summary").is_clean());
+        GoldenTrace::from_report("kernel-eq", 13, 1, &report)
+    };
+    assert_eq!(
+        mk(PlanKernel::Dense),
+        mk(PlanKernel::Compressed),
+        "compressed kernel drifted from the dense reference"
+    );
+}
+
+#[test]
 fn golden_round_trips_through_json() {
     let mut s = Scenario::from_profile("light", LpcProfile::light(), 3).with_days(1);
     s.sim.checked = true;
