@@ -149,6 +149,28 @@ struct OracleOverheadBench {
 }
 
 #[derive(Serialize)]
+struct ElasticityBench {
+    pms: usize,
+    days: u64,
+    seed: u64,
+    /// Checked-mode wall time of the overbooked+elastic scenario under
+    /// the forced dense kernel.
+    dense_seconds: f64,
+    /// Same scenario, same seed, forced class-compressed kernel.
+    compressed_seconds: f64,
+    total_resizes: u64,
+    rejected_resizes: u64,
+    sla_violation_seconds: f64,
+    peak_saturated_pms: f64,
+    /// The two kernels produced bit-identical reports (energy and
+    /// SLA meters alike).
+    reports_identical: bool,
+    /// Oracle violations across both checked runs (must be zero:
+    /// saturation is metered as SLA seconds, never as a violation).
+    violations: u64,
+}
+
+#[derive(Serialize)]
 struct ProfiledRunBench {
     seed: u64,
     days: u64,
@@ -188,6 +210,7 @@ struct PerfReport {
     plan_kernel: Vec<PlanKernelBench>,
     end_to_end: EndToEndBench,
     oracle_overhead: OracleOverheadBench,
+    elasticity: ElasticityBench,
     scaling: Vec<ScalingBench>,
     profile: ProfiledRunBench,
 }
@@ -208,6 +231,10 @@ const ORACLE_OVERHEAD_BUDGET_PERCENT: f64 = 15.0;
 /// Wall-clock budget for the 10k-PM / ~50k-VM 7-day week under the
 /// dynamic scheme — the scale the class-compressed kernel exists for.
 const DYNAMIC_10K_BUDGET_SECONDS: f64 = 10.0;
+
+/// Wall-clock budget for the checked 1k-PM overbooked+elastic week under
+/// either kernel (DESIGN.md §11's acceptance scenario).
+const ELASTIC_1K_BUDGET_SECONDS: f64 = 30.0;
 
 /// Median wall time of `iters` runs of `f`, in nanoseconds.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -596,6 +623,51 @@ fn bench_scaling(
     }
 }
 
+/// The overbooked+elastic acceptance scenario (DESIGN.md §11): ratios
+/// 150/120 and the moderate elasticity preset, run in checked mode under
+/// both planning kernels. The oracle must stay clean (saturation is SLA
+/// metering, not a violation) and the two kernels must agree bit for bit.
+fn bench_elasticity(pm_count: usize, days: u64, seed: u64) -> ElasticityBench {
+    let run = |kernel: PlanKernel| {
+        let mut scenario = Scenario::overbooked_elastic(pm_count, seed).with_days(days);
+        scenario.sim.checked = true;
+        let t = Instant::now();
+        let report = scenario.run(Box::new(DynamicPlacement::new(DynamicConfig {
+            plan_kernel: kernel,
+            ..DynamicConfig::default()
+        })));
+        (t.elapsed().as_secs_f64(), report)
+    };
+    let (dense_seconds, dense) = run(PlanKernel::Dense);
+    let (compressed_seconds, comp) = run(PlanKernel::Compressed);
+    let violations = [&dense, &comp]
+        .iter()
+        .map(|r| {
+            r.oracle
+                .as_ref()
+                .expect("checked run attaches a summary")
+                .total_violations()
+        })
+        .sum();
+    ElasticityBench {
+        pms: pm_count,
+        days,
+        seed,
+        dense_seconds,
+        compressed_seconds,
+        total_resizes: dense.total_resizes,
+        rejected_resizes: dense.rejected_resizes,
+        sla_violation_seconds: dense.sla_violation_seconds,
+        peak_saturated_pms: dense.peak_saturated_pms,
+        reports_identical: dense.total_energy_kwh.to_bits() == comp.total_energy_kwh.to_bits()
+            && dense.sla_violation_seconds.to_bits() == comp.sla_violation_seconds.to_bits()
+            && dense.total_resizes == comp.total_resizes
+            && dense.rejected_resizes == comp.rejected_resizes
+            && dense.hourly_active_servers == comp.hourly_active_servers,
+        violations,
+    }
+}
+
 fn bench_profiled_run(seed: u64, days: u64) -> ProfiledRunBench {
     // Fresh timers, then all three obs switches on (the checked bench may
     // have armed recording already — checked mode does so automatically).
@@ -736,6 +808,22 @@ fn main() {
         oracle_overhead.trace_identical
     );
 
+    let (elastic_pms, elastic_days) = if smoke { (100, 1) } else { (1_000, 7) };
+    let elasticity = bench_elasticity(elastic_pms, elastic_days, seed);
+    eprintln!(
+        "elasticity {} PMs {}d (checked, overbooked 150/120): dense {:.2} s, compressed {:.2} s, {} resizes ({} rejected), {:.0} SLA-violation s (peak {:.0} saturated PMs), reports identical: {}, violations: {}",
+        elasticity.pms,
+        elasticity.days,
+        elasticity.dense_seconds,
+        elasticity.compressed_seconds,
+        elasticity.total_resizes,
+        elasticity.rejected_resizes,
+        elasticity.sla_violation_seconds,
+        elasticity.peak_saturated_pms,
+        elasticity.reports_identical,
+        elasticity.violations
+    );
+
     let dynamic_scales: &[usize] = if smoke {
         &[250, 500]
     } else {
@@ -783,7 +871,7 @@ fn main() {
 
     let max_rows = matrix_build.iter().map(|b| b.pms).max().unwrap_or(2);
     let report = PerfReport {
-        schema: "dvmp/perf-report/v5",
+        schema: "dvmp/perf-report/v6",
         smoke,
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         matrix_workers: dvmp_placement::matrix::parallel_workers(max_rows),
@@ -793,6 +881,7 @@ fn main() {
         plan_kernel,
         end_to_end,
         oracle_overhead,
+        elasticity,
         scaling,
         profile,
     };
@@ -867,6 +956,41 @@ fn main() {
     }
     if report.oracle_overhead.violations > 0 || !report.oracle_overhead.trace_identical {
         eprintln!("FAIL: checked mode found violations or perturbed the run");
+        healthy = false;
+    }
+    // The overbooked+elastic acceptance scenario: both kernels agree bit
+    // for bit, the oracle stays clean, the workload actually resizes, and
+    // overbooking past 1.0 actually saturates (nonzero SLA seconds).
+    if !report.elasticity.reports_identical {
+        eprintln!("FAIL: elastic runs diverged between the dense and compressed kernels");
+        healthy = false;
+    }
+    if report.elasticity.violations > 0 {
+        eprintln!(
+            "FAIL: checked elastic run raised {} oracle violation(s)",
+            report.elasticity.violations
+        );
+        healthy = false;
+    }
+    if report.elasticity.total_resizes == 0 {
+        eprintln!("FAIL: elastic scenario applied no resizes");
+        healthy = false;
+    }
+    if !smoke && report.elasticity.sla_violation_seconds <= 0.0 {
+        eprintln!("FAIL: overbooked week metered zero SLA-violation seconds");
+        healthy = false;
+    }
+    if !smoke
+        && report
+            .elasticity
+            .dense_seconds
+            .max(report.elasticity.compressed_seconds)
+            > ELASTIC_1K_BUDGET_SECONDS
+    {
+        eprintln!(
+            "FAIL: checked 1k-PM elastic week took {:.1} s / {:.1} s (dense/compressed), over the {ELASTIC_1K_BUDGET_SECONDS} s budget",
+            report.elasticity.dense_seconds, report.elasticity.compressed_seconds
+        );
         healthy = false;
     }
     // Smoke runs are too short for a stable percentage; the budget is

@@ -100,6 +100,40 @@ fn default_days() -> u64 {
     7
 }
 
+/// Per-dimension overbooking percentages for the whole fleet.
+///
+/// `150` means the admission bound is 1.5× the physical capacity in
+/// that dimension; `100` in both dimensions is the identity and leaves
+/// the fleet bit-identical to a spec without the knob (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct OverbookSpec {
+    /// CPU overbooking percentage (100 = none).
+    #[serde(default = "default_pct")]
+    pub cpu_pct: u32,
+    /// Memory overbooking percentage (100 = none).
+    #[serde(default = "default_pct")]
+    pub mem_pct: u32,
+}
+
+fn default_pct() -> u32 {
+    100
+}
+
+impl OverbookSpec {
+    fn ratios(&self) -> Result<OverbookRatios, String> {
+        for (dim, pct) in [("cpu_pct", self.cpu_pct), ("mem_pct", self.mem_pct)] {
+            if !(100..=dvmp_cluster::resources::MAX_OVERBOOK_PCT).contains(&pct) {
+                return Err(format!(
+                    "overbook {dim} must be in [100, {}], got {pct}",
+                    dvmp_cluster::resources::MAX_OVERBOOK_PCT
+                ));
+            }
+        }
+        Ok(OverbookRatios::cpu_mem(self.cpu_pct, self.mem_pct))
+    }
+}
+
 /// Policy selection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
@@ -118,6 +152,12 @@ pub struct PolicySpec {
     /// plans; this is an A/B lever, like `--full-replan`.
     #[serde(default)]
     pub plan_kernel: Option<String>,
+    /// Capacity basis for planning feasibility (dynamic only):
+    /// `"virtual"` (default — the overbooked admission bound) or
+    /// `"physical"` (the overbooking-blind ablation). Identical on
+    /// fleets without an `overbook` block.
+    #[serde(default)]
+    pub capacity_basis: Option<String>,
 }
 
 impl PolicySpec {
@@ -142,6 +182,13 @@ impl PolicySpec {
                         "dense" => PlanKernel::Dense,
                         "compressed" => PlanKernel::Compressed,
                         other => return Err(format!("unknown plan kernel {other:?}")),
+                    };
+                }
+                if let Some(b) = &self.capacity_basis {
+                    cfg.capacity_basis = match b.as_str() {
+                        "virtual" => CapacityBasis::Virtual,
+                        "physical" => CapacityBasis::Physical,
+                        other => return Err(format!("unknown capacity basis {other:?}")),
                     };
                 }
                 cfg.incremental = !full_replan;
@@ -176,6 +223,13 @@ pub struct ScenarioSpec {
     /// Disable the Section IV spare-server controller (all machines on).
     #[serde(default)]
     pub all_machines_on: bool,
+    /// Fleet-wide overbooking ratios (omit for none).
+    #[serde(default)]
+    pub overbook: Option<OverbookSpec>,
+    /// Vertical-elasticity preset: `"none"`, `"moderate"`, or
+    /// `"aggressive"` (omit for a static workload).
+    #[serde(default)]
+    pub elasticity: Option<String>,
 }
 
 fn default_seed() -> u64 {
@@ -232,8 +286,21 @@ impl ScenarioSpec {
         if self.all_machines_on {
             sim.spare = None;
         }
-        Ok(Scenario::from_trace(self.name.clone(), fleet, &trace, sim)
-            .with_days(self.workload.days))
+        let mut scenario = Scenario::from_trace(self.name.clone(), fleet, &trace, sim)
+            .with_days(self.workload.days);
+        if let Some(overbook) = &self.overbook {
+            scenario = scenario.with_overbooking(overbook.ratios()?);
+        }
+        if let Some(elasticity) = &self.elasticity {
+            let profile = match elasticity.as_str() {
+                "none" => ElasticityProfile::none(),
+                "moderate" => ElasticityProfile::moderate(),
+                "aggressive" => ElasticityProfile::aggressive(),
+                other => return Err(format!("unknown elasticity preset {other:?}")),
+            };
+            scenario = scenario.with_elasticity(&profile);
+        }
+        Ok(scenario)
     }
 }
 
@@ -316,6 +383,7 @@ mod tests {
             mig_threshold: None,
             mig_round: None,
             plan_kernel: None,
+            capacity_basis: None,
         };
         match bad_policy.build(1, false) {
             Err(e) => assert!(e.contains("oracle")),
@@ -342,6 +410,7 @@ mod tests {
             mig_threshold: Some(0.2),
             mig_round: None,
             plan_kernel: None,
+            capacity_basis: None,
         };
         assert!(spec.build(1, false).is_err());
     }
@@ -354,6 +423,7 @@ mod tests {
                 mig_threshold: None,
                 mig_round: None,
                 plan_kernel: Some(kernel.into()),
+                capacity_basis: None,
             };
             assert!(spec.build(1, false).is_ok(), "kernel {kernel}");
         }
@@ -362,11 +432,94 @@ mod tests {
             mig_threshold: None,
             mig_round: None,
             plan_kernel: Some("sparse".into()),
+            capacity_basis: None,
         };
         match bad.build(1, false) {
             Err(e) => assert!(e.contains("sparse")),
             Ok(_) => panic!("unknown kernel must error"),
         }
+    }
+
+    #[test]
+    fn capacity_basis_knob_selects_bases_and_rejects_typos() {
+        for basis in ["virtual", "physical"] {
+            let spec = PolicySpec {
+                kind: "dynamic".into(),
+                mig_threshold: None,
+                mig_round: None,
+                plan_kernel: None,
+                capacity_basis: Some(basis.into()),
+            };
+            assert!(spec.build(1, false).is_ok(), "basis {basis}");
+        }
+        let bad = PolicySpec {
+            kind: "dynamic".into(),
+            mig_threshold: None,
+            mig_round: None,
+            plan_kernel: None,
+            capacity_basis: Some("astral".into()),
+        };
+        match bad.build(1, false) {
+            Err(e) => assert!(e.contains("astral")),
+            Ok(_) => panic!("unknown basis must error"),
+        }
+    }
+
+    #[test]
+    fn overbook_and_elasticity_knobs_shape_the_scenario() {
+        let text = r#"{
+            "name": "elastic",
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "dynamic", "capacity_basis": "virtual" },
+            "overbook": { "cpu_pct": 150, "mem_pct": 120 },
+            "elasticity": "moderate"
+        }"#;
+        let scenario = ScenarioSpec::from_json(text).unwrap().build().unwrap();
+        assert!(!scenario.resizes().is_empty(), "moderate preset resizes");
+        for id in scenario.fleet().pm_ids() {
+            let ob = scenario.fleet().pm(id).overbook.expect("overbooked");
+            assert_eq!((ob.pct(0), ob.pct(1)), (150, 120));
+        }
+    }
+
+    #[test]
+    fn identity_overbook_and_none_elasticity_are_no_ops() {
+        let text = r#"{
+            "name": "static",
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "first-fit" },
+            "overbook": { "cpu_pct": 100 },
+            "elasticity": "none"
+        }"#;
+        let scenario = ScenarioSpec::from_json(text).unwrap().build().unwrap();
+        assert!(scenario.resizes().is_empty());
+        for id in scenario.fleet().pm_ids() {
+            assert!(scenario.fleet().pm(id).overbook.is_none());
+        }
+    }
+
+    #[test]
+    fn bad_overbook_and_elasticity_values_error_cleanly() {
+        let low = r#"{
+            "name": "t",
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "first-fit" },
+            "overbook": { "cpu_pct": 50 }
+        }"#;
+        let err = ScenarioSpec::from_json(low).unwrap().build().unwrap_err();
+        assert!(err.contains("cpu_pct"), "{err}");
+
+        let preset = r#"{
+            "name": "t",
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "first-fit" },
+            "elasticity": "turbulent"
+        }"#;
+        let err = ScenarioSpec::from_json(preset)
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(err.contains("turbulent"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use crate::index::CapacityIndex;
 use crate::journal::FleetDelta;
 use crate::pm::{Pm, PmClass, PmError, PmId, PmState};
-use crate::resources::ResourceVector;
+use crate::resources::{OverbookRatios, ResourceVector};
 use crate::vm::VmId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -119,6 +119,9 @@ struct PmFootprint {
     /// (zero when the PM is not available).
     used_cores: u64,
     cap_cores: u64,
+    /// Powered and occupying more than its physical capacity (possible
+    /// only on overbooked PMs) — the SLA-violation meter's condition.
+    saturated: bool,
     /// Full occupation vector; part of the equality check so headroom
     /// changes refresh the capacity index.
     used: ResourceVector,
@@ -149,6 +152,7 @@ impl PmFootprint {
             },
             used_cores: if available { pm.used().get(0) } else { 0 },
             cap_cores: if available { pm.capacity().get(0) } else { 0 },
+            saturated: pm.is_powered() && pm.is_saturated(),
             used: *pm.used(),
         }
     }
@@ -160,6 +164,9 @@ struct FleetStats {
     powered: usize,
     non_idle: usize,
     idle_available: usize,
+    /// Powered PMs whose occupancy exceeds physical capacity (overbooked
+    /// and saturated) — the instantaneous SLA-violation signal.
+    saturated: usize,
     /// Used / capacity core sums over *available* PMs.
     avail_used_cores: u64,
     avail_cap_cores: u64,
@@ -225,6 +232,7 @@ impl FleetStats {
         self.powered += f.powered as usize;
         self.non_idle += f.non_idle as usize;
         self.idle_available += f.idle_available as usize;
+        self.saturated += f.saturated as usize;
         self.avail_used_cores += f.used_cores;
         self.avail_cap_cores += f.cap_cores;
         match f.level {
@@ -245,6 +253,7 @@ impl FleetStats {
         self.powered -= f.powered as usize;
         self.non_idle -= f.non_idle as usize;
         self.idle_available -= f.idle_available as usize;
+        self.saturated -= f.saturated as usize;
         self.avail_used_cores -= f.used_cores;
         self.avail_cap_cores -= f.cap_cores;
         match f.level {
@@ -341,6 +350,13 @@ impl Datacenter {
         self.stats.idle_available
     }
 
+    /// Number of powered PMs currently occupying more than their physical
+    /// capacity — nonzero only on overbooked fleets, integrated over time
+    /// by the SLA-violation meter. O(1): maintained incrementally.
+    pub fn saturated_count(&self) -> usize {
+        self.stats.saturated
+    }
+
     /// Total VMs with at least one reservation.
     pub fn active_vm_count(&self) -> usize {
         self.vm_index.len()
@@ -383,17 +399,29 @@ impl Datacenter {
         self.stats.on_idle.iter().copied()
     }
 
-    /// Lowest-id `Off` PM whose *class capacity* covers `spec` — what a
+    /// Lowest-id `Off` PM whose *virtual capacity* covers `spec` — what a
     /// boot request scans for. O(#classes · log M) on class-contiguous
-    /// fleets via per-class range probes of the off set.
+    /// fleets via per-class range probes of the off set: a spec within the
+    /// physical class capacity accepts the range's first off PM outright
+    /// (virtual ≥ physical); only a spec that needs overbooked headroom
+    /// falls back to probing per-PM ratios within the range.
     pub fn first_off_fitting(&self, spec: &ResourceVector) -> Option<PmId> {
         if let Some(ranges) = &self.stats.class_ranges {
             let mut best: Option<PmId> = None;
             for (class, &(lo, hi)) in self.classes.iter().zip(ranges) {
-                if lo > hi || !spec.le(&class.capacity) {
+                if lo > hi {
                     continue;
                 }
-                if let Some(&id) = self.stats.off.range(PmId(lo)..=PmId(hi)).next() {
+                let candidate = if spec.le(&class.capacity) {
+                    self.stats.off.range(PmId(lo)..=PmId(hi)).next().copied()
+                } else {
+                    self.stats
+                        .off
+                        .range(PmId(lo)..=PmId(hi))
+                        .find(|&&id| spec.le(&self.pm(id).virtual_capacity()))
+                        .copied()
+                };
+                if let Some(id) = candidate {
                     if best.map_or(true, |b| id < b) {
                         best = Some(id);
                     }
@@ -404,7 +432,7 @@ impl Datacenter {
             self.stats
                 .off
                 .iter()
-                .find(|&&id| spec.le(self.pm(id).capacity()))
+                .find(|&&id| spec.le(&self.pm(id).virtual_capacity()))
                 .copied()
         }
     }
@@ -457,6 +485,9 @@ impl Datacenter {
     /// restarts empty.
     pub fn take_fleet_delta(&mut self) -> FleetDelta {
         let delta = std::mem::take(&mut self.journal);
+        // The fresh journal continues the drained one's epoch so the
+        // mutation counter is monotonic across the fleet's whole life.
+        self.journal.inherit_epoch(&delta);
         if dvmp_obs::enabled() {
             dvmp_obs::note_journal_drained(if delta.is_full() {
                 None
@@ -509,6 +540,30 @@ impl Datacenter {
         self.journal.note_vm(vm);
         dvmp_obs::note_migration_finished(vm.0 as u64, from.0 as u64);
         Ok(())
+    }
+
+    /// Resizes `vm`'s reservation on its (sole) host to `new` — vertical
+    /// elasticity. Returns the previous demand on success. Fails when the
+    /// VM has no reservation, has a migration in flight (two hosts), or
+    /// the grow does not fit the host's virtual capacity; the fleet is
+    /// unchanged on failure. A same-size resize is a true no-op: it
+    /// journals nothing and leaves the epoch untouched, so incremental
+    /// planners never recompute for it.
+    pub fn resize_vm(&mut self, vm: VmId, new: ResourceVector) -> Result<ResourceVector, PmError> {
+        let host = {
+            let hosts = self.vm_index.get(&vm).ok_or(PmError::NotHosted(vm))?;
+            if hosts.len() != 1 {
+                return Err(PmError::MigrationInFlight(vm));
+            }
+            hosts[0]
+        };
+        if self.pms[host.0 as usize].reservation_of(vm) == Some(&new) {
+            return Ok(new);
+        }
+        let old = self.update_pm(host, |p| p.resize_reservation(vm, new))?;
+        self.journal.note_vm(vm);
+        dvmp_obs::note_vm_resized(vm.0 as u64, host.0 as u64);
+        Ok(old)
     }
 
     /// Releases every reservation of `vm` (departure), returning the PMs it
@@ -569,7 +624,11 @@ impl Datacenter {
                 );
             }
             assert_eq!(&sum, pm.used(), "occupancy sum mismatch on {}", pm.id);
-            assert!(sum.le(pm.capacity()), "capacity exceeded on {}", pm.id);
+            assert!(
+                sum.le(&pm.virtual_capacity()),
+                "virtual capacity exceeded on {}",
+                pm.id
+            );
         }
         for (&vm, hosts) in &self.vm_index {
             assert!(!hosts.is_empty(), "{vm} indexed with no hosts");
@@ -636,6 +695,8 @@ pub struct FleetBuilder {
     classes: Vec<PmClass>,
     counts: Vec<usize>,
     reliability: Vec<f64>,
+    class_overbook: Vec<Option<OverbookRatios>>,
+    fleet_overbook: Option<OverbookRatios>,
     initially_on: bool,
 }
 
@@ -650,6 +711,31 @@ impl FleetBuilder {
         self.classes.push(class);
         self.counts.push(count);
         self.reliability.push(reliability);
+        self.class_overbook.push(None);
+        self
+    }
+
+    /// Adds `count` overbooked machines of `class` (same parameters as
+    /// [`add_class`](FleetBuilder::add_class), admitting against
+    /// `ratios`-scaled virtual capacity).
+    pub fn add_class_overbooked(
+        mut self,
+        class: PmClass,
+        count: usize,
+        reliability: f64,
+        ratios: OverbookRatios,
+    ) -> Self {
+        self.classes.push(class);
+        self.counts.push(count);
+        self.reliability.push(reliability);
+        self.class_overbook.push(Some(ratios));
+        self
+    }
+
+    /// Overbooks every machine in the fleet with `ratios` (classes added
+    /// with an explicit per-class ratio keep theirs).
+    pub fn overbook_all(mut self, ratios: OverbookRatios) -> Self {
+        self.fleet_overbook = Some(ratios);
         self
     }
 
@@ -665,11 +751,13 @@ impl FleetBuilder {
         let mut pms = Vec::new();
         let mut id = 0u32;
         for (idx, class) in self.classes.iter().enumerate() {
+            let overbook = self.class_overbook[idx].or(self.fleet_overbook);
             for _ in 0..self.counts[idx] {
                 let mut pm = Pm::new(PmId(id), idx, class.clone(), self.reliability[idx]);
                 if self.initially_on {
                     pm.state = PmState::On;
                 }
+                pm.overbook = overbook;
                 pms.push(pm);
                 id += 1;
             }
@@ -986,6 +1074,165 @@ mod tests {
             .place(VmId(9), PmId(0), ResourceVector::cpu_mem(999, 512))
             .is_err());
         assert!(dc.fleet_delta().is_empty());
+    }
+
+    fn overbooked_fleet() -> Datacenter {
+        FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 2, 0.99)
+            .add_class(PmClass::paper_slow(), 3, 0.95)
+            .overbook_all(OverbookRatios::cpu_mem(200, 150))
+            .initially_on(true)
+            .build()
+    }
+
+    #[test]
+    fn overbooked_fleet_admits_and_meters_saturation() {
+        let mut dc = overbooked_fleet();
+        assert_eq!(dc.saturated_count(), 0);
+        // Physically full fast PM: 8/8 cores — admissible and unsaturated.
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(8, 4_096))
+            .unwrap();
+        assert_eq!(dc.saturated_count(), 0);
+        // Past physical, within virtual (16 cores): saturated.
+        dc.place(VmId(2), PmId(0), ResourceVector::cpu_mem(6, 4_096))
+            .unwrap();
+        assert_eq!(dc.saturated_count(), 1);
+        dc.assert_consistent();
+        // Departure de-saturates.
+        dc.remove_vm(VmId(2));
+        assert_eq!(dc.saturated_count(), 0);
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn saturated_count_tracks_power_state() {
+        let mut dc = overbooked_fleet();
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(9, 4_096))
+            .unwrap();
+        assert_eq!(dc.saturated_count(), 1);
+        // A failed PM evicts its VMs, so saturation clears with the power.
+        dc.fail_pm(PmId(0));
+        assert_eq!(dc.saturated_count(), 0);
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn resize_vm_updates_reservation_and_journal() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.take_fleet_delta();
+        let epoch_before = dc.fleet_delta().epoch();
+
+        let old = dc
+            .resize_vm(VmId(1), ResourceVector::cpu_mem(3, 2_048))
+            .unwrap();
+        assert_eq!(old, vm_demand());
+        assert_eq!(
+            dc.pm(PmId(0)).reservation_of(VmId(1)),
+            Some(&ResourceVector::cpu_mem(3, 2_048))
+        );
+        let d = dc.take_fleet_delta();
+        assert!(d.epoch() > epoch_before, "a real resize bumps the epoch");
+        assert_eq!(
+            d.dirty_pms().iter().copied().collect::<Vec<_>>(),
+            vec![PmId(0)],
+            "the host PM's footprint changed"
+        );
+        assert_eq!(
+            d.dirty_vms().iter().copied().collect::<Vec<_>>(),
+            vec![VmId(1)]
+        );
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn same_size_resize_journals_nothing() {
+        let mut dc = on_fleet();
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.take_fleet_delta();
+        let epoch_before = dc.fleet_delta().epoch();
+
+        let old = dc.resize_vm(VmId(1), vm_demand()).unwrap();
+        assert_eq!(old, vm_demand());
+        assert!(dc.fleet_delta().is_empty(), "no-op resize dirties nothing");
+        assert_eq!(
+            dc.fleet_delta().epoch(),
+            epoch_before,
+            "no-op resize leaves the epoch untouched"
+        );
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn resize_vm_rejections_leave_fleet_unchanged() {
+        let mut dc = on_fleet();
+        assert_eq!(
+            dc.resize_vm(VmId(9), vm_demand()),
+            Err(PmError::NotHosted(VmId(9)))
+        );
+        dc.place(VmId(1), PmId(0), vm_demand()).unwrap();
+        dc.begin_migration(VmId(1), PmId(1), vm_demand()).unwrap();
+        assert_eq!(
+            dc.resize_vm(VmId(1), ResourceVector::cpu_mem(2, 512)),
+            Err(PmError::MigrationInFlight(VmId(1)))
+        );
+        dc.take_fleet_delta();
+        // A grow beyond the host's capacity is rejected without dirt.
+        dc.finish_migration(VmId(1), PmId(0)).unwrap();
+        dc.take_fleet_delta();
+        assert_eq!(
+            dc.resize_vm(VmId(1), ResourceVector::cpu_mem(99, 512)),
+            Err(PmError::InsufficientCapacity)
+        );
+        assert!(
+            dc.fleet_delta().is_empty(),
+            "failed resize journals nothing"
+        );
+        dc.assert_consistent();
+    }
+
+    #[test]
+    fn first_off_fitting_sees_virtual_capacity() {
+        let mut dc = FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 2, 0.99)
+            .add_class_overbooked(
+                PmClass::paper_slow(),
+                2,
+                0.95,
+                OverbookRatios::cpu_mem(300, 100),
+            )
+            .build();
+        // 10 cores exceeds both physical classes, but fits the slow
+        // class's 12-core virtual capacity.
+        assert_eq!(
+            dc.first_off_fitting(&ResourceVector::cpu_mem(10, 512)),
+            Some(PmId(2))
+        );
+        dc.pm_mut(PmId(2)).state = PmState::On;
+        assert_eq!(
+            dc.first_off_fitting(&ResourceVector::cpu_mem(10, 512)),
+            Some(PmId(3))
+        );
+        assert_eq!(
+            dc.first_off_fitting(&ResourceVector::cpu_mem(20, 512)),
+            None
+        );
+    }
+
+    #[test]
+    fn overbooked_serde_round_trip_keeps_ratios_and_stats() {
+        let mut dc = overbooked_fleet();
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(10, 4_096))
+            .unwrap();
+        assert_eq!(dc.saturated_count(), 1);
+        let json = serde_json::to_string(&dc).unwrap();
+        let back: Datacenter = serde_json::from_str(&json).unwrap();
+        back.assert_consistent();
+        assert_eq!(back.saturated_count(), 1);
+        assert_eq!(
+            back.pm(PmId(0)).virtual_capacity(),
+            ResourceVector::cpu_mem(16, 12_288)
+        );
     }
 
     #[test]

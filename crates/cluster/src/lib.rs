@@ -27,5 +27,5 @@ pub use index::CapacityIndex;
 pub use journal::FleetDelta;
 pub use pm::{Pm, PmClass, PmId, PmState};
 pub use power::PowerModel;
-pub use resources::ResourceVector;
+pub use resources::{OverbookRatios, ResourceVector};
 pub use vm::{Vm, VmId, VmSpec, VmState};

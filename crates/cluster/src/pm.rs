@@ -11,7 +11,7 @@
 //! (DESIGN.md I3), so the capacity invariant `used ≤ capacity` is enforced
 //! here and can never be violated by a placement policy.
 
-use crate::resources::ResourceVector;
+use crate::resources::{OverbookRatios, ResourceVector};
 use crate::vm::VmId;
 use dvmp_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -110,6 +110,9 @@ pub enum PmError {
     AlreadyHosted(VmId),
     /// The VM is not reserved on this PM.
     NotHosted(VmId),
+    /// The VM holds reservations on more than one PM (live migration in
+    /// flight), so a single-host operation such as resize is ill-defined.
+    MigrationInFlight(VmId),
 }
 
 impl fmt::Display for PmError {
@@ -119,6 +122,9 @@ impl fmt::Display for PmError {
             PmError::InsufficientCapacity => write!(f, "insufficient capacity"),
             PmError::AlreadyHosted(vm) => write!(f, "{vm} already reserved here"),
             PmError::NotHosted(vm) => write!(f, "{vm} not reserved here"),
+            PmError::MigrationInFlight(vm) => {
+                write!(f, "{vm} has a migration in flight")
+            }
         }
     }
 }
@@ -138,6 +144,12 @@ pub struct Pm {
     pub reliability: f64,
     /// Current power state.
     pub state: PmState,
+    /// Per-dimension overbooking ratios; `None` means no overbooking and
+    /// the admission capacity equals the hardware capacity. When set, the
+    /// PM admits reservations up to [`Pm::virtual_capacity`] and physical
+    /// saturation (`used > C_j^max`) is metered as SLA-violation time.
+    #[serde(default)]
+    pub overbook: Option<OverbookRatios>,
     reservations: BTreeMap<VmId, ResourceVector>,
     used: ResourceVector,
 }
@@ -156,6 +168,7 @@ impl Pm {
             class,
             reliability,
             state: PmState::Off,
+            overbook: None,
             reservations: BTreeMap::new(),
             used: ResourceVector::zero(k),
         }
@@ -166,17 +179,34 @@ impl Pm {
         &self.used
     }
 
-    /// Maximum capacity `C_j^max`.
+    /// Physical hardware capacity `C_j^max`. Admission is checked against
+    /// [`Pm::virtual_capacity`], which equals this unless overbooked.
     pub fn capacity(&self) -> &ResourceVector {
         &self.class.capacity
     }
 
-    /// Remaining headroom `C_j^max − C_j`.
+    /// The capacity reservations are admitted against: the physical
+    /// capacity scaled by the overbooking ratios (identical to
+    /// [`Pm::capacity`] when not overbooked).
+    pub fn virtual_capacity(&self) -> ResourceVector {
+        match &self.overbook {
+            None => self.class.capacity,
+            Some(ob) => ob.apply(&self.class.capacity),
+        }
+    }
+
+    /// `true` when occupancy exceeds the *physical* capacity in any
+    /// dimension — only possible on an overbooked PM, and the condition
+    /// the SLA-violation meter integrates over while the PM is powered.
+    pub fn is_saturated(&self) -> bool {
+        !self.used.le(&self.class.capacity)
+    }
+
+    /// Remaining admission headroom `virtual capacity − C_j`.
     pub fn headroom(&self) -> ResourceVector {
-        self.class
-            .capacity
+        self.virtual_capacity()
             .checked_sub(&self.used)
-            .expect("capacity invariant: used ≤ capacity")
+            .expect("capacity invariant: used ≤ virtual capacity")
     }
 
     /// Number of VMs reserved on this PM.
@@ -209,10 +239,11 @@ impl Pm {
         !matches!(self.state, PmState::Off | PmState::Failed)
     }
 
-    /// Eq. 2's feasibility test: would `demand` fit on top of the current
-    /// occupation? (State is not considered; that is `can_host`.)
+    /// Eq. 2's feasibility test against the virtual capacity: would
+    /// `demand` fit on top of the current occupation? (State is not
+    /// considered; that is `can_host`.)
     pub fn fits(&self, demand: &ResourceVector) -> bool {
-        self.used.fits_with(demand, &self.class.capacity)
+        self.used.fits_with(demand, &self.virtual_capacity())
     }
 
     /// Full admission test: available *and* fits.
@@ -234,6 +265,31 @@ impl Pm {
         self.used = self.used.add(&demand);
         self.reservations.insert(vm, demand);
         Ok(())
+    }
+
+    /// Resizes `vm`'s existing reservation to `new` (vertical elasticity),
+    /// returning the previous demand. A same-size resize is a no-op that
+    /// still returns `Ok`. A grow that does not fit within the virtual
+    /// capacity is rejected and the old reservation is kept.
+    pub fn resize_reservation(
+        &mut self,
+        vm: VmId,
+        new: ResourceVector,
+    ) -> Result<ResourceVector, PmError> {
+        let old = *self.reservations.get(&vm).ok_or(PmError::NotHosted(vm))?;
+        if new == old {
+            return Ok(old);
+        }
+        let without = self
+            .used
+            .checked_sub(&old)
+            .expect("occupancy invariant: reservations sum to used");
+        if !without.fits_with(&new, &self.virtual_capacity()) {
+            return Err(PmError::InsufficientCapacity);
+        }
+        self.used = without.add(&new);
+        self.reservations.insert(vm, new);
+        Ok(old)
     }
 
     /// Releases `vm`'s reservation, returning it.
@@ -258,9 +314,11 @@ impl Pm {
         vms
     }
 
-    /// Joint utilization `U_j = ∏_k C_j(k)/C_j^max(k)` (Section III-B-4).
+    /// Joint utilization `U_j = ∏_k C_j(k)/C_j^max(k)` (Section III-B-4),
+    /// computed against the virtual capacity so it stays in `[0, 1]` on
+    /// overbooked PMs (identical to the physical ratio otherwise).
     pub fn joint_utilization(&self) -> f64 {
-        self.used.joint_utilization(&self.class.capacity)
+        self.used.joint_utilization(&self.virtual_capacity())
     }
 
     /// Instantaneous power draw in watts, per the two-level model the
@@ -427,5 +485,90 @@ mod tests {
     #[should_panic(expected = "reliability")]
     fn zero_reliability_rejected() {
         Pm::new(PmId(0), 0, PmClass::paper_fast(), 0.0);
+    }
+
+    fn overbooked_pm() -> Pm {
+        let mut pm = fast_pm();
+        pm.overbook = Some(OverbookRatios::cpu_mem(200, 150));
+        pm
+    }
+
+    #[test]
+    fn overbooked_pm_admits_past_physical_capacity() {
+        let mut pm = overbooked_pm();
+        assert_eq!(pm.virtual_capacity(), demand(16, 12_288));
+        assert_eq!(pm.headroom(), demand(16, 12_288));
+        pm.reserve(VmId(1), demand(8, 8_192)).unwrap();
+        assert!(!pm.is_saturated(), "exactly full is not saturated");
+        // Physically full, virtually half-full: admission still succeeds.
+        pm.reserve(VmId(2), demand(8, 4_096)).unwrap();
+        assert!(pm.is_saturated());
+        assert_eq!(pm.used(), &demand(16, 12_288));
+        assert_eq!(
+            pm.reserve(VmId(3), demand(1, 1)),
+            Err(PmError::InsufficientCapacity),
+            "virtual capacity is still a hard bound"
+        );
+        // Utilization is against virtual capacity: exactly 1.0 here.
+        assert!((pm.joint_utilization() - 1.0).abs() < 1e-12);
+        pm.release(VmId(2)).unwrap();
+        assert!(!pm.is_saturated());
+    }
+
+    #[test]
+    fn non_overbooked_pm_never_saturates() {
+        let mut pm = fast_pm();
+        pm.reserve(VmId(1), demand(8, 8_192)).unwrap();
+        assert!(!pm.is_saturated());
+        assert_eq!(pm.virtual_capacity(), *pm.capacity());
+    }
+
+    #[test]
+    fn resize_reservation_grows_and_shrinks() {
+        let mut pm = fast_pm();
+        pm.reserve(VmId(1), demand(2, 1_024)).unwrap();
+        let old = pm.resize_reservation(VmId(1), demand(4, 2_048)).unwrap();
+        assert_eq!(old, demand(2, 1_024));
+        assert_eq!(pm.used(), &demand(4, 2_048));
+        assert_eq!(pm.reservation_of(VmId(1)), Some(&demand(4, 2_048)));
+        let old = pm.resize_reservation(VmId(1), demand(1, 512)).unwrap();
+        assert_eq!(old, demand(4, 2_048));
+        assert_eq!(pm.used(), &demand(1, 512));
+    }
+
+    #[test]
+    fn resize_reservation_rejects_overflow_and_missing() {
+        let mut pm = fast_pm();
+        pm.reserve(VmId(1), demand(2, 1_024)).unwrap();
+        pm.reserve(VmId(2), demand(5, 1_024)).unwrap();
+        assert_eq!(
+            pm.resize_reservation(VmId(1), demand(4, 1_024)),
+            Err(PmError::InsufficientCapacity)
+        );
+        // Rejection leaves the old reservation intact.
+        assert_eq!(pm.reservation_of(VmId(1)), Some(&demand(2, 1_024)));
+        assert_eq!(pm.used(), &demand(7, 2_048));
+        assert_eq!(
+            pm.resize_reservation(VmId(9), demand(1, 1)),
+            Err(PmError::NotHosted(VmId(9)))
+        );
+    }
+
+    #[test]
+    fn same_size_resize_is_a_no_op() {
+        let mut pm = fast_pm();
+        pm.reserve(VmId(1), demand(2, 1_024)).unwrap();
+        let old = pm.resize_reservation(VmId(1), demand(2, 1_024)).unwrap();
+        assert_eq!(old, demand(2, 1_024));
+        assert_eq!(pm.used(), &demand(2, 1_024));
+    }
+
+    #[test]
+    fn resize_can_saturate_overbooked_pm() {
+        let mut pm = overbooked_pm();
+        pm.reserve(VmId(1), demand(6, 4_096)).unwrap();
+        assert!(!pm.is_saturated());
+        pm.resize_reservation(VmId(1), demand(12, 4_096)).unwrap();
+        assert!(pm.is_saturated(), "grow past physical cores saturates");
     }
 }

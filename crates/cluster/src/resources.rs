@@ -200,6 +200,110 @@ impl ResourceVector {
     }
 }
 
+/// Per-dimension overbooking ratios, in integer percent (100 = 1.0×, no
+/// overbooking; 150 = 1.5× virtual capacity).
+///
+/// Overbooking lets a provider admit reservations against a *virtual*
+/// capacity larger than the hardware: `virtual(k) = physical(k) × pct(k) /
+/// 100`, computed in exact integer arithmetic so two fleets with the same
+/// ratios are bit-identical. Ratios below 100 are rejected — virtual
+/// capacity never shrinks below physical, so the only new hazard an
+/// overbooked fleet introduces is *physical saturation* (occupancy above
+/// physical capacity), which is metered as SLA-violation time rather than
+/// rejected at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OverbookRatios {
+    pct: [u32; MAX_DIMS],
+    len: u8,
+}
+
+/// Upper bound on a single dimension's overbooking percentage (100×).
+pub const MAX_OVERBOOK_PCT: u32 = 10_000;
+
+impl OverbookRatios {
+    /// Builds ratios from per-dimension percentages.
+    ///
+    /// # Panics
+    /// Panics if `pcts` is empty, longer than [`MAX_DIMS`], or any entry is
+    /// outside `[100, MAX_OVERBOOK_PCT]`.
+    pub fn new(pcts: &[u32]) -> Self {
+        assert!(
+            !pcts.is_empty() && pcts.len() <= MAX_DIMS,
+            "overbook ratios must have 1..={MAX_DIMS} dimensions"
+        );
+        assert!(
+            pcts.iter().all(|&p| (100..=MAX_OVERBOOK_PCT).contains(&p)),
+            "overbook percentages must be in [100, {MAX_OVERBOOK_PCT}]"
+        );
+        let mut pct = [100u32; MAX_DIMS];
+        pct[..pcts.len()].copy_from_slice(pcts);
+        OverbookRatios {
+            pct,
+            len: pcts.len() as u8,
+        }
+    }
+
+    /// No overbooking in `k` dimensions (every ratio 100%).
+    pub fn none(k: usize) -> Self {
+        assert!((1..=MAX_DIMS).contains(&k));
+        OverbookRatios {
+            pct: [100; MAX_DIMS],
+            len: k as u8,
+        }
+    }
+
+    /// Convenience constructor for the two-dimensional CPU/RAM case
+    /// (snippet taxonomy's `CPU_OVER` / `RAM_OVER`).
+    pub fn cpu_mem(cpu_pct: u32, mem_pct: u32) -> Self {
+        OverbookRatios::new(&[cpu_pct, mem_pct])
+    }
+
+    /// Number of dimensions K.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.len as usize
+    }
+
+    /// The percentage for dimension `i`.
+    #[inline]
+    pub fn pct(&self, i: usize) -> u32 {
+        debug_assert!(i < self.k());
+        self.pct[i]
+    }
+
+    /// `true` when every ratio is 100% (virtual capacity == physical).
+    pub fn is_none(&self) -> bool {
+        self.pct[..self.k()].iter().all(|&p| p == 100)
+    }
+
+    /// The virtual capacity for a physical `capacity`:
+    /// `virtual(k) = capacity(k) × pct(k) / 100`, exact integer math.
+    ///
+    /// # Panics
+    /// Panics (debug) on dimension mismatch.
+    pub fn apply(&self, capacity: &ResourceVector) -> ResourceVector {
+        debug_assert_eq!(self.k(), capacity.k(), "dimension mismatch");
+        let mut dims = [0u64; MAX_DIMS];
+        for (i, d) in dims[..self.k()].iter_mut().enumerate() {
+            *d = capacity.get(i).saturating_mul(self.pct[i] as u64) / 100;
+        }
+        ResourceVector::new(&dims[..self.k()])
+    }
+}
+
+impl fmt::Display for OverbookRatios {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for i in 0..self.k() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}%", self.pct[i])?;
+        }
+        write!(f, "]")
+    }
+}
+
 impl Index<usize> for ResourceVector {
     type Output = u64;
     fn index(&self, i: usize) -> &u64 {
@@ -326,7 +430,63 @@ mod tests {
         assert!(!ResourceVector::cpu_mem(0, 1).is_zero());
     }
 
+    #[test]
+    fn overbook_none_is_identity() {
+        let none = OverbookRatios::none(2);
+        assert!(none.is_none());
+        let cap = ResourceVector::cpu_mem(8, 8_192);
+        assert_eq!(none.apply(&cap), cap);
+        assert_eq!(none.to_string(), "[100%, 100%]");
+    }
+
+    #[test]
+    fn overbook_scales_each_dimension_exactly() {
+        let ob = OverbookRatios::cpu_mem(200, 150);
+        assert!(!ob.is_none());
+        assert_eq!(ob.pct(0), 200);
+        assert_eq!(ob.pct(1), 150);
+        let cap = ResourceVector::cpu_mem(8, 8_192);
+        assert_eq!(ob.apply(&cap), ResourceVector::cpu_mem(16, 12_288));
+        // Truncating division: 3 cores at 150% -> 4 (4.5 floored).
+        let odd = OverbookRatios::cpu_mem(150, 100);
+        assert_eq!(
+            odd.apply(&ResourceVector::cpu_mem(3, 100)),
+            ResourceVector::cpu_mem(4, 100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overbook percentages")]
+    fn overbook_below_physical_rejected() {
+        OverbookRatios::cpu_mem(99, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "overbook percentages")]
+    fn overbook_above_cap_rejected() {
+        OverbookRatios::cpu_mem(10_001, 100);
+    }
+
+    #[test]
+    fn overbook_serde_round_trip() {
+        let ob = OverbookRatios::cpu_mem(130, 110);
+        let json = serde_json::to_string(&ob).unwrap();
+        let back: OverbookRatios = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ob);
+    }
+
     proptest! {
+        #[test]
+        fn prop_overbook_never_shrinks(
+            cap in prop::array::uniform2(0u64..1_000_000),
+            pct in prop::array::uniform2(100u32..1_000),
+        ) {
+            let c = ResourceVector::new(&cap);
+            let ob = OverbookRatios::new(&pct);
+            let v = ob.apply(&c);
+            prop_assert!(c.le(&v), "virtual {v} must dominate physical {c}");
+        }
+
         #[test]
         fn prop_add_then_sub_round_trips(
             a in prop::array::uniform2(0u64..1_000_000),

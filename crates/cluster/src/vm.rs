@@ -103,6 +103,14 @@ pub struct Vm {
     pub overhead: SimDuration,
     /// Number of live migrations this VM has undergone.
     pub migrations: u32,
+    /// Current resource demand after vertical elasticity, when it differs
+    /// from the submitted request. `None` until the first applied resize;
+    /// read through [`Vm::demand`], which falls back to `spec.resources`.
+    #[serde(default)]
+    pub current_demand: Option<ResourceVector>,
+    /// Number of resize events applied to this VM.
+    #[serde(default)]
+    pub resizes: u32,
 }
 
 impl Vm {
@@ -114,7 +122,17 @@ impl Vm {
             started_at: None,
             overhead: SimDuration::ZERO,
             migrations: 0,
+            current_demand: None,
+            resizes: 0,
         }
+    }
+
+    /// The resources this VM currently occupies (and a placement scheme
+    /// must budget for): the submitted request until the first resize,
+    /// the latest resized demand afterwards.
+    #[inline]
+    pub fn demand(&self) -> &ResourceVector {
+        self.current_demand.as_ref().unwrap_or(&self.spec.resources)
     }
 
     /// The PM currently charged with this VM's execution, if any.
@@ -260,6 +278,33 @@ mod tests {
         let mut vm = Vm::new(spec());
         vm.started_at = Some(SimTime::from_secs(150));
         assert_eq!(vm.queue_wait(), Some(SimDuration::from_secs(50)));
+    }
+
+    #[test]
+    fn demand_tracks_resizes() {
+        let mut vm = Vm::new(spec());
+        assert_eq!(vm.demand(), &ResourceVector::cpu_mem(1, 512));
+        vm.current_demand = Some(ResourceVector::cpu_mem(3, 1_024));
+        vm.resizes += 1;
+        assert_eq!(vm.demand(), &ResourceVector::cpu_mem(3, 1_024));
+        assert_eq!(vm.spec.resources, ResourceVector::cpu_mem(1, 512));
+    }
+
+    #[test]
+    fn legacy_vm_without_elasticity_fields_parses() {
+        // Same strip-the-field idiom as the DynamicConfig legacy tests:
+        // a Vm serialized before the elasticity fields existed must parse
+        // with the defaults.
+        let vm = Vm::new(spec());
+        let full = serde_json::to_string(&vm).unwrap();
+        let json = full
+            .replace(",\"current_demand\":null", "")
+            .replace(",\"resizes\":0", "");
+        assert_ne!(json, full, "both fields serialize");
+        let back: Vm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.current_demand, None);
+        assert_eq!(back.resizes, 0);
+        assert_eq!(back.demand(), vm.demand());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod timeline;
 pub use config::{FailureConfig, SimConfig};
 pub use oracle::{FleetOp, Oracle, ReferenceModel};
 pub use scenario::Scenario;
-pub use simulator::Simulation;
+pub use simulator::{ResizeRequest, Simulation};
 pub use timeline::{Milestone, Timeline};
 
 /// Convenient glob import for examples and downstream users.
@@ -52,18 +52,20 @@ pub mod prelude {
     pub use crate::experiment::{compare_policies, sweep_scenarios, PolicyFactory};
     pub use crate::oracle::Oracle;
     pub use crate::scenario::Scenario;
-    pub use crate::simulator::Simulation;
+    pub use crate::simulator::{ResizeRequest, Simulation};
     pub use dvmp_cluster::datacenter::{paper_fleet, Datacenter, FleetBuilder};
     pub use dvmp_cluster::pm::{PmClass, PmId};
-    pub use dvmp_cluster::resources::ResourceVector;
+    pub use dvmp_cluster::resources::{OverbookRatios, ResourceVector};
     pub use dvmp_cluster::vm::{VmId, VmSpec};
     pub use dvmp_forecast::spare::SpareConfig;
     pub use dvmp_metrics::recorder::RunReport;
     pub use dvmp_placement::{
-        BestFit, DynamicConfig, DynamicPlacement, FirstFit, Migration, OverheadMode,
+        BestFit, CapacityBasis, DynamicConfig, DynamicPlacement, FirstFit, Migration, OverheadMode,
         PlacementPolicy, PlacementView, PlanKernel, RandomFit, ThresholdConfig, ThresholdPolicy,
         WorstFit,
     };
     pub use dvmp_simcore::{SimDuration, SimTime};
-    pub use dvmp_workload::{LpcProfile, SyntheticGenerator, Trace, WorkloadStats};
+    pub use dvmp_workload::{
+        ElasticityProfile, LpcProfile, SyntheticGenerator, Trace, WorkloadStats,
+    };
 }

@@ -39,6 +39,7 @@ use dvmp_cluster::pm::{Pm, PmId};
 use dvmp_cluster::resources::ResourceVector;
 use dvmp_cluster::vm::{Vm, VmId, VmState};
 use dvmp_metrics::energy::EnergyMeter;
+use dvmp_metrics::sla::SaturationMeter;
 use dvmp_metrics::violation::{Invariant, OracleSummary, Violation};
 use dvmp_simcore::SimTime;
 use std::collections::{BTreeMap, VecDeque};
@@ -53,6 +54,11 @@ pub const DEEP_AUDIT_STRIDE: u64 = 4_096;
 /// the same power × dt products in the same order as the meter, so the
 /// real disagreement is ~0; the slack only covers summation reordering.
 const ENERGY_REL_TOL: f64 = 1e-6;
+
+/// Relative tolerance for the SLA saturation-integral comparison (same
+/// reasoning as [`ENERGY_REL_TOL`]: identical step function, identical
+/// order, slack for float reassociation only).
+const SLA_REL_TOL: f64 = 1e-6;
 
 /// One fleet mutation, as reported by the simulator to the oracle.
 ///
@@ -97,6 +103,16 @@ pub enum FleetOp {
     Fail {
         /// The failed PM.
         pm: PmId,
+    },
+    /// `Datacenter::resize_vm`: the sole reservation of `vm` changed to
+    /// `new` in place (vertical elasticity). Only a VM with exactly one
+    /// host may resize — the simulator rejects resizes of queued,
+    /// completed or mid-migration VMs before they reach the fleet.
+    Resize {
+        /// The resized VM.
+        vm: VmId,
+        /// Its new reservation.
+        new: ResourceVector,
     },
 }
 
@@ -172,6 +188,19 @@ impl ReferenceModel {
                     entry.retain(|&(p, _)| p != pm);
                     !entry.is_empty()
                 });
+                Ok(())
+            }
+            FleetOp::Resize { vm, new } => {
+                let Some(entry) = self.hosts.get_mut(&vm) else {
+                    return Err(format!("resize of unhosted {vm}"));
+                };
+                if entry.len() != 1 {
+                    return Err(format!(
+                        "resize of {vm} while it holds {} reservations (mid-migration)",
+                        entry.len()
+                    ));
+                }
+                entry[0].1 = new;
                 Ok(())
             }
         }
@@ -252,6 +281,11 @@ pub struct Oracle {
     /// Independent energy integral (joules), re-integrating the power
     /// step function the meter also sees.
     energy_j: f64,
+    /// Physically-saturated PM count as of `last_time`.
+    last_saturated: f64,
+    /// Independent SLA integral (saturated-PM · seconds), re-integrating
+    /// the saturation step function the SLA meter also sees.
+    sla_violation_s: f64,
     events_audited: u64,
     violations: Vec<Violation>,
     dropped: u64,
@@ -280,6 +314,8 @@ impl Oracle {
             last_time: SimTime::ZERO,
             last_power_w: dc.total_power_w(),
             energy_j: 0.0,
+            last_saturated: dc.saturated_count() as f64,
+            sla_violation_s: 0.0,
             events_audited: 0,
             violations: Vec::new(),
             dropped: 0,
@@ -332,6 +368,12 @@ impl Oracle {
                     }
                 }
             }
+            FleetOp::Resize { vm, .. } => {
+                self.touched_vms.push(vm);
+                if let Some(entry) = self.reference.hosts.get(&vm) {
+                    self.touched_pms.extend(entry.iter().map(|&(p, _)| p));
+                }
+            }
         }
         if let Err(e) = self.reference.apply(op) {
             // The op belongs to the event the *next* audit will stamp:
@@ -347,8 +389,8 @@ impl Oracle {
 
     /// Audits the settled post-event state. `seq` is the engine's 1-based
     /// event counter; `vms`/`queue` are the simulator's lifecycle and
-    /// backlog views; `meter` is the recorder's energy meter (already
-    /// sampled for this event).
+    /// backlog views; `meter`/`sla` are the recorder's energy and
+    /// saturation meters (already sampled for this event).
     #[allow(clippy::too_many_arguments)]
     pub fn audit(
         &mut self,
@@ -358,6 +400,7 @@ impl Oracle {
         vms: &BTreeMap<VmId, Vm>,
         queue: &VecDeque<VmId>,
         meter: &EnergyMeter,
+        sla: &SaturationMeter,
     ) {
         self.events_audited += 1;
         let mut found: Vec<(Invariant, String)> = Vec::new();
@@ -370,8 +413,11 @@ impl Oracle {
             ));
         }
 
-        // Advance the independent energy integral over [last_time, now).
-        self.energy_j += self.last_power_w * now.saturating_since(self.last_time).as_secs_f64();
+        // Advance the independent energy and SLA integrals over
+        // [last_time, now).
+        let dt = now.saturating_since(self.last_time).as_secs_f64();
+        self.energy_j += self.last_power_w * dt;
+        self.sla_violation_s += self.last_saturated * dt;
         let live_power = dc.total_power_w();
         let metered = meter.power_at(now);
         if (metered - live_power).abs() > 1e-9 * live_power.abs().max(1.0) {
@@ -380,7 +426,18 @@ impl Oracle {
                 format!("meter reads {metered} W at {now}, fleet draws {live_power} W"),
             ));
         }
+        let live_saturated = dc.saturated_count() as f64;
+        let metered_saturated = sla.saturated_at(now);
+        if metered_saturated != live_saturated {
+            found.push((
+                Invariant::SlaConservation,
+                format!(
+                    "SLA meter reads {metered_saturated} saturated PMs at {now}, fleet has {live_saturated}"
+                ),
+            ));
+        }
         self.last_power_w = live_power;
+        self.last_saturated = live_saturated;
         self.last_time = now;
 
         if self.events_audited % DEEP_AUDIT_STRIDE == 0 {
@@ -388,7 +445,7 @@ impl Oracle {
             // incremental scope.
             self.check_capacity_and_bijection(dc, vms, &mut found);
             self.reference.diff(dc, &mut found);
-            self.deep_audit(now, vms, queue, meter, &mut found);
+            self.deep_audit(now, vms, queue, meter, sla, &mut found);
             self.touched_pms.clear();
             self.touched_vms.clear();
         } else {
@@ -428,6 +485,7 @@ impl Oracle {
     }
 
     /// Final audit at the horizon; consumes the oracle into its summary.
+    #[allow(clippy::too_many_arguments)]
     pub fn into_summary(
         mut self,
         horizon: SimTime,
@@ -435,15 +493,18 @@ impl Oracle {
         vms: &BTreeMap<VmId, Vm>,
         queue: &VecDeque<VmId>,
         meter: &EnergyMeter,
+        sla: &SaturationMeter,
     ) -> OracleSummary {
         self.events_audited += 1;
         let mut found: Vec<(Invariant, String)> = Vec::new();
-        // Close the integral out to the horizon, like the meter does.
-        self.energy_j += self.last_power_w * horizon.saturating_since(self.last_time).as_secs_f64();
+        // Close the integrals out to the horizon, like the meters do.
+        let dt = horizon.saturating_since(self.last_time).as_secs_f64();
+        self.energy_j += self.last_power_w * dt;
+        self.sla_violation_s += self.last_saturated * dt;
         self.last_time = horizon;
         self.check_capacity_and_bijection(dc, vms, &mut found);
         self.reference.diff(dc, &mut found);
-        self.deep_audit(horizon, vms, queue, meter, &mut found);
+        self.deep_audit(horizon, vms, queue, meter, sla, &mut found);
         let seq = self.events_audited;
         self.commit(seq, horizon, dc, found);
         OracleSummary {
@@ -524,15 +585,25 @@ impl Oracle {
                 ),
             ));
         }
-        for d in 0..cap.k() {
-            if pm.used().get(d) > cap.get(d) {
+        // Admission is bounded by the *virtual* capacity (physical ×
+        // overbook ratio; identical to physical when not overbooked).
+        // Physical saturation on an overbooked PM is legitimate — it is
+        // metered as SLA-violation time, not flagged here.
+        let vcap = pm.virtual_capacity();
+        for d in 0..vcap.k() {
+            if pm.used().get(d) > vcap.get(d) {
+                let invariant = if pm.overbook.is_some() {
+                    Invariant::VirtualCapacity
+                } else {
+                    Invariant::Capacity
+                };
                 found.push((
-                    Invariant::Capacity,
+                    invariant,
                     format!(
-                        "{}: dim {d} used {} of {}",
+                        "{}: dim {d} used {} of virtual {}",
                         pm.id,
                         pm.used().get(d),
-                        cap.get(d)
+                        vcap.get(d)
                     ),
                 ));
             }
@@ -540,13 +611,15 @@ impl Oracle {
     }
 
     /// Whole-history checks, run sparsely: queue/request conservation and
-    /// the energy integral.
+    /// the energy and SLA integrals.
+    #[allow(clippy::too_many_arguments)]
     fn deep_audit(
         &mut self,
         now: SimTime,
         vms: &BTreeMap<VmId, Vm>,
         queue: &VecDeque<VmId>,
         meter: &EnergyMeter,
+        sla: &SaturationMeter,
         found: &mut Vec<(Invariant, String)>,
     ) {
         // Queue entries must be distinct, known, and in the Queued state.
@@ -590,6 +663,18 @@ impl Oracle {
             found.push((
                 Invariant::EnergyIntegral,
                 format!("oracle integral {oracle_j} J, meter {meter_j} J at {now}"),
+            ));
+        }
+        // SLA integral: same independence argument as energy — the meter
+        // and the oracle re-integrated the same saturation step function.
+        let oracle_sla = self.sla_violation_s;
+        let meter_sla = sla.violation_seconds(now);
+        if (oracle_sla - meter_sla).abs() > SLA_REL_TOL * meter_sla.abs().max(1.0) {
+            found.push((
+                Invariant::SlaConservation,
+                format!(
+                    "oracle SLA integral {oracle_sla} saturated-PM·s, meter {meter_sla} at {now}"
+                ),
             ));
         }
     }
@@ -701,6 +786,9 @@ mod tests {
             FleetOp::Fail { pm } => {
                 dc.fail_pm(pm);
             }
+            FleetOp::Resize { vm, new } => {
+                dc.resize_vm(vm, new).unwrap();
+            }
         }
         oracle.record(SimTime::ZERO, &op);
     }
@@ -721,6 +809,7 @@ mod tests {
             vms,
             &VecDeque::new(),
             meter,
+            &SaturationMeter::new(),
         );
         assert_eq!(oracle.violation_count(), before, "unexpected violations");
     }
@@ -839,6 +928,7 @@ mod tests {
         let (_, vm) = running_vm(9, PmId(2));
         let vms = BTreeMap::from([(VmId(9), vm)]);
         meter.record(SimTime::from_secs(5), dc.total_power_w());
+        let sla = SaturationMeter::new();
         oracle.audit(
             SimTime::from_secs(5),
             1,
@@ -846,9 +936,16 @@ mod tests {
             &vms,
             &VecDeque::new(),
             &meter,
+            &sla,
         );
-        let summary =
-            oracle.into_summary(SimTime::from_secs(5), &dc, &vms, &VecDeque::new(), &meter);
+        let summary = oracle.into_summary(
+            SimTime::from_secs(5),
+            &dc,
+            &vms,
+            &VecDeque::new(),
+            &meter,
+            &sla,
+        );
         assert!(!summary.is_clean());
         assert!(
             summary
@@ -887,6 +984,7 @@ mod tests {
             &BTreeMap::new(),
             &VecDeque::new(),
             &meter,
+            &SaturationMeter::new(),
         );
         assert_eq!(oracle.violation_count(), 1);
     }
@@ -899,9 +997,10 @@ mod tests {
         meter.record(SimTime::ZERO, dc.total_power_w());
         let vms = BTreeMap::new();
         let q = VecDeque::new();
-        oracle.audit(SimTime::from_secs(100), 1, &dc, &vms, &q, &meter);
+        let sla = SaturationMeter::new();
+        oracle.audit(SimTime::from_secs(100), 1, &dc, &vms, &q, &meter, &sla);
         assert_eq!(oracle.violation_count(), 0);
-        oracle.audit(SimTime::from_secs(50), 2, &dc, &vms, &q, &meter);
+        oracle.audit(SimTime::from_secs(50), 2, &dc, &vms, &q, &meter, &sla);
         assert!(oracle.violation_count() >= 1);
     }
 
@@ -915,7 +1014,14 @@ mod tests {
         meter.record(SimTime::ZERO, 1.0);
         let vms = BTreeMap::new();
         let q = VecDeque::new();
-        let summary = oracle.into_summary(SimTime::from_hours(1), &dc, &vms, &q, &meter);
+        let summary = oracle.into_summary(
+            SimTime::from_hours(1),
+            &dc,
+            &vms,
+            &q,
+            &meter,
+            &SaturationMeter::new(),
+        );
         assert!(summary
             .violations
             .iter()
@@ -930,6 +1036,7 @@ mod tests {
         meter.record(SimTime::ZERO, dc.total_power_w());
         let vms = BTreeMap::new();
         let q = VecDeque::new();
+        let sla = SaturationMeter::new();
         // One nonsense op per event → one violation per audit; loop enough
         // audits to overflow the cap.
         for seq in 0..(MAX_RETAINED_VIOLATIONS as u64 + 40) {
@@ -940,10 +1047,264 @@ mod tests {
                     from: PmId(0),
                 },
             );
-            oracle.audit(SimTime::from_secs(seq), seq + 1, &dc, &vms, &q, &meter);
+            oracle.audit(
+                SimTime::from_secs(seq),
+                seq + 1,
+                &dc,
+                &vms,
+                &q,
+                &meter,
+                &sla,
+            );
         }
         assert_eq!(oracle.violations.len(), MAX_RETAINED_VIOLATIONS);
         assert!(oracle.dropped > 0);
+    }
+
+    /// An overbooked two-fast-PM fleet (300 % CPU / 100 % RAM): physical
+    /// 8 cores, virtual 24.
+    fn overbooked_fleet() -> Datacenter {
+        use dvmp_cluster::resources::OverbookRatios;
+        FleetBuilder::new()
+            .add_class_overbooked(
+                PmClass::paper_fast(),
+                2,
+                0.99,
+                OverbookRatios::cpu_mem(300, 100),
+            )
+            .initially_on(true)
+            .build()
+    }
+
+    #[test]
+    fn resize_keeps_model_in_lock_step() {
+        let mut dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        let mut vms = BTreeMap::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::Place {
+                vm: VmId(1),
+                pm: PmId(0),
+                demand: demand(),
+            },
+        );
+        vms.extend([running_vm(1, PmId(0))]);
+        meter.record(SimTime::from_secs(10), dc.total_power_w());
+        audit_clean(&mut oracle, 10, 1, &dc, &vms, &meter);
+
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::Resize {
+                vm: VmId(1),
+                new: ResourceVector::cpu_mem(3, 2_048),
+            },
+        );
+        meter.record(SimTime::from_secs(20), dc.total_power_w());
+        audit_clean(&mut oracle, 20, 2, &dc, &vms, &meter);
+        assert_eq!(
+            dc.pm(PmId(0)).reservation_of(VmId(1)),
+            Some(&ResourceVector::cpu_mem(3, 2_048))
+        );
+    }
+
+    #[test]
+    fn resize_of_unhosted_vm_is_flagged() {
+        let dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+        oracle.record(
+            SimTime::ZERO,
+            &FleetOp::Resize {
+                vm: VmId(4),
+                new: demand(),
+            },
+        );
+        oracle.audit(
+            SimTime::ZERO,
+            1,
+            &dc,
+            &BTreeMap::new(),
+            &VecDeque::new(),
+            &meter,
+            &SaturationMeter::new(),
+        );
+        assert_eq!(oracle.violation_count(), 1);
+    }
+
+    #[test]
+    fn resize_of_migrating_vm_is_flagged() {
+        let mut dc = fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        let mut vms = BTreeMap::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::Place {
+                vm: VmId(1),
+                pm: PmId(0),
+                demand: demand(),
+            },
+        );
+        vms.extend([running_vm(1, PmId(0))]);
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::BeginMigration {
+                vm: VmId(1),
+                to: PmId(1),
+                demand: demand(),
+            },
+        );
+        vms.get_mut(&VmId(1)).unwrap().state = VmState::Migrating {
+            from: PmId(0),
+            to: PmId(1),
+            done_at: SimTime::from_secs(80),
+        };
+        // A resize op against the double-reserved VM: the live fleet
+        // rejects it (MigrationInFlight), so only the op is recorded —
+        // the model must reject it too and surface a violation.
+        oracle.record(
+            SimTime::from_secs(10),
+            &FleetOp::Resize {
+                vm: VmId(1),
+                new: ResourceVector::cpu_mem(2, 1_024),
+            },
+        );
+        meter.record(SimTime::from_secs(10), dc.total_power_w());
+        oracle.audit(
+            SimTime::from_secs(10),
+            1,
+            &dc,
+            &vms,
+            &VecDeque::new(),
+            &meter,
+            &SaturationMeter::new(),
+        );
+        assert_eq!(oracle.violation_count(), 1);
+    }
+
+    #[test]
+    fn virtual_capacity_breach_is_flagged_with_flight_dump() {
+        use dvmp_cluster::resources::OverbookRatios;
+        dvmp_obs::set_enabled(true);
+        let mut dc = overbooked_fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        let mut sla = SaturationMeter::new();
+        let mut vms = BTreeMap::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+        sla.record(SimTime::ZERO, dc.saturated_count());
+
+        // 16 cores: legal under the 24-core virtual envelope, physically
+        // saturating the 8-core machine (metered, not a violation).
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::Place {
+                vm: VmId(1),
+                pm: PmId(0),
+                demand: ResourceVector::cpu_mem(16, 4_096),
+            },
+        );
+        vms.extend([running_vm(1, PmId(0))]);
+        meter.record(SimTime::from_secs(10), dc.total_power_w());
+        sla.record(SimTime::from_secs(10), dc.saturated_count());
+        assert_eq!(dc.saturated_count(), 1);
+        let before = oracle.violation_count();
+        oracle.audit(
+            SimTime::from_secs(10),
+            1,
+            &dc,
+            &vms,
+            &VecDeque::new(),
+            &meter,
+            &sla,
+        );
+        assert_eq!(oracle.violation_count(), before, "saturation is legal");
+
+        // Tamper: shrink the overbook ratio below current occupancy — the
+        // admission that let 16 cores through now breaches the virtual
+        // envelope (virtual = 12 < used = 16).
+        dc.pm_mut(PmId(0)).overbook = Some(OverbookRatios::cpu_mem(150, 100));
+        meter.record(SimTime::from_secs(20), dc.total_power_w());
+        sla.record(SimTime::from_secs(20), dc.saturated_count());
+        let summary = oracle.into_summary(
+            SimTime::from_secs(20),
+            &dc,
+            &vms,
+            &VecDeque::new(),
+            &meter,
+            &sla,
+        );
+        assert!(
+            summary
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::VirtualCapacity),
+            "{summary:?}"
+        );
+        assert!(
+            summary.flight_dump.is_some(),
+            "first violation captures a flight dump"
+        );
+    }
+
+    #[test]
+    fn sla_meter_divergence_is_flagged() {
+        let mut dc = overbooked_fleet();
+        let mut oracle = Oracle::new(&dc);
+        let mut meter = EnergyMeter::new();
+        let mut vms = BTreeMap::new();
+        meter.record(SimTime::ZERO, dc.total_power_w());
+        exec(
+            &mut dc,
+            &mut oracle,
+            FleetOp::Place {
+                vm: VmId(1),
+                pm: PmId(0),
+                demand: ResourceVector::cpu_mem(16, 4_096),
+            },
+        );
+        vms.extend([running_vm(1, PmId(0))]);
+        meter.record(SimTime::from_secs(10), dc.total_power_w());
+        // An SLA meter that never saw the saturation: the instantaneous
+        // comparison fires at the audit, and the integral comparison at
+        // the final deep audit.
+        let sla = SaturationMeter::new();
+        oracle.audit(
+            SimTime::from_secs(10),
+            1,
+            &dc,
+            &vms,
+            &VecDeque::new(),
+            &meter,
+            &sla,
+        );
+        assert!(oracle.violation_count() >= 1, "instantaneous mismatch");
+        let summary = oracle.into_summary(
+            SimTime::from_hours(1),
+            &dc,
+            &vms,
+            &VecDeque::new(),
+            &meter,
+            &sla,
+        );
+        assert!(
+            summary
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::SlaConservation),
+            "{summary:?}"
+        );
     }
 
     #[test]
@@ -957,7 +1318,14 @@ mod tests {
         vms.insert(id, vm);
         // Queue holds vm3 twice plus a VM the simulator never admitted.
         let queue: VecDeque<VmId> = [VmId(3), VmId(3), VmId(8)].into_iter().collect();
-        let summary = oracle.into_summary(SimTime::from_secs(1), &dc, &vms, &queue, &meter);
+        let summary = oracle.into_summary(
+            SimTime::from_secs(1),
+            &dc,
+            &vms,
+            &queue,
+            &meter,
+            &SaturationMeter::new(),
+        );
         let conservation = summary
             .violations
             .iter()

@@ -6,15 +6,16 @@
 //! binaries produce their policy-per-column comparisons.
 
 use crate::config::SimConfig;
-use crate::simulator::Simulation;
+use crate::simulator::{ResizeRequest, Simulation};
 use dvmp_cluster::datacenter::{paper_fleet, Datacenter, FleetBuilder};
 use dvmp_cluster::pm::PmClass;
 use dvmp_cluster::reliability::ReliabilityModel;
+use dvmp_cluster::resources::OverbookRatios;
 use dvmp_cluster::vm::VmSpec;
 use dvmp_metrics::recorder::RunReport;
 use dvmp_placement::PlacementPolicy;
 use dvmp_simcore::{SimDuration, SimTime};
-use dvmp_workload::{LpcProfile, SyntheticGenerator, Trace};
+use dvmp_workload::{ElasticityProfile, LpcProfile, SyntheticGenerator, Trace};
 
 /// A complete experiment description.
 ///
@@ -27,6 +28,11 @@ pub struct Scenario {
     pub name: String,
     fleet: Datacenter,
     requests: Vec<VmSpec>,
+    /// Scheduled vertical-elasticity (resize) requests, if any. Older
+    /// serialized scenarios without this field deserialize to an empty
+    /// list (no elasticity).
+    #[serde(default)]
+    resizes: Vec<ResizeRequest>,
     /// Simulator configuration.
     pub sim: SimConfig,
 }
@@ -43,6 +49,7 @@ impl Scenario {
             name: name.into(),
             fleet,
             requests,
+            resizes: Vec::new(),
             sim,
         }
     }
@@ -112,6 +119,7 @@ impl Scenario {
             name: name.into(),
             fleet,
             requests,
+            resizes: Vec::new(),
             sim,
         }
     }
@@ -122,7 +130,74 @@ impl Scenario {
         let horizon = SimTime::from_days(days);
         self.sim.horizon = horizon;
         self.requests.retain(|r| r.submit_time < horizon);
+        self.resizes.retain(|r| r.at < horizon);
         self
+    }
+
+    /// Overbooks every PM in the fleet with `ratios`: admission runs
+    /// against `physical × ratio` virtual capacity, and time spent with
+    /// occupancy above *physical* capacity is metered as SLA-violation
+    /// seconds in the report (see DESIGN.md). Identity ratios (100/100)
+    /// leave the fleet unchanged.
+    pub fn with_overbooking(mut self, ratios: OverbookRatios) -> Self {
+        let overbook = if ratios.is_none() { None } else { Some(ratios) };
+        for id in self.fleet.pm_ids().collect::<Vec<_>>() {
+            self.fleet.pm_mut(id).overbook = overbook;
+        }
+        self
+    }
+
+    /// Layers a synthetic vertical-elasticity overlay on the request
+    /// stream: resize events generated by `profile` from the scenario
+    /// seed's [`Stream::Elasticity`](dvmp_simcore::rng::Stream) stream.
+    /// Replaces any previously attached resizes. Calling this twice with
+    /// the same profile is idempotent.
+    pub fn with_elasticity(mut self, profile: &ElasticityProfile) -> Self {
+        let horizon = self.sim.horizon;
+        self.resizes = profile
+            .generate(&self.requests, self.sim.seed)
+            .into_iter()
+            .filter(|e| e.at < horizon)
+            .map(|e| ResizeRequest {
+                vm: e.vm,
+                at: e.at,
+                new_demand: e.new_demand,
+            })
+            .collect();
+        self
+    }
+
+    /// Attaches an explicit resize list, replacing any previously
+    /// attached one. The presets go through [`Scenario::with_elasticity`];
+    /// this is the raw hook for hand-crafted or randomized histories.
+    pub fn with_resize_requests(mut self, resizes: Vec<ResizeRequest>) -> Self {
+        let horizon = self.sim.horizon;
+        self.resizes = resizes;
+        self.resizes.retain(|r| r.at < horizon);
+        self
+    }
+
+    /// The combined environment axis used by the elasticity experiments:
+    /// the scaled fleet ([`Scenario::scaled`]) with 150 % CPU / 120 %
+    /// memory overbooking and the moderate elasticity overlay. The
+    /// acceptance scenario for the overbooking work is
+    /// `overbooked_elastic(1_000, seed)` over 7 days.
+    pub fn overbooked_elastic(pm_count: usize, seed: u64) -> Self {
+        let mut s = Self::scaled(pm_count, seed)
+            .with_overbooking(OverbookRatios::cpu_mem(150, 120))
+            .with_elasticity(&ElasticityProfile::moderate());
+        s.name = format!("overbooked-elastic-{pm_count}pm");
+        s
+    }
+
+    /// The paper fleet with overbooking and moderate elasticity — the
+    /// 100-PM member of the environment × policy taxonomy sweep.
+    pub fn paper_overbooked(seed: u64) -> Self {
+        let mut s = Self::paper(seed)
+            .with_overbooking(OverbookRatios::cpu_mem(150, 120))
+            .with_elasticity(&ElasticityProfile::moderate());
+        s.name = "paper-week-overbooked".into();
+        s
     }
 
     /// Overrides the simulator configuration.
@@ -148,6 +223,11 @@ impl Scenario {
         &self.requests
     }
 
+    /// The attached resize (vertical-elasticity) requests.
+    pub fn resizes(&self) -> &[ResizeRequest] {
+        &self.resizes
+    }
+
     /// The fleet template.
     pub fn fleet(&self) -> &Datacenter {
         &self.fleet
@@ -162,6 +242,7 @@ impl Scenario {
             policy,
             self.sim.clone(),
         )
+        .with_resizes(self.resizes.clone())
         .run()
     }
 
@@ -174,6 +255,7 @@ impl Scenario {
             policy,
             self.sim.clone(),
         )
+        .with_resizes(self.resizes.clone())
         .run_counting()
     }
 
@@ -189,6 +271,7 @@ impl Scenario {
             policy,
             self.sim.clone(),
         )
+        .with_resizes(self.resizes.clone())
         .run_with_timeline()
     }
 
@@ -299,6 +382,65 @@ mod tests {
         let b = back.run(Box::new(FirstFit));
         assert_eq!(a.total_energy_kwh, b.total_energy_kwh);
         assert_eq!(a.hourly_active_servers, b.hourly_active_servers);
+    }
+
+    #[test]
+    fn overbooked_elastic_scenario_shape() {
+        let s = Scenario::paper_overbooked(42).with_days(1);
+        // Every PM carries the ratios; virtual capacity strictly exceeds
+        // physical on the CPU dimension.
+        for pm in s.fleet().pms() {
+            assert_eq!(pm.overbook, Some(OverbookRatios::cpu_mem(150, 120)));
+            assert!(pm.virtual_capacity().get(0) > pm.class.capacity.get(0));
+        }
+        // The overlay produced events inside the truncated horizon.
+        assert!(!s.resizes().is_empty());
+        assert!(s.resizes().iter().all(|r| r.at < SimTime::from_days(1)));
+        // Sized like the taxonomy table expects: moderate profile over
+        // the day-1 requests.
+        let expect = ElasticityProfile::moderate().expected_events(s.requests().len());
+        assert!((s.resizes().len() as f64) < expect * 2.0);
+    }
+
+    #[test]
+    fn identity_overbooking_is_a_no_op() {
+        let s = Scenario::paper(42).with_overbooking(OverbookRatios::cpu_mem(100, 100));
+        assert!(s.fleet().pms().iter().all(|pm| pm.overbook.is_none()));
+    }
+
+    #[test]
+    fn elastic_run_applies_resizes_and_stays_deterministic() {
+        let s = Scenario::overbooked_elastic(40, 42).with_days(1);
+        let a = s.run(Box::new(FirstFit));
+        let b = s.run(Box::new(FirstFit));
+        assert!(a.total_resizes > 0, "overlay must reach the simulator");
+        assert_eq!(a.total_resizes, b.total_resizes);
+        assert_eq!(a.sla_violation_seconds, b.sla_violation_seconds);
+        assert_eq!(a.total_energy_kwh, b.total_energy_kwh);
+    }
+
+    #[test]
+    fn legacy_scenario_json_without_resizes_parses() {
+        let s = Scenario::paper(42).with_days(1);
+        let json = serde_json::to_string(&s).expect("serializable");
+        assert!(json.contains("\"resizes\":[]"), "field serialized");
+        let legacy = json.replace("\"resizes\":[],", "");
+        assert_ne!(legacy, json, "field stripped to emulate an old file");
+        let back: Scenario = serde_json::from_str(&legacy).expect("legacy parse");
+        assert!(back.resizes().is_empty());
+        assert_eq!(back.requests().len(), s.requests().len());
+    }
+
+    #[test]
+    fn elastic_scenario_serializes_bit_exactly() {
+        let s = Scenario::paper_overbooked(42).with_days(1);
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.resizes(), s.resizes());
+        let a = s.run(Box::new(FirstFit));
+        let b = back.run(Box::new(FirstFit));
+        assert_eq!(a.total_resizes, b.total_resizes);
+        assert_eq!(a.sla_violation_seconds, b.sla_violation_seconds);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::timeline::{Milestone, Timeline};
 use dvmp_cluster::datacenter::Datacenter;
 use dvmp_cluster::pm::{PmId, PmState};
 use dvmp_cluster::reliability::FailureProcess;
+use dvmp_cluster::resources::ResourceVector;
 use dvmp_cluster::vm::{Vm, VmId, VmSpec, VmState};
 use dvmp_forecast::departure::departures_within;
 use dvmp_forecast::spare::SpareServerController;
@@ -66,12 +67,30 @@ enum Event {
     RepairDone(PmId),
     /// Spare-server control period boundary.
     ControlPeriod,
+    /// Vertical-elasticity request `resizes[idx]` fires.
+    Resize(u32),
+}
+
+/// One scheduled vertical-elasticity request: at `at`, the VM asks for its
+/// reservation to become `new_demand` in place. Requests against VMs that
+/// are queued, completed or mid-migration — or grows that exceed the
+/// host's (virtual) headroom — are rejected and counted, never applied
+/// partially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResizeRequest {
+    /// The VM to resize.
+    pub vm: VmId,
+    /// When the request fires.
+    pub at: SimTime,
+    /// The requested new reservation.
+    pub new_demand: ResourceVector,
 }
 
 struct SimWorld {
     dc: Datacenter,
     vms: BTreeMap<VmId, Vm>,
     requests: Vec<VmSpec>,
+    resizes: Vec<ResizeRequest>,
     queue: VecDeque<VmId>,
     policy: Box<dyn PlacementPolicy>,
     spare: Option<SpareServerController>,
@@ -127,10 +146,12 @@ impl SimWorld {
         }
     }
 
-    /// Places `vm` on `pm` and schedules its creation completion.
+    /// Places `vm` on `pm` and schedules its creation completion. The
+    /// reservation taken is the VM's *current* demand — a VM re-placed
+    /// after a failure keeps its resized size, not its original spec.
     fn start_vm(&mut self, id: VmId, pm: PmId, now: SimTime, sched: &mut Scheduler<Event>) {
         let vm = self.vms.get_mut(&id).expect("VM exists");
-        let res = vm.spec.resources;
+        let res = *vm.demand();
         self.dc
             .place(id, pm, res)
             .expect("policy returned a PM that can host the request");
@@ -164,7 +185,10 @@ impl SimWorld {
     /// requests a boot of the first powered-off PM that could ever host
     /// the demand (capacity-wise), so the request can land once it is up.
     fn try_place(&mut self, id: VmId, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
-        let spec = self.vms[&id].spec.clone();
+        // Policies see the VM's current demand (resized VMs re-place at
+        // their live size); for never-resized VMs this is the spec.
+        let mut spec = self.vms[&id].spec.clone();
+        spec.resources = *self.vms[&id].demand();
         // Hand the accumulated fleet dirt to stateful policies before they
         // read the view: the class-compressed planner patches its
         // persistent state from exactly this journal (a delta-merging
@@ -306,13 +330,13 @@ impl SimWorld {
                 self.vms.get(&m.vm).map(|vm| &vm.state),
                 Some(VmState::Running { pm }) if *pm == m.from
             )
-            && self.dc.pm(m.to).can_host(&self.vms[&m.vm].spec.resources);
+            && self.dc.pm(m.to).can_host(self.vms[&m.vm].demand());
         if !valid {
             self.recorder.record_skipped_migration();
             dvmp_obs::note_migration_skipped(m.vm.0 as u64);
             return;
         }
-        let res = self.vms[&m.vm].spec.resources;
+        let res = *self.vms[&m.vm].demand();
         self.dc
             .begin_migration(m.vm, m.to, res)
             .expect("validated migration");
@@ -343,6 +367,47 @@ impl SimWorld {
                 to: m.to,
             },
         );
+    }
+
+    /// Applies one vertical-elasticity request: the VM's reservation
+    /// becomes `new` in place on its current host. Rejections (VM not in
+    /// a resizable lifecycle state, grow beyond the host's virtual
+    /// headroom) are counted and leave the fleet untouched; a shrink
+    /// frees capacity, so the queue is retried afterwards.
+    fn handle_resize(
+        &mut self,
+        id: VmId,
+        new: ResourceVector,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let resizable = matches!(
+            self.vms.get(&id).map(|vm| &vm.state),
+            Some(VmState::Creating { .. } | VmState::Running { .. })
+        );
+        if !resizable {
+            self.recorder.record_rejected_resize();
+            return;
+        }
+        let old = *self.vms[&id].demand();
+        if new == old {
+            return; // same-size no-op: no journal dirt, no counters
+        }
+        match self.dc.resize_vm(id, new) {
+            Ok(_) => {
+                let vm = self.vms.get_mut(&id).expect("VM exists");
+                vm.current_demand = Some(new);
+                vm.resizes += 1;
+                self.recorder.record_resize();
+                self.note(now, || FleetOp::Resize { vm: id, new });
+                self.mark(now, Milestone::Resized(id));
+                if new.le(&old) {
+                    // Shrink: capacity was freed — queued requests may fit.
+                    self.drain_queue(now, sched);
+                }
+            }
+            Err(_) => self.recorder.record_rejected_resize(),
+        }
     }
 
     /// Cancels and re-schedules a VM's departure from its projected time.
@@ -565,6 +630,10 @@ impl World for SimWorld {
                 }
             }
             Event::ControlPeriod => self.handle_control_period(now, sched),
+            Event::Resize(idx) => {
+                let req = self.resizes[idx as usize];
+                self.handle_resize(req.vm, req.new_demand, now, sched);
+            }
         }
         self.recorder.sample_fleet(now, &self.dc);
         #[cfg(debug_assertions)]
@@ -583,6 +652,7 @@ impl World for SimWorld {
                 &self.vms,
                 &self.queue,
                 self.recorder.energy(),
+                self.recorder.saturation(),
             );
             self.oracle = Some(oracle);
         }
@@ -629,6 +699,7 @@ impl Simulation {
             dc: fleet,
             vms: BTreeMap::new(),
             requests,
+            resizes: Vec::new(),
             queue: VecDeque::new(),
             policy,
             spare,
@@ -672,6 +743,20 @@ impl Simulation {
             engine,
             horizon: cfg.horizon,
         }
+    }
+
+    /// Schedules a set of vertical-elasticity requests (resize events)
+    /// for this run. Requests are sorted by (time, VM) so identical sets
+    /// produce identical event orders regardless of generation order.
+    pub fn with_resizes(mut self, mut resizes: Vec<ResizeRequest>) -> Self {
+        resizes.sort_by_key(|r| (r.at, r.vm));
+        for (idx, r) in resizes.iter().enumerate() {
+            self.engine
+                .scheduler_mut()
+                .schedule_at(r.at, Event::Resize(idx as u32));
+        }
+        self.engine.world_mut().resizes = resizes;
+        self
     }
 
     /// Enables milestone collection for this run (see
@@ -733,6 +818,7 @@ impl Simulation {
                 &world.vms,
                 &world.queue,
                 world.recorder.energy(),
+                world.recorder.saturation(),
             ));
         }
         report
@@ -1032,6 +1118,115 @@ mod tests {
             .finish("x", SimTime::from_hours(1));
         assert_eq!(report.skipped_migrations, 1);
         engine.world().dc.assert_consistent();
+    }
+
+    #[test]
+    fn resize_events_apply_and_stay_clean_under_checked_mode() {
+        let requests = vec![spec(1, 0, 50_000)];
+        let mut cfg = base_cfg();
+        cfg.spare = None;
+        cfg.checked = true;
+        let resizes = vec![
+            ResizeRequest {
+                vm: VmId(1),
+                at: SimTime::from_secs(1_000),
+                new_demand: ResourceVector::cpu_mem(3, 1_024),
+            },
+            // Rejected: the VM never existed.
+            ResizeRequest {
+                vm: VmId(99),
+                at: SimTime::from_secs(1_500),
+                new_demand: ResourceVector::cpu_mem(1, 512),
+            },
+            ResizeRequest {
+                vm: VmId(1),
+                at: SimTime::from_secs(2_000),
+                new_demand: ResourceVector::cpu_mem(1, 512),
+            },
+        ];
+        let sim =
+            Simulation::new(small_fleet(), requests, Box::new(FirstFit), cfg).with_resizes(resizes);
+        let report = sim.run();
+        assert_eq!(report.total_resizes, 2);
+        assert_eq!(report.rejected_resizes, 1);
+        assert_eq!(report.total_departures, 1);
+        // No overbooking: growth stays within physical capacity, so the
+        // SLA meter never moves.
+        assert_eq!(report.sla_violation_seconds, 0.0);
+        let oracle = report.oracle.expect("checked run carries a summary");
+        assert!(oracle.is_clean(), "{}", oracle.render());
+    }
+
+    #[test]
+    fn overbooked_grow_meters_sla_violation_seconds() {
+        use dvmp_cluster::resources::OverbookRatios;
+        // One fast PM at 200 %/150 %: virtual 16 cores / 12288 MiB over
+        // physical 8 / 8192.
+        let fleet = FleetBuilder::new()
+            .add_class_overbooked(
+                PmClass::paper_fast(),
+                1,
+                0.99,
+                OverbookRatios::cpu_mem(200, 150),
+            )
+            .build();
+        let requests = vec![spec(1, 0, 50_000)];
+        let mut cfg = base_cfg();
+        cfg.spare = None;
+        cfg.checked = true;
+        // Grow to 10 cores: admitted under the virtual envelope, but the
+        // hardware is saturated until departure.
+        let resizes = vec![ResizeRequest {
+            vm: VmId(1),
+            at: SimTime::from_secs(1_000),
+            new_demand: ResourceVector::cpu_mem(10, 4_096),
+        }];
+        let sim = Simulation::new(fleet, requests, Box::new(FirstFit), cfg).with_resizes(resizes);
+        let report = sim.run();
+        assert_eq!(report.total_resizes, 1);
+        assert!(
+            report.sla_violation_seconds > 0.0,
+            "saturation time must be metered: {report:?}"
+        );
+        assert_eq!(report.peak_saturated_pms, 1.0);
+        let oracle = report.oracle.expect("summary");
+        assert!(oracle.is_clean(), "{}", oracle.render());
+    }
+
+    #[test]
+    fn shrink_resize_frees_capacity_for_queued_requests() {
+        // Two big VMs fill a single fast PM (8 cores); a third queues.
+        // Shrinking VM 1 must let the queued request land without any
+        // other event intervening.
+        let fleet = FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 1, 0.99)
+            .build();
+        let mk = |id: u32, cores: u64| {
+            VmSpec::exact(
+                VmId(id),
+                SimTime::ZERO,
+                ResourceVector::cpu_mem(cores, 512),
+                SimDuration::from_secs(80_000),
+            )
+        };
+        // VM 3 needs 3 cores; shrinking VM 1 from 4 to 1 frees exactly 3.
+        let requests = vec![mk(1, 4), mk(2, 4), mk(3, 3)];
+        let mut cfg = base_cfg();
+        cfg.spare = None;
+        cfg.checked = true;
+        let resizes = vec![ResizeRequest {
+            vm: VmId(1),
+            at: SimTime::from_secs(5_000),
+            new_demand: ResourceVector::cpu_mem(1, 512),
+        }];
+        let sim = Simulation::new(fleet, requests, Box::new(FirstFit), cfg).with_resizes(resizes);
+        let report = sim.run();
+        assert_eq!(report.total_resizes, 1);
+        assert_eq!(report.qos.waited_requests, 1, "{:?}", report.qos);
+        // All three ran to completion within the horizon.
+        assert_eq!(report.total_departures, 3);
+        let oracle = report.oracle.expect("summary");
+        assert!(oracle.is_clean(), "{}", oracle.render());
     }
 
     #[test]

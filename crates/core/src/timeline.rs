@@ -54,6 +54,8 @@ pub enum Milestone {
     PmFailed(PmId),
     /// A failed machine returned (powered off).
     PmRepaired(PmId),
+    /// The VM's reservation was resized in place (vertical elasticity).
+    Resized(VmId),
     /// A control-period decision fixed the spare-server target.
     SpareTarget(u64),
 }
@@ -101,7 +103,8 @@ impl Timeline {
                 | Milestone::Queued(v)
                 | Milestone::Started(v)
                 | Milestone::Departed(v)
-                | Milestone::MigrationFinished(v) => v == vm,
+                | Milestone::MigrationFinished(v)
+                | Milestone::Resized(v) => v == vm,
                 Milestone::Placed { vm: v, .. } | Milestone::MigrationStarted { vm: v, .. } => {
                     v == vm
                 }

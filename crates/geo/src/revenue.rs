@@ -99,6 +99,10 @@ mod tests {
             pm_failures: 0,
             failure_aborted_migrations: 0,
             failure_lost_migrations: 0,
+            total_resizes: 0,
+            rejected_resizes: 0,
+            sla_violation_seconds: 0.0,
+            peak_saturated_pms: 0.0,
             oracle: None,
             obs: None,
             served_core_hours: core_hours,

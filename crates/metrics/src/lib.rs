@@ -11,6 +11,8 @@
 //!   hour — Fig. 3 — plus power, energy, QoS and migration counts);
 //! - [`report`]: plain-text table and CSV rendering for the figure
 //!   binaries;
+//! - [`sla`]: saturated-PM integration for overbooked fleets (the run's
+//!   SLA-violation exposure in saturated-PM · seconds);
 //! - [`violation`]: structured invariant-violation reporting for the
 //!   checked-mode oracle ([`Violation`], [`OracleSummary`]).
 
@@ -18,9 +20,11 @@ pub mod energy;
 pub mod qos;
 pub mod recorder;
 pub mod report;
+pub mod sla;
 pub mod violation;
 
 pub use energy::EnergyMeter;
 pub use qos::{QosSummary, QosTracker};
 pub use recorder::{ObsIntervalSample, ObsReport, PowerGroups, RunReport, SimulationRecorder};
+pub use sla::SaturationMeter;
 pub use violation::{Invariant, OracleSummary, Violation};

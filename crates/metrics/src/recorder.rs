@@ -7,6 +7,7 @@
 
 use crate::energy::EnergyMeter;
 use crate::qos::{QosSummary, QosTracker};
+use crate::sla::SaturationMeter;
 use crate::violation::OracleSummary;
 use dvmp_cluster::datacenter::Datacenter;
 use dvmp_obs::CounterSnapshot as ObsCounters;
@@ -55,6 +56,7 @@ pub struct SimulationRecorder {
     non_idle_servers: StepSeries,
     core_utilization: StepSeries,
     energy: EnergyMeter,
+    saturation: SaturationMeter,
     groups: Option<(PowerGroups, Vec<StepSeries>)>,
     arrivals: CountSeries,
     departures: CountSeries,
@@ -65,6 +67,8 @@ pub struct SimulationRecorder {
     pm_failures: u64,
     failure_aborted_migrations: u64,
     failure_lost_migrations: u64,
+    resizes: u64,
+    rejected_resizes: u64,
     served_core_seconds: f64,
     /// Counter state at `enable_obs_sampling` time; `Some` arms per-interval
     /// observability sampling (the global counters are process-cumulative,
@@ -87,6 +91,7 @@ impl SimulationRecorder {
             non_idle_servers: StepSeries::new(0.0),
             core_utilization: StepSeries::new(0.0),
             energy: EnergyMeter::new(),
+            saturation: SaturationMeter::new(),
             groups: None,
             arrivals: CountSeries::new(),
             departures: CountSeries::new(),
@@ -96,6 +101,8 @@ impl SimulationRecorder {
             pm_failures: 0,
             failure_aborted_migrations: 0,
             failure_lost_migrations: 0,
+            resizes: 0,
+            rejected_resizes: 0,
             served_core_seconds: 0.0,
             obs_baseline: None,
             obs_intervals: Vec::new(),
@@ -144,6 +151,7 @@ impl SimulationRecorder {
         self.core_utilization
             .record(now, dc.powered_core_utilization());
         self.energy.record(now, dc.total_power_w());
+        self.saturation.record(now, dc.saturated_count());
         if let Some((groups, series)) = &mut self.groups {
             debug_assert_eq!(groups.assignment.len(), dc.len());
             let mut watts = vec![0.0; groups.names.len()];
@@ -198,9 +206,27 @@ impl SimulationRecorder {
         self.failure_lost_migrations += 1;
     }
 
+    /// Records one in-place VM reservation resize (vertical elasticity).
+    pub fn record_resize(&mut self) {
+        self.resizes += 1;
+    }
+
+    /// Records a resize request that could not be honoured (VM not in a
+    /// resizable state, or the grown reservation exceeds even the host's
+    /// virtual capacity).
+    pub fn record_rejected_resize(&mut self) {
+        self.rejected_resizes += 1;
+    }
+
     /// The integrating energy meter (read access for live inspection).
     pub fn energy(&self) -> &EnergyMeter {
         &self.energy
+    }
+
+    /// The integrating saturated-PM meter (read access for live
+    /// inspection and the checked-mode oracle's cross-check).
+    pub fn saturation(&self) -> &SaturationMeter {
+        &self.saturation
     }
 
     /// Freezes the run into a report over `[0, horizon)`.
@@ -247,6 +273,10 @@ impl SimulationRecorder {
             pm_failures: self.pm_failures,
             failure_aborted_migrations: self.failure_aborted_migrations,
             failure_lost_migrations: self.failure_lost_migrations,
+            total_resizes: self.resizes,
+            rejected_resizes: self.rejected_resizes,
+            sla_violation_seconds: self.saturation.violation_seconds(horizon),
+            peak_saturated_pms: self.saturation.peak(horizon),
             served_core_hours: self.served_core_seconds / 3_600.0,
             qos: self.qos.summary(),
             oracle: None,
@@ -317,6 +347,20 @@ pub struct RunReport {
     pub failure_aborted_migrations: u64,
     /// In-flight migrations whose source PM failed mid-copy (VM lost).
     pub failure_lost_migrations: u64,
+    /// In-place VM reservation resizes performed (vertical elasticity).
+    #[serde(default)]
+    pub total_resizes: u64,
+    /// Resize requests rejected (VM not resizable, or over capacity).
+    #[serde(default)]
+    pub rejected_resizes: u64,
+    /// SLA-violation exposure: saturated-PM · seconds where occupancy
+    /// exceeded *physical* capacity on a powered PM. Nonzero only under
+    /// overbooking (ratio > 1.0).
+    #[serde(default)]
+    pub sla_violation_seconds: f64,
+    /// Peak simultaneous physically-saturated PM count.
+    #[serde(default)]
+    pub peak_saturated_pms: f64,
     /// Core·hours of completed work (the revenue-bearing throughput).
     pub served_core_hours: f64,
     /// Queue-wait summary.
@@ -404,6 +448,58 @@ mod tests {
     }
 
     #[test]
+    fn saturation_and_resize_accounting() {
+        use dvmp_cluster::resources::OverbookRatios;
+        // One fast PM overbooked 200 %/200 %: physical 8 cores / 8192 MiB,
+        // virtual 16 / 16384.
+        let mut dc = FleetBuilder::new()
+            .add_class_overbooked(
+                PmClass::paper_fast(),
+                1,
+                0.99,
+                OverbookRatios::cpu_mem(200, 200),
+            )
+            .initially_on(true)
+            .build();
+        let mut rec = SimulationRecorder::new();
+        rec.sample_fleet(SimTime::ZERO, &dc);
+        // 10 cores fits the virtual envelope but saturates the hardware.
+        dc.place(VmId(1), PmId(0), ResourceVector::cpu_mem(10, 4_096))
+            .unwrap();
+        rec.sample_fleet(SimTime::from_mins(30), &dc);
+        rec.record_resize();
+        rec.record_rejected_resize();
+        let r = rec.finish("test", SimTime::from_hours(1));
+        assert_eq!(r.total_resizes, 1);
+        assert_eq!(r.rejected_resizes, 1);
+        assert!((r.sla_violation_seconds - 1_800.0).abs() < 1e-9, "{r:?}");
+        assert_eq!(r.peak_saturated_pms, 1.0);
+    }
+
+    #[test]
+    fn legacy_report_without_elasticity_fields_parses() {
+        let rec = SimulationRecorder::new();
+        let report = rec.finish("test", SimTime::from_hours(1));
+        let mut json = serde_json::to_string(&report).unwrap();
+        // Strip the schema-v6 elasticity fields the way a pre-elasticity
+        // report would lack them (float zero may print as 0 or 0.0).
+        for pat in [
+            ",\"total_resizes\":0",
+            ",\"rejected_resizes\":0",
+            ",\"sla_violation_seconds\":0.0",
+            ",\"sla_violation_seconds\":0",
+            ",\"peak_saturated_pms\":0.0",
+            ",\"peak_saturated_pms\":0",
+        ] {
+            json = json.replace(pat, "");
+        }
+        assert!(!json.contains("total_resizes"), "{json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_resizes, 0);
+        assert_eq!(back.sla_violation_seconds, 0.0);
+    }
+
+    #[test]
     fn energy_saving_comparison() {
         let mk = |kwh: f64| RunReport {
             policy: "x".into(),
@@ -423,6 +519,10 @@ mod tests {
             pm_failures: 0,
             failure_aborted_migrations: 0,
             failure_lost_migrations: 0,
+            total_resizes: 0,
+            rejected_resizes: 0,
+            sla_violation_seconds: 0.0,
+            peak_saturated_pms: 0.0,
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
             oracle: None,

@@ -190,6 +190,10 @@ mod tests {
             pm_failures: 0,
             failure_aborted_migrations: 0,
             failure_lost_migrations: 0,
+            total_resizes: 0,
+            rejected_resizes: 0,
+            sla_violation_seconds: 0.0,
+            peak_saturated_pms: 0.0,
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
             oracle: None,

@@ -33,6 +33,14 @@ pub enum Invariant {
     /// The live fleet diverged from the reference model replaying the
     /// same event stream.
     ReferenceDivergence,
+    /// An overbooked PM's occupancy exceeded its *virtual* capacity
+    /// (physical capacity × overbook ratio) — admission control let a
+    /// reservation through that even the overbooked envelope forbids.
+    VirtualCapacity,
+    /// The SLA meter's saturation integral (saturated-PM · seconds)
+    /// diverged from an independent re-integration of the fleet's
+    /// physical-saturation step function.
+    SlaConservation,
 }
 
 impl fmt::Display for Invariant {
@@ -44,6 +52,8 @@ impl fmt::Display for Invariant {
             Invariant::Conservation => "conservation",
             Invariant::EnergyIntegral => "energy-integral",
             Invariant::ReferenceDivergence => "reference-divergence",
+            Invariant::VirtualCapacity => "virtual-capacity",
+            Invariant::SlaConservation => "sla-conservation",
         };
         f.write_str(name)
     }

@@ -69,6 +69,8 @@ counter_bank! {
     migrations_aborted,
     /// Planned migrations dropped by the pre-apply validity check.
     migrations_skipped,
+    /// VM reservations resized in place (vertical elasticity).
+    vms_resized,
     /// PM failure events injected.
     pm_failures,
     /// Fleet-delta journal drains handed to the planner.
@@ -117,6 +119,7 @@ pub fn counters() -> &'static Counters {
         migrations_finished: AtomicU64::new(0),
         migrations_aborted: AtomicU64::new(0),
         migrations_skipped: AtomicU64::new(0),
+        vms_resized: AtomicU64::new(0),
         pm_failures: AtomicU64::new(0),
         journal_drains: AtomicU64::new(0),
         journal_full_drains: AtomicU64::new(0),

@@ -241,6 +241,15 @@ pub fn note_migration_finished(vm: u64, from_pm: u64) {
     }
 }
 
+/// Fleet mutation: VM reservation resized in place (vertical elasticity).
+#[inline]
+pub fn note_vm_resized(vm: u64, pm: u64) {
+    if enabled() {
+        counters().vms_resized.fetch_add(1, Ordering::Relaxed);
+        emit(RecordKind::VmResized, vm, pm);
+    }
+}
+
 /// Planned migration aborted by a PM failure while in flight.
 #[inline]
 pub fn note_migration_aborted(vm: u64) {

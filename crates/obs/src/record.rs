@@ -50,6 +50,9 @@ pub enum RecordKind {
     PlanKernelCompressed = 15,
     /// Free-form marker (tests, ad-hoc probes).
     Mark = 16,
+    /// Fleet mutation: VM reservation resized in place (`a` = vm id,
+    /// `b` = host pm id) — vertical elasticity.
+    VmResized = 17,
 }
 
 impl RecordKind {
@@ -71,6 +74,7 @@ impl RecordKind {
             13 => RecordKind::SpareDecision,
             14 => RecordKind::OracleViolation,
             15 => RecordKind::PlanKernelCompressed,
+            17 => RecordKind::VmResized,
             _ => RecordKind::Mark,
         }
     }
@@ -95,6 +99,7 @@ impl RecordKind {
             RecordKind::OracleViolation => "oracle-violation",
             RecordKind::PlanKernelCompressed => "plan-kernel-compressed",
             RecordKind::Mark => "mark",
+            RecordKind::VmResized => "vm-resized",
         }
     }
 }
@@ -195,7 +200,7 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_u8() {
-        for v in 0..=16u8 {
+        for v in 0..=17u8 {
             let k = RecordKind::from_u8(v);
             assert_eq!(k as u8, v, "{k}");
         }

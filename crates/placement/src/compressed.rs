@@ -618,7 +618,7 @@ impl CompressedPlanner {
         self.snapshots_armed = false;
         for pm in view.dc.pms() {
             let r = pm.id.0 as usize;
-            let plan_pm = Self::plan_pm_of(pm);
+            let plan_pm = Self::plan_pm_of(pm, cfg);
             self.sync_row(r, pm.is_available(), &plan_pm, cfg)?;
         }
         for vm in view.vms.values() {
@@ -626,7 +626,7 @@ impl CompressedPlanner {
                 VmState::Running { pm } => {
                     let r = pm.0 as usize;
                     if self.rows.get(r).is_some_and(|row| row.active) {
-                        let d = self.register_demand(&vm.spec.resources, &cfg.min_vm)?;
+                        let d = self.register_demand(vm.demand(), &cfg.min_vm)?;
                         self.cols.push(Col {
                             id: vm.spec.id,
                             demand: d,
@@ -650,11 +650,14 @@ impl CompressedPlanner {
         Ok(())
     }
 
-    fn plan_pm_of(pm: &dvmp_cluster::pm::Pm) -> PlanPm {
+    fn plan_pm_of(pm: &dvmp_cluster::pm::Pm, cfg: &DynamicConfig) -> PlanPm {
         PlanPm {
             id: pm.id,
             class_idx: pm.class_idx,
-            capacity: *pm.capacity(),
+            capacity: match cfg.capacity_basis {
+                crate::config::CapacityBasis::Virtual => pm.virtual_capacity(),
+                crate::config::CapacityBasis::Physical => *pm.capacity(),
+            },
             used: *pm.used(),
             reliability: pm.reliability,
             creation_secs: pm.class.creation_time.as_secs(),
@@ -696,7 +699,7 @@ impl CompressedPlanner {
                 dirty_cols.extend(self.host_vms[r].iter().copied());
             }
             let pm = view.dc.pm(id);
-            let plan_pm = Self::plan_pm_of(pm);
+            let plan_pm = Self::plan_pm_of(pm, cfg);
             self.sync_row(r, pm.is_available(), &plan_pm, cfg)?;
             dirty_rows += 1;
             if self.rows[r].active && !was_active {
@@ -727,7 +730,7 @@ impl CompressedPlanner {
                         self.remove_col(vm_id);
                         continue;
                     }
-                    let d = self.register_demand(&vm.spec.resources, &cfg.min_vm)?;
+                    let d = self.register_demand(vm.demand(), &cfg.min_vm)?;
                     let deadline = view.now + vm.estimated_remaining(view.now);
                     match self.col_index(vm_id) {
                         Ok(i) => {

@@ -33,6 +33,23 @@ pub enum PlanKernel {
     Compressed,
 }
 
+/// Which capacity bound the planning kernels treat as a PM's limit.
+///
+/// The live datacenter admits reservations against *virtual* capacity
+/// (`physical × overbook ratio`; identical to physical on non-overbooked
+/// fleets), so planning must do the same or the planner would refuse
+/// moves the fleet would accept. `Physical` is the ablation: plan as if
+/// overbooking were off, which measures how much of an overbooked run's
+/// consolidation win comes from the inflated headroom itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CapacityBasis {
+    /// The admission-control bound (virtual capacity). The default.
+    #[default]
+    Virtual,
+    /// Raw hardware capacity, ignoring overbook ratios.
+    Physical,
+}
+
 /// Total fleet size at which `PlanKernel::Auto` switches from the dense
 /// matrix to the class-compressed planner. Below this the dense kernel's
 /// simplicity wins (its per-pass cost is small in absolute terms and the
@@ -91,6 +108,11 @@ pub struct DynamicConfig {
     /// rows; both produce identical output.
     #[serde(default)]
     pub plan_kernel: PlanKernel,
+    /// Which capacity bound planning admits against (see
+    /// [`CapacityBasis`]). `Virtual` matches the live fleet's admission
+    /// control; `Physical` is the overbooking ablation.
+    #[serde(default)]
+    pub capacity_basis: CapacityBasis,
 }
 
 /// Measured crossover (`perf_report` matrix-build rows): with few workers
@@ -131,6 +153,7 @@ impl Default for DynamicConfig {
             incremental: default_incremental(),
             rebuild_threshold: default_rebuild_threshold(),
             plan_kernel: PlanKernel::default(),
+            capacity_basis: CapacityBasis::default(),
         }
     }
 }
@@ -236,6 +259,18 @@ mod tests {
         let c: DynamicConfig = serde_json::from_str(&legacy).expect("legacy config parses");
         assert_eq!(c, DynamicConfig::default());
         assert_eq!(c.plan_kernel, PlanKernel::Auto);
+    }
+
+    #[test]
+    fn capacity_basis_defaults_when_absent_from_serialized_form() {
+        // Configs serialized before the overbooking knob existed must
+        // still load with `Virtual` (same pattern as plan_kernel).
+        let full = serde_json::to_string(&DynamicConfig::default()).unwrap();
+        let legacy = full.replace(",\"capacity_basis\":\"Virtual\"", "");
+        assert_ne!(legacy, full, "the knob serializes");
+        let c: DynamicConfig = serde_json::from_str(&legacy).expect("legacy config parses");
+        assert_eq!(c, DynamicConfig::default());
+        assert_eq!(c.capacity_basis, CapacityBasis::Virtual);
     }
 
     #[test]

@@ -506,7 +506,7 @@ impl PlacementPolicy for DynamicPlacement {
             self.comp.desync();
         }
         let mut plan = std::mem::take(&mut self.plan_arena);
-        plan.refill(view, &self.cfg.min_vm);
+        plan.refill(view, &self.cfg.min_vm, self.cfg.capacity_basis);
         let est = vm.estimated_runtime.as_secs();
         let ctx = EvalContext::with_extras(&self.cfg, &self.extras);
 
@@ -549,7 +549,7 @@ impl PlacementPolicy for DynamicPlacement {
             // Poisoned mid-call: this pass (and all later ones) runs dense.
         }
         let mut plan = std::mem::take(&mut self.plan_arena);
-        plan.refill(view, &self.cfg.min_vm);
+        plan.refill(view, &self.cfg.min_vm, self.cfg.capacity_basis);
         let moves = self.plan_on(&mut plan);
         self.plan_arena = plan;
         moves

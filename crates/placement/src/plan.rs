@@ -7,6 +7,7 @@
 //! so planning runs on this lightweight copy. The simulator then executes
 //! the returned batch, re-validating each move against live state.
 
+use crate::config::CapacityBasis;
 use crate::policy::PlacementView;
 use dvmp_cluster::index::CapacityIndex;
 use dvmp_cluster::pm::PmId;
@@ -101,17 +102,26 @@ impl PlanState {
     /// reservations). Columns are every VM in the `Running` state; VMs
     /// being created or already migrating are excluded from moves but
     /// their reservations are still counted in `used`, because the view's
-    /// occupancy already includes them.
+    /// occupancy already includes them. Row capacities are the admission
+    /// bound ([`CapacityBasis::Virtual`]; identical to physical on
+    /// non-overbooked fleets) and column demands are each VM's *current*
+    /// demand, which resize events move away from its spec.
     pub fn from_view(view: &PlacementView<'_>, min_vm: &ResourceVector) -> Self {
         let mut plan = PlanState::default();
-        plan.refill(view, min_vm);
+        plan.refill(view, min_vm, CapacityBasis::Virtual);
         plan
     }
 
     /// [`PlanState::from_view`] into an existing plan, reusing its
-    /// allocations. The planner calls this once per pass on a plan arena
-    /// it owns, so steady-state planning allocates nothing here.
-    pub fn refill(&mut self, view: &PlacementView<'_>, min_vm: &ResourceVector) {
+    /// allocations, with an explicit capacity basis. The planner calls
+    /// this once per pass on a plan arena it owns, so steady-state
+    /// planning allocates nothing here.
+    pub fn refill(
+        &mut self,
+        view: &PlacementView<'_>,
+        min_vm: &ResourceVector,
+        basis: CapacityBasis,
+    ) {
         self.effs.clear();
         self.effs
             .extend(relative_efficiencies(view.dc.classes(), min_vm));
@@ -128,7 +138,10 @@ impl PlanState {
                 self.pms.push(PlanPm {
                     id: pm.id,
                     class_idx: pm.class_idx,
-                    capacity: *pm.capacity(),
+                    capacity: match basis {
+                        CapacityBasis::Virtual => pm.virtual_capacity(),
+                        CapacityBasis::Physical => *pm.capacity(),
+                    },
                     used: *pm.used(),
                     reliability: pm.reliability,
                     creation_secs: pm.class.creation_time.as_secs(),
@@ -147,7 +160,7 @@ impl PlanState {
             if row != NO_ROW {
                 self.vms.push(PlanVm {
                     id: vm.spec.id,
-                    resources: vm.spec.resources,
+                    resources: *vm.demand(),
                     remaining_secs: vm.estimated_remaining(view.now).as_secs(),
                     host: row as usize,
                     host_pm: host,
@@ -393,7 +406,7 @@ mod tests {
             vms: &vms2,
             now: SimTime::from_secs(500),
         };
-        arena.refill(&view2, &min_vm);
+        arena.refill(&view2, &min_vm, CapacityBasis::Virtual);
         let fresh = PlanState::from_view(&view2, &min_vm);
 
         assert_eq!(arena.pms.len(), fresh.pms.len());
@@ -410,6 +423,47 @@ mod tests {
             assert_eq!(a.host, f.host);
             assert_eq!(a.remaining_secs, f.remaining_secs);
         }
+    }
+
+    #[test]
+    fn rows_use_virtual_capacity_and_columns_use_live_demand() {
+        use dvmp_cluster::pm::PmId;
+        use dvmp_cluster::resources::{OverbookRatios, ResourceVector};
+        use dvmp_cluster::vm::VmId;
+
+        let mut dc = small_fleet();
+        dc.pm_mut(PmId(0)).overbook = Some(OverbookRatios::cpu_mem(200, 100));
+        let mut vms = BTreeMap::new();
+        install(
+            &mut dc,
+            &mut vms,
+            spec(1, 512, 10_000),
+            PmId(0),
+            SimTime::ZERO,
+        );
+        // The VM has since grown to 3 cores.
+        dc.resize_vm(VmId(1), ResourceVector::cpu_mem(3, 512))
+            .unwrap();
+        vms.get_mut(&VmId(1)).unwrap().current_demand = Some(ResourceVector::cpu_mem(3, 512));
+
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
+        let min_vm = ResourceVector::cpu_mem(1, 256);
+        let plan = PlanState::from_view(&view, &min_vm);
+        let row0 = plan.pms.iter().position(|p| p.id == PmId(0)).unwrap();
+        // paper_fast is 8 cores; 200% CPU overbooking doubles the row bound.
+        assert_eq!(plan.pms[row0].capacity.get(0), 16);
+        // The column carries the resized demand, not the spec.
+        assert_eq!(plan.vms[0].resources, ResourceVector::cpu_mem(3, 512));
+        assert_eq!(plan.pms[row0].used.get(0), 3);
+
+        // The Physical ablation ignores the ratios.
+        let mut phys = PlanState::default();
+        phys.refill(&view, &min_vm, CapacityBasis::Physical);
+        assert_eq!(phys.pms[row0].capacity.get(0), 8);
     }
 
     #[test]

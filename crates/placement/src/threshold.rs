@@ -105,7 +105,14 @@ impl PlacementPolicy for ThresholdPolicy {
     fn plan_migrations(&mut self, view: &PlacementView<'_>) -> Vec<Migration> {
         // Snapshot per-PM prospective occupancy so the plan self-accounts.
         let mut used: Vec<ResourceVector> = view.dc.pms().iter().map(|pm| *pm.used()).collect();
-        let caps: Vec<ResourceVector> = view.dc.pms().iter().map(|pm| *pm.capacity()).collect();
+        // Feasibility against the admission bound (virtual capacity;
+        // identical to physical on non-overbooked fleets).
+        let caps: Vec<ResourceVector> = view
+            .dc
+            .pms()
+            .iter()
+            .map(|pm| pm.virtual_capacity())
+            .collect();
         let available: Vec<bool> = view.dc.pms().iter().map(|pm| pm.is_available()).collect();
 
         // Donor PMs: below the low watermark (but not idle — nothing to
@@ -127,7 +134,7 @@ impl PlacementPolicy for ThresholdPolicy {
             let vms: Vec<_> = view
                 .migratable_vms()
                 .filter(|&(_, host)| host == donor_id)
-                .map(|(vm, _)| (vm.spec.id, vm.spec.resources))
+                .map(|(vm, _)| (vm.spec.id, *vm.demand()))
                 .collect();
             for (vm_id, res) in vms {
                 if moves.len() as u32 >= self.cfg.max_moves {

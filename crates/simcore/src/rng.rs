@@ -21,6 +21,8 @@ pub enum Stream {
     Failures,
     /// The random-placement baseline policy.
     RandomPolicy,
+    /// Vertical-elasticity (resize) event generation.
+    Elasticity,
     /// Free-form user streams.
     Custom(u64),
 }
@@ -32,6 +34,7 @@ impl Stream {
             Stream::Reliability => 2,
             Stream::Failures => 3,
             Stream::RandomPolicy => 4,
+            Stream::Elasticity => 5,
             Stream::Custom(n) => 1_000 + n,
         }
     }
@@ -106,6 +109,7 @@ mod tests {
                 Stream::Reliability,
                 Stream::Failures,
                 Stream::RandomPolicy,
+                Stream::Elasticity,
             ] {
                 assert_ne!(derive_seed(7, Stream::Custom(n)), derive_seed(7, s));
             }

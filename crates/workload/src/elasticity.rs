@@ -1,0 +1,307 @@
+//! Vertical-elasticity event generation.
+//!
+//! The LPC trace (and the SWF format generally) records each job's demand
+//! as fixed for its whole lifetime, so the paper's evaluation never
+//! exercises in-place demand changes. Real cloud tenants do resize: a
+//! database grows its buffer pool, an autoscaler shrinks an idle worker.
+//! This module layers a synthetic resize process on top of any request
+//! stream: an [`ElasticityProfile`] describes *which* VMs resize, *how
+//! often*, and *by how much*, and [`ElasticityProfile::generate`] turns it
+//! plus a seed into a deterministic list of [`ResizeEvent`]s drawn from the
+//! dedicated [`Stream::Elasticity`] RNG stream (so enabling elasticity
+//! never perturbs arrival or failure sampling).
+//!
+//! Events are scheduled inside the middle 90 % of each VM's nominal
+//! lifetime; events that still land while the VM is queued or already gone
+//! are *rejected and counted* by the simulator rather than silently
+//! dropped here, keeping the generated list a pure function of
+//! (profile, requests, seed).
+
+use dvmp_cluster::resources::ResourceVector;
+use dvmp_cluster::vm::{VmId, VmSpec};
+use dvmp_simcore::dist::poisson;
+use dvmp_simcore::rng::{stream_rng, Stream};
+use dvmp_simcore::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One generated resize: at `at`, VM `vm` asks for `new_demand` in place.
+///
+/// Mirrors the simulator's `ResizeRequest` without depending on the
+/// simulator crate; the scenario layer converts field-for-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResizeEvent {
+    /// The VM to resize.
+    pub vm: VmId,
+    /// When the request fires.
+    pub at: SimTime,
+    /// The requested new reservation.
+    pub new_demand: ResourceVector,
+}
+
+/// Description of a synthetic vertical-elasticity process.
+///
+/// A VM is *elastic* with probability [`elastic_fraction`](Self::elastic_fraction);
+/// an elastic VM receives `Poisson(mean_resizes)` resize events, each of
+/// which grows with probability [`grow_probability`](Self::grow_probability)
+/// (multiplying current demand by `U(1, grow_max)`) or shrinks
+/// (multiplying by `U(shrink_min, 1)`). Demand is tracked cumulatively
+/// across a VM's events and clamped to `[spec/cap_factor, spec×cap_factor]`
+/// per dimension, with hard floors of 1 core and 64 MiB.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticityProfile {
+    /// Fraction of VMs that resize at all, in `[0, 1]`.
+    pub elastic_fraction: f64,
+    /// Mean resize count per elastic VM (Poisson).
+    pub mean_resizes: f64,
+    /// Probability a given resize is a grow (vs a shrink), in `[0, 1]`.
+    pub grow_probability: f64,
+    /// Upper bound of the uniform grow factor (must be ≥ 1).
+    pub grow_max: f64,
+    /// Lower bound of the uniform shrink factor, in `(0, 1]`.
+    pub shrink_min: f64,
+    /// Per-dimension clamp relative to the original spec: demand stays in
+    /// `[spec/cap_factor, spec×cap_factor]` (must be ≥ 1).
+    pub cap_factor: f64,
+}
+
+impl ElasticityProfile {
+    /// The default elastic mix used by the overbooking experiments: 30 %
+    /// of VMs resize about twice over their lifetime, growing slightly
+    /// more often than shrinking — enough churn that overbooked hosts
+    /// saturate occasionally without drowning the run in rejections.
+    pub fn moderate() -> Self {
+        ElasticityProfile {
+            elastic_fraction: 0.30,
+            mean_resizes: 2.0,
+            grow_probability: 0.60,
+            grow_max: 2.0,
+            shrink_min: 0.40,
+            cap_factor: 4.0,
+        }
+    }
+
+    /// A stress preset: every VM is elastic, resizes are frequent and
+    /// grow-heavy. Used by the saturation/SLA ablations.
+    pub fn aggressive() -> Self {
+        ElasticityProfile {
+            elastic_fraction: 1.0,
+            mean_resizes: 5.0,
+            grow_probability: 0.75,
+            grow_max: 3.0,
+            shrink_min: 0.25,
+            cap_factor: 8.0,
+        }
+    }
+
+    /// A profile that generates no events (identity overlay).
+    pub fn none() -> Self {
+        ElasticityProfile {
+            elastic_fraction: 0.0,
+            mean_resizes: 0.0,
+            grow_probability: 0.5,
+            grow_max: 1.0,
+            shrink_min: 1.0,
+            cap_factor: 1.0,
+        }
+    }
+
+    /// Expected number of resize events for `n` requests.
+    pub fn expected_events(&self, n: usize) -> f64 {
+        n as f64 * self.elastic_fraction * self.mean_resizes
+    }
+
+    /// Generates the resize overlay for `requests`. Deterministic in
+    /// (profile, requests, seed); draws only from [`Stream::Elasticity`].
+    /// Events are returned sorted by (time, VM). Steps whose clamped
+    /// result equals the VM's current demand are dropped here, so every
+    /// emitted event is a genuine change.
+    pub fn generate(&self, requests: &[VmSpec], seed: u64) -> Vec<ResizeEvent> {
+        assert!(
+            (0.0..=1.0).contains(&self.elastic_fraction),
+            "elastic_fraction must be a probability"
+        );
+        assert!(self.grow_max >= 1.0, "grow_max must be ≥ 1");
+        assert!(
+            self.shrink_min > 0.0 && self.shrink_min <= 1.0,
+            "shrink_min must be in (0, 1]"
+        );
+        assert!(self.cap_factor >= 1.0, "cap_factor must be ≥ 1");
+
+        let mut rng = stream_rng(seed, Stream::Elasticity);
+        let mut out = Vec::new();
+        for spec in requests {
+            if self.elastic_fraction < 1.0 && rng.gen::<f64>() >= self.elastic_fraction {
+                continue;
+            }
+            let n = poisson(&mut rng, self.mean_resizes);
+            if n == 0 {
+                continue;
+            }
+            let runtime = spec.actual_runtime.as_secs();
+            // Middle 90 % of the nominal lifetime, so events mostly land
+            // while the VM runs even after creation latency.
+            let lo = spec.submit_time.as_secs() + runtime / 20;
+            let hi = spec.submit_time.as_secs() + runtime - runtime / 20;
+            if hi <= lo {
+                continue;
+            }
+            let mut ats: Vec<u64> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+            ats.sort_unstable();
+            let mut demand = spec.resources;
+            for at in ats {
+                let grow = rng.gen::<f64>() < self.grow_probability;
+                let factor = if grow {
+                    rng.gen_range(1.0..=self.grow_max)
+                } else {
+                    rng.gen_range(self.shrink_min..=1.0)
+                };
+                let next = self.step(&spec.resources, &demand, factor);
+                if next == demand {
+                    continue;
+                }
+                demand = next;
+                out.push(ResizeEvent {
+                    vm: spec.id,
+                    at: SimTime::from_secs(at),
+                    new_demand: demand,
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.at, e.vm));
+        out
+    }
+
+    /// One multiplicative step of `factor` applied to every dimension of
+    /// `current`, clamped to `[spec/cap, spec×cap]` with floors of 1 core
+    /// and 64 MiB of memory.
+    fn step(&self, spec: &ResourceVector, current: &ResourceVector, factor: f64) -> ResourceVector {
+        let mut vals = Vec::with_capacity(current.k());
+        for d in 0..current.k() {
+            let base = spec.get(d) as f64;
+            let cap_hi = (base * self.cap_factor).round() as u64;
+            let cap_lo = ((base / self.cap_factor).round() as u64).max(1);
+            let floor = if d == 1 { 64 } else { 1 };
+            let scaled = (current.get(d) as f64 * factor).round() as u64;
+            vals.push(scaled.clamp(cap_lo.max(floor), cap_hi.max(floor)));
+        }
+        ResourceVector::new(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvmp_simcore::SimDuration;
+
+    fn specs(n: u32) -> Vec<VmSpec> {
+        (1..=n)
+            .map(|i| VmSpec {
+                id: VmId(i),
+                submit_time: SimTime::from_secs(i as u64 * 100),
+                resources: ResourceVector::cpu_mem(1, 1_024),
+                estimated_runtime: SimDuration::from_secs(40_000),
+                actual_runtime: SimDuration::from_secs(40_000),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = specs(500);
+        let a = ElasticityProfile::moderate().generate(&s, 42);
+        let b = ElasticityProfile::moderate().generate(&s, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = specs(500);
+        let a = ElasticityProfile::moderate().generate(&s, 1);
+        let b = ElasticityProfile::moderate().generate(&s, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn event_volume_tracks_the_profile() {
+        let s = specs(2_000);
+        let p = ElasticityProfile::moderate();
+        let events = p.generate(&s, 42);
+        let expect = p.expected_events(s.len());
+        // Identity-step drops shave a little off the Poisson total.
+        assert!(
+            (events.len() as f64) > expect * 0.6 && (events.len() as f64) < expect * 1.3,
+            "got {} events, expected ≈ {expect}",
+            events.len()
+        );
+        // Roughly the configured fraction of VMs participates.
+        let mut vms: Vec<VmId> = events.iter().map(|e| e.vm).collect();
+        vms.dedup();
+        vms.sort_unstable();
+        vms.dedup();
+        let frac = vms.len() as f64 / s.len() as f64;
+        assert!((0.2..=0.4).contains(&frac), "elastic fraction {frac}");
+    }
+
+    #[test]
+    fn events_fall_inside_the_vm_lifetime_and_respect_caps() {
+        let s = specs(300);
+        let p = ElasticityProfile::aggressive();
+        for e in p.generate(&s, 7) {
+            let spec = &s[(e.vm.0 - 1) as usize];
+            assert!(e.at > spec.submit_time);
+            assert!(e.at < spec.submit_time + spec.actual_runtime);
+            for d in 0..e.new_demand.k() {
+                let base = spec.resources.get(d) as f64;
+                let v = e.new_demand.get(d) as f64;
+                assert!(v <= base * p.cap_factor + 1.0, "dim {d} over cap: {v}");
+                assert!(v >= 1.0, "dim {d} under floor");
+            }
+        }
+    }
+
+    #[test]
+    fn grow_heavy_profile_mostly_grows() {
+        let s = specs(400);
+        let events = ElasticityProfile::aggressive().generate(&s, 42);
+        let grows = events
+            .iter()
+            .filter(|e| {
+                let spec = &s[(e.vm.0 - 1) as usize];
+                e.new_demand.get(1) > spec.resources.get(1)
+            })
+            .count();
+        assert!(
+            grows * 2 > events.len(),
+            "grow-heavy profile should mostly sit above spec ({grows}/{})",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn none_profile_is_identity() {
+        assert!(ElasticityProfile::none()
+            .generate(&specs(200), 42)
+            .is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_by_time_then_vm() {
+        let events = ElasticityProfile::aggressive().generate(&specs(300), 3);
+        assert!(events
+            .windows(2)
+            .all(|w| (w[0].at, w[0].vm) <= (w[1].at, w[1].vm)));
+    }
+
+    #[test]
+    fn elasticity_does_not_perturb_other_streams() {
+        // Same seed, with and without elasticity generation: the workload
+        // stream must produce identical values because elasticity draws
+        // only from its own stream.
+        let mut w1 = stream_rng(42, Stream::Workload);
+        let _ = ElasticityProfile::aggressive().generate(&specs(100), 42);
+        let mut w2 = stream_rng(42, Stream::Workload);
+        assert_eq!(w1.gen::<u64>(), w2.gen::<u64>());
+    }
+}

@@ -19,9 +19,13 @@
 //!   available (the default for this reproduction — see DESIGN.md §3);
 //! - [`trace`]: the paper's preprocessing filters and the job → VM-request
 //!   normalization, applied identically to both sources;
-//! - [`stats`]: the Fig. 2 workload characterisation.
+//! - [`stats`]: the Fig. 2 workload characterisation;
+//! - [`elasticity`]: a synthetic vertical-elasticity overlay — per-VM
+//!   resize events with configurable grow/shrink distributions, layered on
+//!   any request stream for the overbooking experiments.
 
 pub mod bootstrap;
+pub mod elasticity;
 pub mod job;
 pub mod stats;
 pub mod swf;
@@ -29,6 +33,7 @@ pub mod synthetic;
 pub mod trace;
 
 pub use bootstrap::BootstrapGenerator;
+pub use elasticity::{ElasticityProfile, ResizeEvent};
 pub use job::{Job, JobStatus};
 pub use stats::WorkloadStats;
 pub use synthetic::{LpcProfile, SyntheticGenerator};

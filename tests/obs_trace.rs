@@ -136,8 +136,9 @@ fn violation_injection_dumps_the_flight_recorder() {
         },
     );
     meter.record(SimTime::from_secs(123), dc.total_power_w());
-    oracle.audit(SimTime::from_secs(123), 9, &dc, &vms, &queue, &meter);
-    let summary = oracle.into_summary(SimTime::from_secs(123), &dc, &vms, &queue, &meter);
+    let sla = dvmp_metrics::SaturationMeter::new();
+    oracle.audit(SimTime::from_secs(123), 9, &dc, &vms, &queue, &meter, &sla);
+    let summary = oracle.into_summary(SimTime::from_secs(123), &dc, &vms, &queue, &meter, &sla);
 
     dvmp_obs::set_profiling(false);
     dvmp_obs::set_enabled(false);

@@ -292,3 +292,104 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    // Each case runs the same day four times; keep the budget modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Elastic histories are kernel- and planner-invariant: a random
+    /// request stream plus a random resize history (grows, shrinks,
+    /// no-ops, resizes aimed at queued or departed VMs), optionally under
+    /// random overbooking ratios, produces bit-identical reports whether
+    /// the dynamic scheme plans on the dense or the class-compressed
+    /// kernel, incrementally or with per-interval fresh rebuilds — and
+    /// the checked-mode oracle stays clean in all four runs.
+    #[test]
+    fn elastic_histories_are_kernel_and_planner_invariant(
+        seeds in prop::collection::vec(any::<u32>(), 4..16),
+        resize_dials in prop::collection::vec(
+            (any::<u8>(), 1u64..6, 64u64..4_096, 0u32..80_000),
+            1..24,
+        ),
+        overbook_dial in any::<u16>(),
+    ) {
+        // A quarter of the cases run without overbooking; the rest draw
+        // per-dimension ratios from [100, 300).
+        let overbook = if overbook_dial % 4 == 0 {
+            None
+        } else {
+            Some((
+                100 + u32::from(overbook_dial) % 200,
+                100 + (u32::from(overbook_dial) / 7) % 200,
+            ))
+        };
+        let mut requests = Vec::new();
+        for (i, s) in seeds.iter().enumerate() {
+            requests.push(VmSpec::exact(
+                VmId(i as u32 + 1),
+                SimTime::from_secs((*s as u64) % 40_000),
+                ResourceVector::cpu_mem(1, 128 + (*s as u64 % 1_500)),
+                SimDuration::from_secs(20_000 + (*s as u64 % 40_000)),
+            ));
+        }
+        let n = requests.len() as u32;
+        let resizes: Vec<ResizeRequest> = resize_dials
+            .iter()
+            .map(|&(vm_dial, cores, mem, at)| ResizeRequest {
+                vm: VmId(u32::from(vm_dial) % n + 1),
+                at: SimTime::from_secs(at as u64),
+                new_demand: ResourceVector::cpu_mem(cores, mem),
+            })
+            .collect();
+
+        let run = |kernel: PlanKernel, full_replan: bool| {
+            let fleet = FleetBuilder::new()
+                .add_class(PmClass::paper_fast(), 3, 0.99)
+                .add_class(PmClass::paper_slow(), 3, 0.95)
+                .build();
+            let mut sim = SimConfig::default();
+            sim.horizon = SimTime::from_days(1);
+            sim.checked = true;
+            let mut scenario = Scenario::new("elastic-prop", fleet, requests.clone(), sim)
+                .with_resize_requests(resizes.clone());
+            if let Some((cpu, mem)) = overbook {
+                scenario = scenario.with_overbooking(OverbookRatios::cpu_mem(cpu, mem));
+            }
+            let cfg = DynamicConfig {
+                plan_kernel: kernel,
+                incremental: !full_replan,
+                ..DynamicConfig::default()
+            };
+            scenario.run(Box::new(DynamicPlacement::new(cfg)))
+        };
+
+        let base = run(PlanKernel::Dense, false);
+        let oracle = base.oracle.as_ref().expect("checked run attaches a summary");
+        prop_assert!(oracle.is_clean(), "{}", oracle.render());
+        // Every in-horizon resize is accounted for, applied or rejected.
+        let in_horizon = resizes
+            .iter()
+            .filter(|r| r.at < SimTime::from_days(1))
+            .count() as u64;
+        prop_assert!(base.total_resizes + base.rejected_resizes <= in_horizon);
+
+        let base_json = serde_json::to_string(&base).expect("report serializes");
+        for (kernel, full_replan) in [
+            (PlanKernel::Dense, true),
+            (PlanKernel::Compressed, false),
+            (PlanKernel::Compressed, true),
+        ] {
+            let other = run(kernel, full_replan);
+            let other_oracle = other.oracle.as_ref().expect("checked");
+            prop_assert!(other_oracle.is_clean(), "{}", other_oracle.render());
+            let other_json = serde_json::to_string(&other).expect("report serializes");
+            prop_assert_eq!(
+                &base_json,
+                &other_json,
+                "report diverged under kernel {:?}, full_replan {}",
+                kernel,
+                full_replan
+            );
+        }
+    }
+}
