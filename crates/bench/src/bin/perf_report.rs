@@ -25,8 +25,22 @@
 //! 7. plan-kernel rows — steady-state passes of the dense kernel vs the
 //!    class-compressed planner on the same converged fleets, recording
 //!    the per-kernel row counts (`M` PM rows vs `C` superclasses), the
-//!    kernel `PlanKernel::Auto` selects at that fleet size, and that the
-//!    two kernels propose identical migration plans.
+//!    superclass bucket occupancy and poison status, the kernel
+//!    `PlanKernel::Auto` selects at that fleet size, and that the two
+//!    kernels propose identical migration plans;
+//! 8. dense-sweep rows — the scalar reference best-candidate sweep vs the
+//!    lane-chunked (SIMD-screened) sweep and the sharded parallel sweep,
+//!    up to a 100k-row fleet, asserting all variants return bit-identical
+//!    candidates at every shard count (DESIGN.md §12);
+//! 9. heterogeneous scaling rows — jittered-reliability fleets whose
+//!    per-PM spread fragments the exact class key, planned with tolerance
+//!    bucketing (`class_tolerance`) so the compressed kernel survives;
+//!    every scaling row records the superclass count and poison status
+//!    the fleet registers at its tolerance;
+//! 10. quantization divergence — the same jittered week planned exact
+//!     (t = 0, which poisons to dense) vs bucketed, reporting the energy
+//!     and migration divergence so the approximation is measured, never
+//!     silent.
 //!
 //! Each matrix-build row also records the kernel
 //! `DynamicConfig::auto_par_rows_cutoff` selects for that shape next to
@@ -116,6 +130,13 @@ struct PlanKernelBench {
     speedup_compressed: f64,
     /// Both kernels proposed identical migration sequences.
     plans_identical: bool,
+    /// Class tolerance the compressed policy planned at (0 = exact keys).
+    class_tolerance: f64,
+    /// Superclass level buckets holding at least one row — how evenly the
+    /// tolerance bucketing spread the fleet.
+    occupied_buckets: usize,
+    /// The compressed planner poisoned and fell back to the dense path.
+    poisoned: bool,
     /// Kernel [`PlanKernel::Auto`] selects at this fleet size
     /// ("dense" or "compressed") and its measured time.
     chosen_kernel: &'static str,
@@ -123,6 +144,61 @@ struct PlanKernelBench {
     /// The faster of the two kernels at this shape.
     winner_kernel: &'static str,
     winner_ns: f64,
+}
+
+#[derive(Serialize)]
+struct DenseSweepBench {
+    /// Planning rows (powered PMs) in the swept matrix.
+    rows: usize,
+    /// Columns (live VMs) in the swept matrix.
+    cols: usize,
+    iters: usize,
+    /// Median full best-candidate sweep under the scalar reference loop.
+    scalar_ns: f64,
+    /// Median sweep under the lane-chunked screened (SIMD) loop.
+    simd_ns: f64,
+    speedup_simd: f64,
+    /// The screened sweep returned bit-identical candidates to scalar.
+    simd_identical: bool,
+    /// Shard count the auto sizing resolves at this row count (what a
+    /// production pass would fan out to).
+    shards: usize,
+    /// Median sweep sharded across `shards` workers.
+    sharded_ns: f64,
+    speedup_sharded: f64,
+    /// Every tried shard count (both sweeps) returned candidates
+    /// bit-identical to the sequential scalar sweep.
+    shard_counts: Vec<usize>,
+    /// Median screened-sweep time at each entry of `shard_counts` — the
+    /// shard-count sweep EXPERIMENTS.md tabulates.
+    shard_sweep_ns: Vec<f64>,
+    sharded_identical: bool,
+}
+
+#[derive(Serialize)]
+struct QuantizationBench {
+    pms: usize,
+    days: u64,
+    seed: u64,
+    /// Per-PM reliability jitter spread of the fleet.
+    spread: f64,
+    /// Bucketing tolerance of the quantized run.
+    tolerance: f64,
+    /// Superclasses the fleet registers with exact keys (t = 0) — at this
+    /// spread every PM is its own class, past the registry cap.
+    exact_superclasses: usize,
+    exact_poisoned: bool,
+    /// Superclasses after tolerance bucketing.
+    bucketed_superclasses: usize,
+    bucketed_poisoned: bool,
+    /// Full-run outcomes of the exact (t = 0) week vs the bucketed week:
+    /// the measured cost of the approximation.
+    exact_migrations: u64,
+    bucketed_migrations: u64,
+    exact_energy_kwh: f64,
+    bucketed_energy_kwh: f64,
+    energy_divergence_percent: f64,
+    migration_divergence: i64,
 }
 
 #[derive(Serialize)]
@@ -190,6 +266,16 @@ struct ScalingBench {
     /// Planning kernel [`PlanKernel::Auto`] selects for dynamic rows at
     /// this fleet size ("dense" or "compressed"); "n/a" for first-fit.
     plan_kernel: &'static str,
+    /// Reliability model shaping the fleet ("uniform" or "jittered").
+    reliability: &'static str,
+    /// Class tolerance the dynamic policy planned at (0 = exact keys).
+    class_tolerance: f64,
+    /// Superclasses this fleet registers at that tolerance (probe pass) —
+    /// the row dimension the compressed kernel sweeps instead of `M`.
+    superclasses: usize,
+    /// Whether the probe pass poisoned (fleet too heterogeneous for the
+    /// compressed registry at this tolerance).
+    compressed_poisoned: bool,
     events: u64,
     wall_seconds: f64,
     events_per_sec: f64,
@@ -208,9 +294,11 @@ struct PerfReport {
     plan_pass: PlanPassBench,
     incremental_plan: Vec<IncrementalPlanBench>,
     plan_kernel: Vec<PlanKernelBench>,
+    dense_sweep: Vec<DenseSweepBench>,
     end_to_end: EndToEndBench,
     oracle_overhead: OracleOverheadBench,
     elasticity: ElasticityBench,
+    quantization: QuantizationBench,
     scaling: Vec<ScalingBench>,
     profile: ProfiledRunBench,
 }
@@ -235,6 +323,28 @@ const DYNAMIC_10K_BUDGET_SECONDS: f64 = 10.0;
 /// Wall-clock budget for the checked 1k-PM overbooked+elastic week under
 /// either kernel (DESIGN.md §11's acceptance scenario).
 const ELASTIC_1K_BUDGET_SECONDS: f64 = 30.0;
+
+/// Wall-clock budget for the jittered-reliability 10k-PM 7-day week under
+/// the dynamic scheme with tolerance bucketing — the heterogeneous fleet
+/// that poisoned straight to the dense cliff before `class_tolerance`
+/// existed (DESIGN.md §12).
+const DYNAMIC_HETERO_10K_BUDGET_SECONDS: f64 = 15.0;
+
+/// Wall-clock budget for the jittered 100k-PM 1-day sharded scaling row —
+/// the fleet size the sharded sweep and bucketed superclasses exist for.
+const SHARDED_100K_BUDGET_SECONDS: f64 = 120.0;
+
+/// Budget for one sharded best-candidate sweep over a 100k-row matrix.
+const SHARDED_SWEEP_100K_BUDGET_SECONDS: f64 = 0.5;
+
+/// Per-PM reliability jitter of the heterogeneous rows. At ±0.004 every
+/// PM gets a distinct exact class key (C = M, instant poison), while
+/// [`HETERO_TOLERANCE`] buckets collapse the fleet back to its hardware
+/// superclasses.
+const HETERO_SPREAD: f64 = 0.004;
+
+/// Class tolerance the heterogeneous rows plan at (DESIGN.md §12).
+const HETERO_TOLERANCE: f64 = 0.01;
 
 /// Median wall time of `iters` runs of `f`, in nanoseconds.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -530,10 +640,172 @@ fn bench_plan_kernel(pm_count: usize, n_vms: u32, iters: usize) -> PlanKernelBen
         compressed_ns,
         speedup_compressed: dense_ns / compressed_ns,
         plans_identical: a == b,
+        class_tolerance: 0.0,
+        occupied_buckets: comp.compressed_occupied_buckets(),
+        poisoned: comp.compressed_poisoned(),
         chosen_kernel,
         chosen_ns,
         winner_kernel,
         winner_ns,
+    }
+}
+
+/// One forced-compressed plan pass over a fleet with no VMs: registers
+/// every powered PM's superclass at `tolerance` and reports `(C,
+/// poisoned)` — the fragmentation the bucketing must absorb for this
+/// fleet shape, independent of any workload.
+fn probe_superclasses(fleet: &Datacenter, tolerance: f64) -> (usize, bool) {
+    // Fresh scenario fleets start powered off (the simulator boots PMs on
+    // demand); the probe powers a copy on so every PM registers its class,
+    // the same registration a live run performs as the fleet powers up.
+    let mut dc = fleet.clone();
+    let ids: Vec<PmId> = dc.pms().iter().map(|p| p.id).collect();
+    for id in ids {
+        dc.pm_mut(id).state = dvmp_cluster::pm::PmState::On;
+    }
+    let vms = std::collections::BTreeMap::new();
+    let view = PlacementView {
+        dc: &dc,
+        vms: &vms,
+        now: dvmp_simcore::SimTime::from_secs(0),
+    };
+    let mut probe = DynamicPlacement::new(DynamicConfig {
+        plan_kernel: PlanKernel::Compressed,
+        class_tolerance: tolerance,
+        ..DynamicConfig::default()
+    });
+    probe.plan_migrations(&view);
+    (probe.compressed_superclasses(), probe.compressed_poisoned())
+}
+
+/// Scalar vs screened (SIMD) vs sharded best-candidate sweeps over the
+/// same probability matrix, asserting every variant returns bit-identical
+/// candidate columns (DESIGN.md §12). `converge` runs the planning-scheme
+/// convergence loop first (realistic steady-state occupancy); the 100k-row
+/// shape skips it — converging 100k PMs under the dense scheme is exactly
+/// the cliff this sweep removes.
+fn bench_dense_sweep(pm_count: usize, n_vms: u32, iters: usize, converge: bool) -> DenseSweepBench {
+    let (dc, vms) = if converge {
+        converged_fixture(pm_count, n_vms)
+    } else {
+        fragmented_fixture_scaled(pm_count, n_vms)
+    };
+    let view = PlacementView {
+        dc: &dc,
+        vms: &vms,
+        now: dvmp_simcore::SimTime::from_secs(1_000),
+    };
+    let cfg = DynamicConfig::default();
+    let plan = PlanState::from_view(&view, &cfg.min_vm);
+    let mut matrix = ProbabilityMatrix::build(&plan, &EvalContext::new(&cfg));
+    let rows = matrix.rows();
+    let cols = matrix.cols();
+    let mut best = Vec::new();
+    let bits = |best: &Vec<Option<(usize, f64)>>| -> Vec<Option<(usize, u64)>> {
+        best.iter()
+            .map(|slot| slot.map(|(row, d)| (row, d.to_bits())))
+            .collect()
+    };
+
+    matrix.set_sweep(DenseSweep::Scalar);
+    let scalar_ns = median_ns(iters, || {
+        matrix.refill_best_sharded(&plan, &mut best, 1);
+    });
+    matrix.refill_best_sharded(&plan, &mut best, 1);
+    let scalar_bits = bits(&best);
+
+    matrix.set_sweep(DenseSweep::Simd);
+    let simd_ns = median_ns(iters, || {
+        matrix.refill_best_sharded(&plan, &mut best, 1);
+    });
+    matrix.refill_best_sharded(&plan, &mut best, 1);
+    let simd_identical = bits(&best) == scalar_bits;
+
+    // The shard count a production pass would auto-size to (at least 2,
+    // so small shapes still exercise the merge), timed on the screened
+    // sweep, then both sweeps checked for invariance across shard counts.
+    let shards = cfg.resolve_shards(rows).max(2);
+    let sharded_ns = median_ns(iters, || {
+        matrix.refill_best_sharded(&plan, &mut best, shards);
+    });
+    let mut shard_counts = vec![2, 3, 4, 7, 8, shards];
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+    let mut sharded_identical = true;
+    for sweep in [DenseSweep::Scalar, DenseSweep::Simd] {
+        matrix.set_sweep(sweep);
+        for &k in &shard_counts {
+            matrix.refill_best_sharded(&plan, &mut best, k);
+            sharded_identical &= bits(&best) == scalar_bits;
+        }
+    }
+    matrix.set_sweep(DenseSweep::Simd);
+    let shard_sweep_ns: Vec<f64> = shard_counts
+        .iter()
+        .map(|&k| {
+            median_ns(iters, || {
+                matrix.refill_best_sharded(&plan, &mut best, k);
+            })
+        })
+        .collect();
+
+    DenseSweepBench {
+        rows,
+        cols,
+        iters,
+        scalar_ns,
+        simd_ns,
+        speedup_simd: scalar_ns / simd_ns,
+        simd_identical,
+        shards,
+        sharded_ns,
+        speedup_sharded: scalar_ns / sharded_ns,
+        shard_counts,
+        shard_sweep_ns,
+        sharded_identical,
+    }
+}
+
+/// The measured cost of tolerance bucketing: the same jittered week run
+/// with exact class keys (t = 0 — the fleet fragments past the registry
+/// cap and poisons to the dense path) and with bucketed keys, reporting
+/// the energy and migration divergence between the two plans.
+fn bench_quantization(
+    pm_count: usize,
+    days: u64,
+    spread: f64,
+    tolerance: f64,
+    seed: u64,
+) -> QuantizationBench {
+    let scenario = Scenario::scaled_jittered(pm_count, spread, seed).with_days(days);
+    let (exact_superclasses, exact_poisoned) = probe_superclasses(scenario.fleet(), 0.0);
+    let (bucketed_superclasses, bucketed_poisoned) =
+        probe_superclasses(scenario.fleet(), tolerance);
+    let run = |class_tolerance: f64| {
+        scenario.run(Box::new(DynamicPlacement::new(DynamicConfig {
+            class_tolerance,
+            ..DynamicConfig::default()
+        })))
+    };
+    let exact = run(0.0);
+    let bucketed = run(tolerance);
+    QuantizationBench {
+        pms: pm_count,
+        days,
+        seed,
+        spread,
+        tolerance,
+        exact_superclasses,
+        exact_poisoned,
+        bucketed_superclasses,
+        bucketed_poisoned,
+        exact_migrations: exact.total_migrations,
+        bucketed_migrations: bucketed.total_migrations,
+        exact_energy_kwh: exact.total_energy_kwh,
+        bucketed_energy_kwh: bucketed.total_energy_kwh,
+        energy_divergence_percent: 100.0
+            * (bucketed.total_energy_kwh / exact.total_energy_kwh - 1.0),
+        migration_divergence: bucketed.total_migrations as i64 - exact.total_migrations as i64,
     }
 }
 
@@ -591,21 +863,29 @@ fn bench_oracle_overhead(seed: u64, days: u64) -> OracleOverheadBench {
 // First-fit rows measure the event core (scheduler + fleet accounting)
 // without planning cost; dynamic rows add the scheme's control-period
 // planning pass, the thing incremental planning exists to make scale.
+// Every row also carries the superclass count and poison status its
+// fleet registers at the row's tolerance (probe pass), so class
+// fragmentation is visible in BENCH_placement.json trends.
 fn bench_scaling(
-    pm_count: usize,
-    days: u64,
-    seed: u64,
+    scenario: &Scenario,
     policy: &'static str,
+    reliability: &'static str,
+    class_tolerance: f64,
     make: impl Fn() -> Box<dyn PlacementPolicy>,
 ) -> ScalingBench {
-    let scenario = Scenario::scaled(pm_count, seed).with_days(days);
+    let pm_count = scenario.fleet().len();
+    let days = scenario.days();
     let vm_requests = scenario.requests().len();
+    let (superclasses, compressed_poisoned) = probe_superclasses(scenario.fleet(), class_tolerance);
     let t = Instant::now();
     let (report, events) = scenario.run_counting(make());
     let wall_seconds = t.elapsed().as_secs_f64();
     assert!(report.total_arrivals > 0, "scaled scenario saw no arrivals");
-    let plan_kernel = if policy != "dynamic" {
+    let dynamic = policy.starts_with("dynamic");
+    let plan_kernel = if !dynamic {
         "n/a"
+    } else if compressed_poisoned {
+        "dense"
     } else if pm_count >= dvmp_placement::COMPRESSED_ROWS_CUTOFF {
         "compressed"
     } else {
@@ -617,6 +897,10 @@ fn bench_scaling(
         days,
         policy,
         plan_kernel,
+        reliability,
+        class_tolerance,
+        superclasses,
+        compressed_poisoned,
         events,
         wall_seconds,
         events_per_sec: events as f64 / wall_seconds,
@@ -771,16 +1055,47 @@ fn main() {
         .map(|&(pms, n_vms)| {
             let b = bench_plan_kernel(pms, n_vms, iters);
             eprintln!(
-                "plan kernel {}x{}: dense {:.2} ms ({} rows), compressed {:.2} ms ({} superclasses, {:.2}x), auto picks {}, plans identical: {}",
+                "plan kernel {}x{}: dense {:.2} ms ({} rows), compressed {:.2} ms ({} superclasses, {} buckets, poisoned: {}, {:.2}x), auto picks {}, plans identical: {}",
                 b.pms,
                 b.vms,
                 b.dense_ns / 1e6,
                 b.dense_rows,
                 b.compressed_ns / 1e6,
                 b.compressed_rows,
+                b.occupied_buckets,
+                b.poisoned,
                 b.speedup_compressed,
                 b.chosen_kernel,
                 b.plans_identical
+            );
+            b
+        })
+        .collect();
+
+    // Dense-sweep rows: scalar vs screened (SIMD) vs sharded candidate
+    // sweeps. The 100k-row shape is the sharded-fleet operating point; it
+    // skips the convergence loop (see `bench_dense_sweep`).
+    let sweep_shapes: &[(usize, u32, usize, bool)] = if smoke {
+        &[(100, 500, 5, true)]
+    } else {
+        &[(1_000, 5_000, 11, true), (100_000, 500, 5, false)]
+    };
+    let dense_sweep: Vec<DenseSweepBench> = sweep_shapes
+        .iter()
+        .map(|&(pms, n_vms, sweep_iters, converge)| {
+            let b = bench_dense_sweep(pms, n_vms, sweep_iters, converge);
+            eprintln!(
+                "dense sweep {}x{}: scalar {:.2} ms, simd {:.2} ms ({:.2}x, identical: {}), {} shards {:.2} ms ({:.2}x, shard-invariant: {})",
+                b.rows,
+                b.cols,
+                b.scalar_ns / 1e6,
+                b.simd_ns / 1e6,
+                b.speedup_simd,
+                b.simd_identical,
+                b.shards,
+                b.sharded_ns / 1e6,
+                b.speedup_sharded,
+                b.sharded_identical
             );
             b
         })
@@ -824,40 +1139,97 @@ fn main() {
         elasticity.violations
     );
 
+    // Exact-vs-bucketed divergence on a jittered fleet: the measured cost
+    // of planning at `class_tolerance` instead of exact class keys.
+    let (quant_pms, quant_days) = if smoke { (250, 1) } else { (1_000, 7) };
+    let quantization =
+        bench_quantization(quant_pms, quant_days, HETERO_SPREAD, HETERO_TOLERANCE, seed);
+    eprintln!(
+        "quantization {} PMs {}d (spread {:.3}, t={:.2}): exact C={} (poisoned: {}) vs bucketed C={} (poisoned: {}), energy {:.2} vs {:.2} kWh ({:+.3}%), migrations {} vs {} ({:+})",
+        quantization.pms,
+        quantization.days,
+        quantization.spread,
+        quantization.tolerance,
+        quantization.exact_superclasses,
+        quantization.exact_poisoned,
+        quantization.bucketed_superclasses,
+        quantization.bucketed_poisoned,
+        quantization.exact_energy_kwh,
+        quantization.bucketed_energy_kwh,
+        quantization.energy_divergence_percent,
+        quantization.exact_migrations,
+        quantization.bucketed_migrations,
+        quantization.migration_divergence
+    );
+
     let dynamic_scales: &[usize] = if smoke {
         &[250, 500]
     } else {
         &[1_000, 5_000, 10_000]
     };
-    let rows: Vec<(usize, &'static str)> = fleet_scales
-        .iter()
-        .map(|&pms| (pms, "first-fit"))
-        .chain(dynamic_scales.iter().map(|&pms| (pms, "dynamic")))
-        .collect();
-    let scaling: Vec<ScalingBench> = rows
-        .into_iter()
-        .map(|(pms, policy)| {
-            let b = bench_scaling(pms, fleet_days, seed, policy, || {
-                if policy == "dynamic" {
-                    Box::new(DynamicPlacement::paper_default())
-                } else {
-                    Box::new(FirstFit)
-                }
-            });
+    // Heterogeneous rows: jittered reliability at a spread the tolerance
+    // bucketing collapses back to hardware superclasses. The 10k-PM week
+    // is the DESIGN.md §12 acceptance row; the 100k-PM day is the
+    // sharded-fleet operating point. Smoke keeps one row just above the
+    // compressed Auto cutoff so the kernel path is the full-scale one.
+    let hetero_rows: &[(usize, u64)] = if smoke {
+        &[(600, 1)]
+    } else {
+        &[(10_000, 7), (100_000, 1)]
+    };
+    let mut scaling: Vec<ScalingBench> = Vec::new();
+    {
+        let mut run_row = |scenario: &Scenario,
+                           policy: &'static str,
+                           reliability: &'static str,
+                           tol: f64,
+                           make: &dyn Fn() -> Box<dyn PlacementPolicy>| {
+            let b = bench_scaling(scenario, policy, reliability, tol, make);
             eprintln!(
-                "scaling {} PMs / {} VM requests, {}d ({}, kernel {}): {} events in {:.2} s = {:.0} events/s",
+                "scaling {} PMs / {} VM requests, {}d ({}, {} reliability, kernel {}, C={}, poisoned: {}): {} events in {:.2} s = {:.0} events/s",
                 b.pms,
                 b.vm_requests,
                 b.days,
                 b.policy,
+                b.reliability,
                 b.plan_kernel,
+                b.superclasses,
+                b.compressed_poisoned,
                 b.events,
                 b.wall_seconds,
                 b.events_per_sec
             );
-            b
-        })
-        .collect();
+            scaling.push(b);
+        };
+        for &pms in fleet_scales {
+            let scenario = Scenario::scaled(pms, seed).with_days(fleet_days);
+            run_row(&scenario, "first-fit", "uniform", 0.0, &|| {
+                Box::new(FirstFit)
+            });
+        }
+        for &pms in dynamic_scales {
+            let scenario = Scenario::scaled(pms, seed).with_days(fleet_days);
+            run_row(&scenario, "dynamic", "uniform", 0.0, &|| {
+                Box::new(DynamicPlacement::paper_default())
+            });
+        }
+        for &(pms, hetero_days) in hetero_rows {
+            let scenario =
+                Scenario::scaled_jittered(pms, HETERO_SPREAD, seed).with_days(hetero_days);
+            run_row(
+                &scenario,
+                "dynamic-hetero",
+                "jittered",
+                HETERO_TOLERANCE,
+                &|| {
+                    Box::new(DynamicPlacement::new(DynamicConfig {
+                        class_tolerance: HETERO_TOLERANCE,
+                        ..DynamicConfig::default()
+                    }))
+                },
+            );
+        }
+    }
 
     // Profiled pass last: every earlier bench ran with the span timers
     // off, so instrumentation cannot distort their numbers.
@@ -871,7 +1243,7 @@ fn main() {
 
     let max_rows = matrix_build.iter().map(|b| b.pms).max().unwrap_or(2);
     let report = PerfReport {
-        schema: "dvmp/perf-report/v6",
+        schema: "dvmp/perf-report/v7",
         smoke,
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         matrix_workers: dvmp_placement::matrix::parallel_workers(max_rows),
@@ -879,9 +1251,11 @@ fn main() {
         plan_pass,
         incremental_plan,
         plan_kernel,
+        dense_sweep,
         end_to_end,
         oracle_overhead,
         elasticity,
+        quantization,
         scaling,
         profile,
     };
@@ -905,6 +1279,55 @@ fn main() {
     if !report.plan_kernel.iter().all(|b| b.plans_identical) {
         eprintln!("FAIL: compressed kernel diverged from the dense plans");
         healthy = false;
+    }
+    // The DESIGN.md §12 sweep contract: the screened (SIMD) sweep and the
+    // sharded sweep are bit-identical to the scalar reference at every
+    // shard count, on every benchmarked shape.
+    for b in &report.dense_sweep {
+        if !b.simd_identical {
+            eprintln!(
+                "FAIL: screened dense sweep diverged from the scalar sweep at {}x{}",
+                b.rows, b.cols
+            );
+            healthy = false;
+        }
+        if !b.sharded_identical {
+            eprintln!(
+                "FAIL: sharded dense sweep is not shard-count-invariant at {}x{}",
+                b.rows, b.cols
+            );
+            healthy = false;
+        }
+    }
+    // Tolerance bucketing must rescue the jittered fleet: exact keys
+    // fragment past the registry cap (that poisoning is the point of the
+    // row), bucketed keys must not.
+    if report.quantization.bucketed_poisoned {
+        eprintln!(
+            "FAIL: bucketed quantization run poisoned at t={} (C={})",
+            report.quantization.tolerance, report.quantization.bucketed_superclasses
+        );
+        healthy = false;
+    }
+    if !report.quantization.exact_poisoned {
+        eprintln!(
+            "FAIL: exact-key probe did not fragment the jittered fleet (C={}) — the quantization row is not measuring the cliff",
+            report.quantization.exact_superclasses
+        );
+        healthy = false;
+    }
+    for b in report
+        .scaling
+        .iter()
+        .filter(|b| b.policy == "dynamic-hetero")
+    {
+        if b.compressed_poisoned {
+            eprintln!(
+                "FAIL: jittered {}-PM fleet poisoned at t={} (C={})",
+                b.pms, b.class_tolerance, b.superclasses
+            );
+            healthy = false;
+        }
     }
     // Kernel selection is only gated at and above the Auto cutoff: below
     // it both kernels are sub-millisecond, the choice is immaterial, and
@@ -1033,6 +1456,60 @@ fn main() {
                 eprintln!(
                     "FAIL: 10k-PM dynamic week took {:.1} s, over the {DYNAMIC_10K_BUDGET_SECONDS} s budget",
                     big.wall_seconds
+                );
+                healthy = false;
+            }
+            Some(_) => {}
+        }
+        // Heterogeneous acceptance rows (DESIGN.md §12): the jittered
+        // 10k-PM week on the bucketed compressed kernel, and the jittered
+        // 100k-PM day the sharded path exists for.
+        match report
+            .scaling
+            .iter()
+            .find(|b| b.pms == 10_000 && b.policy == "dynamic-hetero")
+        {
+            None => {
+                eprintln!("FAIL: full run is missing the jittered 10k-PM dynamic scaling row");
+                healthy = false;
+            }
+            Some(big) if big.wall_seconds > DYNAMIC_HETERO_10K_BUDGET_SECONDS => {
+                eprintln!(
+                    "FAIL: jittered 10k-PM dynamic week took {:.1} s, over the {DYNAMIC_HETERO_10K_BUDGET_SECONDS} s budget",
+                    big.wall_seconds
+                );
+                healthy = false;
+            }
+            Some(_) => {}
+        }
+        match report
+            .scaling
+            .iter()
+            .find(|b| b.pms == 100_000 && b.policy == "dynamic-hetero")
+        {
+            None => {
+                eprintln!("FAIL: full run is missing the jittered 100k-PM scaling row");
+                healthy = false;
+            }
+            Some(big) if big.wall_seconds > SHARDED_100K_BUDGET_SECONDS => {
+                eprintln!(
+                    "FAIL: jittered 100k-PM day took {:.1} s, over the {SHARDED_100K_BUDGET_SECONDS} s budget",
+                    big.wall_seconds
+                );
+                healthy = false;
+            }
+            Some(_) => {}
+        }
+        match report.dense_sweep.iter().find(|b| b.rows >= 100_000) {
+            None => {
+                eprintln!("FAIL: full run is missing the 100k-row dense-sweep shape");
+                healthy = false;
+            }
+            Some(big) if big.sharded_ns > SHARDED_SWEEP_100K_BUDGET_SECONDS * 1e9 => {
+                eprintln!(
+                    "FAIL: sharded 100k-row sweep took {:.0} ms, over the {:.0} ms budget",
+                    big.sharded_ns / 1e6,
+                    SHARDED_SWEEP_100K_BUDGET_SECONDS * 1e3
                 );
                 healthy = false;
             }

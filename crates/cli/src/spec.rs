@@ -158,6 +158,38 @@ pub struct PolicySpec {
     /// fleets without an `overbook` block.
     #[serde(default)]
     pub capacity_basis: Option<String>,
+    /// Superclass tolerance for heterogeneous fleets (dynamic only):
+    /// planner-side reliability / efficiency / overhead inputs are
+    /// quantized to this resolution before superclassing, keeping the
+    /// compressed kernel compact on jittered fleets. Omit (or `0.0`) for
+    /// exact keys.
+    #[serde(default)]
+    pub class_tolerance: Option<f64>,
+    /// Planning shard-count override (dynamic only): omit or `0` to size
+    /// shards automatically from the fleet.
+    #[serde(default)]
+    pub plan_shards: Option<usize>,
+    /// Dense bulk-sweep implementation (dynamic only): `"auto"`
+    /// (default), `"scalar"`, or `"simd"`. Bit-identical plans either
+    /// way; an A/B lever like `plan_kernel`.
+    #[serde(default)]
+    pub dense_sweep: Option<String>,
+}
+
+impl Default for PolicySpec {
+    /// The paper's dynamic policy with every optional knob unset.
+    fn default() -> Self {
+        PolicySpec {
+            kind: "dynamic".into(),
+            mig_threshold: None,
+            mig_round: None,
+            plan_kernel: None,
+            capacity_basis: None,
+            class_tolerance: None,
+            plan_shards: None,
+            dense_sweep: None,
+        }
+    }
 }
 
 impl PolicySpec {
@@ -189,6 +221,20 @@ impl PolicySpec {
                         "virtual" => CapacityBasis::Virtual,
                         "physical" => CapacityBasis::Physical,
                         other => return Err(format!("unknown capacity basis {other:?}")),
+                    };
+                }
+                if let Some(t) = self.class_tolerance {
+                    cfg.class_tolerance = t;
+                }
+                if let Some(s) = self.plan_shards {
+                    cfg.plan_shards = s;
+                }
+                if let Some(sweep) = &self.dense_sweep {
+                    cfg.dense_sweep = match sweep.as_str() {
+                        "auto" => DenseSweep::Auto,
+                        "scalar" => DenseSweep::Scalar,
+                        "simd" => DenseSweep::Simd,
+                        other => return Err(format!("unknown dense sweep {other:?}")),
                     };
                 }
                 cfg.incremental = !full_replan;
@@ -380,10 +426,7 @@ mod tests {
 
         let bad_policy = PolicySpec {
             kind: "oracle".into(),
-            mig_threshold: None,
-            mig_round: None,
-            plan_kernel: None,
-            capacity_basis: None,
+            ..PolicySpec::default()
         };
         match bad_policy.build(1, false) {
             Err(e) => assert!(e.contains("oracle")),
@@ -406,11 +449,8 @@ mod tests {
     #[test]
     fn invalid_dynamic_config_is_rejected() {
         let spec = PolicySpec {
-            kind: "dynamic".into(),
             mig_threshold: Some(0.2),
-            mig_round: None,
-            plan_kernel: None,
-            capacity_basis: None,
+            ..PolicySpec::default()
         };
         assert!(spec.build(1, false).is_err());
     }
@@ -419,20 +459,14 @@ mod tests {
     fn plan_kernel_knob_selects_kernels_and_rejects_typos() {
         for kernel in ["auto", "dense", "compressed"] {
             let spec = PolicySpec {
-                kind: "dynamic".into(),
-                mig_threshold: None,
-                mig_round: None,
                 plan_kernel: Some(kernel.into()),
-                capacity_basis: None,
+                ..PolicySpec::default()
             };
             assert!(spec.build(1, false).is_ok(), "kernel {kernel}");
         }
         let bad = PolicySpec {
-            kind: "dynamic".into(),
-            mig_threshold: None,
-            mig_round: None,
             plan_kernel: Some("sparse".into()),
-            capacity_basis: None,
+            ..PolicySpec::default()
         };
         match bad.build(1, false) {
             Err(e) => assert!(e.contains("sparse")),
@@ -444,25 +478,62 @@ mod tests {
     fn capacity_basis_knob_selects_bases_and_rejects_typos() {
         for basis in ["virtual", "physical"] {
             let spec = PolicySpec {
-                kind: "dynamic".into(),
-                mig_threshold: None,
-                mig_round: None,
-                plan_kernel: None,
                 capacity_basis: Some(basis.into()),
+                ..PolicySpec::default()
             };
             assert!(spec.build(1, false).is_ok(), "basis {basis}");
         }
         let bad = PolicySpec {
-            kind: "dynamic".into(),
-            mig_threshold: None,
-            mig_round: None,
-            plan_kernel: None,
             capacity_basis: Some("astral".into()),
+            ..PolicySpec::default()
         };
         match bad.build(1, false) {
             Err(e) => assert!(e.contains("astral")),
             Ok(_) => panic!("unknown basis must error"),
         }
+    }
+
+    #[test]
+    fn heterogeneity_knobs_build_and_reject_typos() {
+        // The full heterogeneous-planning knob set parses from JSON.
+        let text = r#"{
+            "name": "hetero",
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "dynamic", "plan_kernel": "compressed",
+                        "class_tolerance": 0.01, "plan_shards": 4,
+                        "dense_sweep": "simd" }
+        }"#;
+        let spec = ScenarioSpec::from_json(text).unwrap();
+        assert!(spec.policy.build(1, false).is_ok());
+
+        for sweep in ["auto", "scalar", "simd"] {
+            let spec = PolicySpec {
+                dense_sweep: Some(sweep.into()),
+                ..PolicySpec::default()
+            };
+            assert!(spec.build(1, false).is_ok(), "sweep {sweep}");
+        }
+        let bad_sweep = PolicySpec {
+            dense_sweep: Some("avx1024".into()),
+            ..PolicySpec::default()
+        };
+        match bad_sweep.build(1, false) {
+            Err(e) => assert!(e.contains("avx1024")),
+            Ok(_) => panic!("unknown sweep must error"),
+        }
+        // An out-of-range tolerance is caught by DynamicConfig::validate.
+        let bad_tol = PolicySpec {
+            class_tolerance: Some(0.9),
+            ..PolicySpec::default()
+        };
+        assert!(bad_tol.build(1, false).is_err());
+        // Typos inside the policy block are rejected (deny_unknown_fields).
+        let typo = r#"{
+            "name": "t",
+            "workload": { "profile": "light", "days": 1 },
+            "policy": { "kind": "dynamic", "class_tolerence": 0.01 }
+        }"#;
+        assert!(ScenarioSpec::from_json(typo).is_err());
     }
 
     #[test]

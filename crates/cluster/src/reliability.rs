@@ -31,6 +31,19 @@ pub enum ReliabilityModel {
         /// Half-width of the uniform jitter.
         spread: f64,
     },
+    /// Age-decaying: each PM draws an age uniformly in
+    /// `[0, max_age_years]` and its class score decays multiplicatively by
+    /// `(1 − annual_decay)` per year of age, clamped to `(0, 1]`. This is
+    /// the "life time" driver Section III-B-3 names: a brand-new machine
+    /// keeps its class score, an old one fails more. Like `Jittered`, the
+    /// resulting scores form a continuum per class, which is exactly the
+    /// heterogeneity that fragments exact superclass keys.
+    AgeDecaying {
+        /// Oldest possible machine, in years.
+        max_age_years: f64,
+        /// Fractional reliability loss per year of age (e.g. `0.01`).
+        annual_decay: f64,
+    },
 }
 
 impl ReliabilityModel {
@@ -45,6 +58,20 @@ impl ReliabilityModel {
                     let base = pm.reliability;
                     let jitter: f64 = rng.gen_range(-spread..=spread);
                     pm.reliability = (base + jitter).clamp(1e-6, 1.0);
+                }
+            }
+            ReliabilityModel::AgeDecaying {
+                max_age_years,
+                annual_decay,
+            } => {
+                assert!(max_age_years >= 0.0 && max_age_years.is_finite());
+                assert!((0.0..1.0).contains(&annual_decay));
+                let mut rng = stream_rng(seed, Stream::Reliability);
+                for id in dc.pm_ids().collect::<Vec<_>>() {
+                    let mut pm = dc.pm_mut(id);
+                    let base = pm.reliability;
+                    let age: f64 = rng.gen_range(0.0..=max_age_years);
+                    pm.reliability = (base * (1.0 - annual_decay).powf(age)).clamp(1e-6, 1.0);
                 }
             }
         }
@@ -134,6 +161,38 @@ mod tests {
         for (pa, pb) in a.pms().iter().zip(b.pms()) {
             assert_eq!(pa.reliability, pb.reliability);
         }
+    }
+
+    #[test]
+    fn age_decaying_model_bounds_and_varies() {
+        let mut dc = fleet();
+        let model = ReliabilityModel::AgeDecaying {
+            max_age_years: 5.0,
+            annual_decay: 0.01,
+        };
+        model.apply(&mut dc, 42);
+        let scores: Vec<f64> = dc.pms().iter().map(|p| p.reliability).collect();
+        // Decay only lowers the score, bounded by the oldest possible age.
+        let floor = 0.9 * 0.99f64.powf(5.0);
+        assert!(scores.iter().all(|&r| r <= 0.9 && r >= floor - 1e-12));
+        assert!(
+            scores.windows(2).any(|w| w[0] != w[1]),
+            "random ages should differentiate PMs"
+        );
+        // Deterministic per seed.
+        let mut again = fleet();
+        model.apply(&mut again, 42);
+        for (pa, pb) in dc.pms().iter().zip(again.pms()) {
+            assert_eq!(pa.reliability, pb.reliability);
+        }
+        // A fleet of brand-new machines keeps its class score.
+        let mut fresh = fleet();
+        ReliabilityModel::AgeDecaying {
+            max_age_years: 0.0,
+            annual_decay: 0.5,
+        }
+        .apply(&mut fresh, 42);
+        assert!(fresh.pms().iter().all(|p| p.reliability == 0.9));
     }
 
     #[test]

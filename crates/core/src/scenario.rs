@@ -92,6 +92,38 @@ impl Scenario {
         Self::from_trace(format!("scaled-{pm_count}pm"), fleet, &trace, sim)
     }
 
+    /// The heterogeneous throughput scenario: the scaled fleet with every
+    /// PM's reliability jittered `±spread` off its class score — the
+    /// per-machine continuum that fragments exact superclass keys and
+    /// that `class_tolerance` re-buckets (DESIGN.md §12). The acceptance
+    /// scenario for the bucketed compressed kernel is
+    /// `scaled_jittered(10_000, 0.004, seed)` over the full week.
+    pub fn scaled_jittered(pm_count: usize, spread: f64, seed: u64) -> Self {
+        let mut s =
+            Self::scaled(pm_count, seed).with_reliability(ReliabilityModel::Jittered { spread });
+        s.name = format!("scaled-jittered-{pm_count}pm");
+        s
+    }
+
+    /// The scaled fleet under the age-decay reliability driver (Section
+    /// III-B-3's "life time"): ages uniform in `[0, max_age_years]`, class
+    /// score decaying by `annual_decay` per year. Like
+    /// [`Scenario::scaled_jittered`], a per-PM continuum — the other
+    /// heterogeneity axis of the bucketing experiments.
+    pub fn scaled_age_decayed(
+        pm_count: usize,
+        max_age_years: f64,
+        annual_decay: f64,
+        seed: u64,
+    ) -> Self {
+        let mut s = Self::scaled(pm_count, seed).with_reliability(ReliabilityModel::AgeDecaying {
+            max_age_years,
+            annual_decay,
+        });
+        s.name = format!("scaled-aged-{pm_count}pm");
+        s
+    }
+
     /// A scenario from any synthetic workload profile on the paper fleet.
     pub fn from_profile(name: impl Into<String>, profile: LpcProfile, seed: u64) -> Self {
         let days = profile.days() as u64;
@@ -449,5 +481,42 @@ mod tests {
         let ids: Vec<u32> = s.requests().iter().map(|r| r.id.0).collect();
         assert_eq!(ids[0], 1);
         assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn heterogeneous_scaled_fleets_vary_per_pm() {
+        for s in [
+            Scenario::scaled_jittered(100, 0.004, 42),
+            Scenario::scaled_age_decayed(100, 5.0, 0.01, 42),
+        ] {
+            let rels: Vec<f64> = s.fleet().pms().iter().map(|pm| pm.reliability).collect();
+            let distinct = {
+                let mut bits: Vec<u64> = rels.iter().map(|r| r.to_bits()).collect();
+                bits.sort_unstable();
+                bits.dedup();
+                bits.len()
+            };
+            assert!(
+                distinct > 10,
+                "{}: per-PM continuum expected, got {distinct} distinct scores",
+                s.name
+            );
+            assert!(rels.iter().all(|&r| r > 0.0 && r <= 1.0), "{}", s.name);
+            // Same seed, same fleet: the model is deterministic.
+            let again = Scenario::scaled_jittered(100, 0.004, 42);
+            let b: Vec<u64> = again
+                .fleet()
+                .pms()
+                .iter()
+                .map(|pm| pm.reliability.to_bits())
+                .collect();
+            let a: Vec<u64> = Scenario::scaled_jittered(100, 0.004, 42)
+                .fleet()
+                .pms()
+                .iter()
+                .map(|pm| pm.reliability.to_bits())
+                .collect();
+            assert_eq!(a, b);
+        }
     }
 }

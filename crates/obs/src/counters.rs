@@ -95,6 +95,8 @@ counter_bank! {
     compressed_patch_cols,
     /// Compressed passes whose bound scan survived to the round loop.
     compressed_round_passes,
+    /// Compressed planner poisonings (fleet fell back to the dense path).
+    compressed_poisons,
     /// Persistent-matrix reuses (delta pass == one warm-cache hit).
     matrix_cache_hits,
     /// Spare-server controller decisions taken.
@@ -132,6 +134,7 @@ pub fn counters() -> &'static Counters {
         compressed_patch_rows: AtomicU64::new(0),
         compressed_patch_cols: AtomicU64::new(0),
         compressed_round_passes: AtomicU64::new(0),
+        compressed_poisons: AtomicU64::new(0),
         matrix_cache_hits: AtomicU64::new(0),
         spare_decisions: AtomicU64::new(0),
         spare_servers_gauge: AtomicU64::new(0),

@@ -367,6 +367,19 @@ pub fn note_compressed_rounds_entered() {
     }
 }
 
+/// The compressed planner poisoned itself (registry cap or structural
+/// mismatch) and the dense kernel takes over; `sclasses`/`demands` are the
+/// registry sizes at the moment of the trip.
+#[inline]
+pub fn note_compressed_poisoned(sclasses: u64, demands: u64) {
+    if enabled() {
+        counters()
+            .compressed_poisons
+            .fetch_add(1, Ordering::Relaxed);
+        emit(RecordKind::CompressedPoisoned, sclasses, demands);
+    }
+}
+
 /// Reason codes for [`note_plan_rebuild_fallback`].
 pub const FALLBACK_DIRTY_FRACTION: u64 = 0;
 pub const FALLBACK_SWEEP_REFUSED: u64 = 1;

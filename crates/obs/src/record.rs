@@ -53,6 +53,10 @@ pub enum RecordKind {
     /// Fleet mutation: VM reservation resized in place (`a` = vm id,
     /// `b` = host pm id) — vertical elasticity.
     VmResized = 17,
+    /// Compressed planner poisoned itself — every later pass runs the
+    /// dense kernel (`a` = superclass count, `b` = demand count at the
+    /// moment the registry cap tripped).
+    CompressedPoisoned = 18,
 }
 
 impl RecordKind {
@@ -75,6 +79,7 @@ impl RecordKind {
             14 => RecordKind::OracleViolation,
             15 => RecordKind::PlanKernelCompressed,
             17 => RecordKind::VmResized,
+            18 => RecordKind::CompressedPoisoned,
             _ => RecordKind::Mark,
         }
     }
@@ -100,6 +105,7 @@ impl RecordKind {
             RecordKind::PlanKernelCompressed => "plan-kernel-compressed",
             RecordKind::Mark => "mark",
             RecordKind::VmResized => "vm-resized",
+            RecordKind::CompressedPoisoned => "compressed-poisoned",
         }
     }
 }
@@ -200,7 +206,7 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_u8() {
-        for v in 0..=17u8 {
+        for v in 0..=18u8 {
             let k = RecordKind::from_u8(v);
             assert_eq!(k as u8, v, "{k}");
         }

@@ -266,6 +266,9 @@ impl CompressedPlanner {
     }
 
     fn poison(&mut self) {
+        // The registries are left intact so the trip report (and the
+        // accessors the bench rows read) can say what fragmented.
+        dvmp_obs::note_compressed_poisoned(self.sclasses.len() as u64, self.demands.len() as u64);
         self.poisoned = true;
         self.synced = false;
         self.rows.clear();
@@ -273,6 +276,12 @@ impl CompressedPlanner {
         self.cols.clear();
         self.host_vms.clear();
         self.stash.clear();
+    }
+
+    /// Occupied `(superclass, demand)` level buckets — how spread the
+    /// compressed representation currently is (bench telemetry).
+    pub(crate) fn occupied_buckets(&self) -> usize {
+        self.buckets.iter().filter(|b| b.mask != 0).count()
     }
 
     // -------------------------------------------------------------------
@@ -316,24 +325,65 @@ impl CompressedPlanner {
     }
 
     /// Registers a demand vector, backfilling the level cache and buckets
-    /// of every existing row for the new demand index.
-    fn register_demand(
-        &mut self,
-        res: &ResourceVector,
-        min_vm: &ResourceVector,
-    ) -> Result<u8, Poison> {
+    /// of every existing row for the new demand index. On large fleets the
+    /// per-row level computation is sharded across the crossbeam pool
+    /// (contiguous row ranges into disjoint scratch slices); the bucket
+    /// inserts then replay serially in ascending row order, so the
+    /// resulting state is bit-identical to the sequential backfill at any
+    /// shard count.
+    fn register_demand(&mut self, res: &ResourceVector, cfg: &DynamicConfig) -> Result<u8, Poison> {
         if let Some(&d) = self.demand_lookup.get(res) {
             return Ok(d);
         }
-        if self.demands.len() >= MAX_DEMANDS || res.k() != min_vm.k() {
+        if self.demands.len() >= MAX_DEMANDS || res.k() != cfg.min_vm.k() {
             return Err(Poison);
         }
         let d = self.demands.len() as u8;
         self.demands.push(*res);
         self.demand_lookup.insert(*res, d);
-        for r in 0..self.rows.len() {
-            if self.rows[r].active {
-                self.bucket_row_demand(r, d as usize);
+        let m = self.rows.len();
+        let shards = cfg.resolve_shards(m);
+        if shards > 1 {
+            let demand = self.demands[d as usize];
+            let rows = &self.rows;
+            let sclasses = &self.sclasses;
+            let mut scratch = vec![INFEASIBLE; m];
+            let chunk = m.div_ceil(shards);
+            crossbeam::scope(|s| {
+                for (i, out) in scratch.chunks_mut(chunk).enumerate() {
+                    let lo = i * chunk;
+                    s.spawn(move |_| {
+                        for (j, w) in out.iter_mut().enumerate() {
+                            let row = &rows[lo + j];
+                            if !row.active {
+                                continue;
+                            }
+                            let sc = &sclasses[row.sclass as usize];
+                            if sc.usable && row.used.fits_with(&demand, &sc.entry.capacity) {
+                                *w = class_table::class_level(&row.used.add(&demand), &sc.entry)
+                                    as u8;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("backfill worker panicked");
+            for (r, &w) in scratch.iter().enumerate() {
+                if w != INFEASIBLE {
+                    // Fresh demand index: the old level is always
+                    // INFEASIBLE, so this is insert-only — exactly what
+                    // `bucket_row_demand` would do.
+                    let b_idx = self.rows[r].sclass as usize * MAX_DEMANDS + d as usize;
+                    self.row_w[r * MAX_DEMANDS + d as usize] = w;
+                    self.buckets[b_idx].insert(w, r as u32);
+                    self.note_insert(b_idx);
+                }
+            }
+        } else {
+            for r in 0..m {
+                if self.rows[r].active {
+                    self.bucket_row_demand(r, d as usize);
+                }
             }
         }
         Ok(d)
@@ -593,8 +643,11 @@ impl CompressedPlanner {
 
     fn rebuild_all(&mut self, view: &PlacementView<'_>, cfg: &DynamicConfig) -> Result<(), Poison> {
         self.effs.clear();
-        self.effs
-            .extend(relative_efficiencies(view.dc.classes(), &cfg.min_vm));
+        self.effs.extend(
+            relative_efficiencies(view.dc.classes(), &cfg.min_vm)
+                .into_iter()
+                .map(|e| crate::config::quantize_score(e, cfg.class_tolerance)),
+        );
         let m = view.dc.pms().len();
         for b in &mut self.buckets {
             b.levels.iter_mut().for_each(BTreeSet::clear);
@@ -626,7 +679,7 @@ impl CompressedPlanner {
                 VmState::Running { pm } => {
                     let r = pm.0 as usize;
                     if self.rows.get(r).is_some_and(|row| row.active) {
-                        let d = self.register_demand(vm.demand(), &cfg.min_vm)?;
+                        let d = self.register_demand(vm.demand(), cfg)?;
                         self.cols.push(Col {
                             id: vm.spec.id,
                             demand: d,
@@ -650,7 +703,13 @@ impl CompressedPlanner {
         Ok(())
     }
 
+    /// Mirrors [`PlanState::refill`]'s row construction exactly —
+    /// including the `class_tolerance` quantizers, which is what keeps the
+    /// persistent planner's superclass keys identical to the inputs the
+    /// dense kernel would see for the same fleet.
     fn plan_pm_of(pm: &dvmp_cluster::pm::Pm, cfg: &DynamicConfig) -> PlanPm {
+        use crate::config::{quantize_score, quantize_secs};
+        let tol = cfg.class_tolerance;
         PlanPm {
             id: pm.id,
             class_idx: pm.class_idx,
@@ -659,9 +718,9 @@ impl CompressedPlanner {
                 crate::config::CapacityBasis::Physical => *pm.capacity(),
             },
             used: *pm.used(),
-            reliability: pm.reliability,
-            creation_secs: pm.class.creation_time.as_secs(),
-            migration_secs: pm.class.migration_time.as_secs(),
+            reliability: quantize_score(pm.reliability, tol),
+            creation_secs: quantize_secs(pm.class.creation_time.as_secs(), tol),
+            migration_secs: quantize_secs(pm.class.migration_time.as_secs(), tol),
         }
     }
 
@@ -730,7 +789,7 @@ impl CompressedPlanner {
                         self.remove_col(vm_id);
                         continue;
                     }
-                    let d = self.register_demand(vm.demand(), &cfg.min_vm)?;
+                    let d = self.register_demand(vm.demand(), cfg)?;
                     let deadline = view.now + vm.estimated_remaining(view.now);
                     match self.col_index(vm_id) {
                         Ok(i) => {
@@ -989,7 +1048,7 @@ impl CompressedPlanner {
         if !self.ensure_synced(view, delta, cfg) {
             return None;
         }
-        let d_idx = match self.register_demand(&spec.resources, &cfg.min_vm) {
+        let d_idx = match self.register_demand(&spec.resources, cfg) {
             Ok(d) => d as usize,
             Err(Poison) => {
                 self.poison();
@@ -1055,11 +1114,13 @@ pub(crate) fn one_shot(
     for r in 0..m {
         let pm = plan.pms[r].clone();
         if p.sync_row(r, true, &pm, cfg).is_err() {
+            p.poison();
             return None;
         }
     }
     for vm in &plan.vms {
-        let Ok(d) = p.register_demand(&vm.resources, &cfg.min_vm) else {
+        let Ok(d) = p.register_demand(&vm.resources, cfg) else {
+            p.poison();
             return None;
         };
         p.cols.push(Col {
@@ -1157,9 +1218,19 @@ mod tests {
     /// persistent patch path (journal dirt, Creating stash, planner
     /// self-dirt, skipped moves) rather than single fresh passes.
     fn differential_history(seed: u64, steps: u32) {
+        drive_history(
+            seed,
+            steps,
+            Twin::new(PlanKernel::Dense),
+            Twin::new(PlanKernel::Compressed),
+        );
+    }
+
+    /// The scripted-history driver behind the differential tests: both
+    /// twins see the same arrivals, departures, commits and failures and
+    /// must agree on every placement and every migration batch.
+    fn drive_history(seed: u64, steps: u32, mut dense: Twin, mut comp: Twin) {
         let mut rng = seed | 1;
-        let mut dense = Twin::new(PlanKernel::Dense);
-        let mut comp = Twin::new(PlanKernel::Compressed);
         let mut next_vm = 1u32;
         let mut t = 0u64;
         let mut failures = 0;
@@ -1325,6 +1396,69 @@ mod tests {
         for seed in [3, 7, 11, 23, 41, 97, 131, 257] {
             differential_history(seed, 120);
         }
+    }
+
+    /// A twin over a per-PM-jittered fleet: every reliability is nudged
+    /// off its class value, so exact-equality superclassing would
+    /// fragment toward one class per PM. With `class_tolerance` both
+    /// kernels quantize through the same grid and the compressed planner
+    /// keeps its two hardware superclasses.
+    fn jittered_twin(kernel: PlanKernel, tolerance: f64) -> Twin {
+        let mut dc = FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 6, 0.99)
+            .add_class(PmClass::paper_slow(), 6, 0.95)
+            .initially_on(true)
+            .build();
+        for i in 0..dc.len() {
+            // ±0.004 spread, well inside one 0.01-tolerance bucket.
+            dc.pm_mut(PmId(i as u32)).reliability += 0.002 * ((i % 5) as f64 - 2.0);
+        }
+        let mut cfg = cfg_with(kernel);
+        cfg.class_tolerance = tolerance;
+        Twin {
+            dc,
+            vms: BTreeMap::new(),
+            policy: DynamicPlacement::new(cfg),
+        }
+    }
+
+    #[test]
+    fn bucketed_compressed_matches_dense_on_jittered_fleets() {
+        for seed in [5, 19, 73, 211] {
+            let dense = jittered_twin(PlanKernel::Dense, 0.01);
+            let comp = jittered_twin(PlanKernel::Compressed, 0.01);
+            drive_history(seed, 100, dense, comp);
+        }
+    }
+
+    #[test]
+    fn tolerance_collapses_jittered_fleet_to_hardware_superclasses() {
+        // Exact keys: every jittered reliability is its own superclass.
+        let mut exact = jittered_twin(PlanKernel::Compressed, 0.0);
+        let _ = exact.plan(SimTime::ZERO);
+        assert!(!exact.policy.compressed_poisoned());
+        assert_eq!(
+            exact.policy.compressed_superclasses(),
+            10,
+            "5 distinct jittered reliabilities per hardware class"
+        );
+        // Bucketed keys: the jitter collapses back onto the two classes.
+        let mut bucketed = jittered_twin(PlanKernel::Compressed, 0.01);
+        let s = spec(1, 512, 50_000);
+        if let Some(pm) = bucketed.place(&s, SimTime::ZERO) {
+            bucketed.dc.place(s.id, pm, s.resources).unwrap();
+            let mut vm = Vm::new(s);
+            vm.state = VmState::Running { pm };
+            vm.started_at = Some(SimTime::ZERO);
+            bucketed.vms.insert(vm.spec.id, vm);
+        }
+        let _ = bucketed.plan(SimTime::ZERO);
+        assert!(!bucketed.policy.compressed_poisoned());
+        assert_eq!(bucketed.policy.compressed_superclasses(), 2);
+        assert!(
+            bucketed.policy.compressed_occupied_buckets() >= 1,
+            "a registered demand occupies at least one level bucket"
+        );
     }
 
     #[test]

@@ -33,6 +33,28 @@ pub enum PlanKernel {
     Compressed,
 }
 
+/// Which dense bulk-sweep implementation the planner's row-major best
+/// searches run ([`crate::ProbabilityMatrix::refill_best`] and the fused
+/// incremental sweep).
+///
+/// Both implementations produce bit-identical best caches — the SIMD
+/// sweep only *skips* entries a monotonicity argument proves can never
+/// win, and every surviving entry is decided by the exact scalar
+/// comparison chain (see `matrix.rs`). The knob exists so differential
+/// tests and the CI perf gate can hold the two to that contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DenseSweep {
+    /// The lane-chunked sweep (resolves to [`DenseSweep::Simd`]).
+    #[default]
+    Auto,
+    /// The straight-line scalar sweep (the reference definition).
+    Scalar,
+    /// Lane-chunked f64 sweep with a scalar tail: entries are screened
+    /// eight at a time against the per-column running maximum and only
+    /// surviving chunks fall through to the scalar update.
+    Simd,
+}
+
 /// Which capacity bound the planning kernels treat as a PM's limit.
 ///
 /// The live datacenter admits reservations against *virtual* capacity
@@ -113,6 +135,64 @@ pub struct DynamicConfig {
     /// control; `Physical` is the overbooking ablation.
     #[serde(default)]
     pub capacity_basis: CapacityBasis,
+    /// Superclass-bucketing resolution for heterogeneous fleets.
+    ///
+    /// `0.0` (the default) plans on exact per-PM inputs. A positive
+    /// tolerance `t` snaps every score-side planning input — reliability,
+    /// relative efficiency, and the creation/migration overhead
+    /// durations — onto a `t`-spaced grid at the single choke point where
+    /// planning state is built from the fleet ([`crate::PlanState::refill`]
+    /// and the compressed planner's mirror of it), so a fleet whose per-PM
+    /// jitter would fragment the compressed planner's exact-equality class
+    /// key toward C = M instead collapses into O(spread / t) superclasses.
+    /// Both kernels read the same quantized inputs, so they remain
+    /// bit-identical to *each other* at any tolerance; the quantized plan
+    /// diverges from the exact (t = 0) plan by a bounded score
+    /// perturbation (DESIGN.md §12), which `perf_report` measures.
+    #[serde(default = "default_class_tolerance")]
+    pub class_tolerance: f64,
+    /// Shard count for the sharded dense best-candidate sweep. `0` (the
+    /// default) sizes shards automatically: one per matrix-build worker
+    /// once the fleet is at or above `par_rows_cutoff` rows, otherwise a
+    /// single shard (the plain sweep). Any positive value forces that
+    /// many row shards. Results are shard-count-invariant (DESIGN.md
+    /// §12): shards are contiguous ascending row ranges and the merge
+    /// keeps the first strict maximum, which is exactly the sequential
+    /// sweep's lowest-row tie-break.
+    #[serde(default)]
+    pub plan_shards: usize,
+    /// Dense bulk-sweep implementation (see [`DenseSweep`]). Bit-identical
+    /// either way; `Scalar` is the reference for the CI identity gate.
+    #[serde(default)]
+    pub dense_sweep: DenseSweep,
+}
+
+/// Snaps a score-side planning input (reliability or relative efficiency)
+/// onto the linear grid with spacing `tol`. Identity when `tol <= 0.0` or
+/// the value is not finite. Both planning kernels build their state
+/// through this function, which is what keeps them bit-identical to each
+/// other at any tolerance.
+#[inline]
+pub fn quantize_score(v: f64, tol: f64) -> f64 {
+    if tol <= 0.0 || !v.is_finite() {
+        return v;
+    }
+    (v / tol).round() * tol
+}
+
+/// Snaps an overhead duration (creation/migration seconds) onto the
+/// geometric grid `(1 + tol)^k`, so the *relative* error is bounded by
+/// `tol / 2` across the whole dynamic range — a linear grid would either
+/// crush small overheads to one bucket or leave large ones unbucketed.
+/// Identity when `tol <= 0.0` or the duration is zero.
+#[inline]
+pub fn quantize_secs(s: u64, tol: f64) -> u64 {
+    if tol <= 0.0 || s == 0 {
+        return s;
+    }
+    let step = (1.0 + tol).ln();
+    let k = ((s as f64).ln() / step).round();
+    (k * step).exp().round().max(1.0) as u64
 }
 
 /// Measured crossover (`perf_report` matrix-build rows): with few workers
@@ -139,6 +219,10 @@ fn default_rebuild_threshold() -> f64 {
     0.5
 }
 
+fn default_class_tolerance() -> f64 {
+    0.0
+}
+
 impl Default for DynamicConfig {
     fn default() -> Self {
         DynamicConfig {
@@ -154,6 +238,9 @@ impl Default for DynamicConfig {
             rebuild_threshold: default_rebuild_threshold(),
             plan_kernel: PlanKernel::default(),
             capacity_basis: CapacityBasis::default(),
+            class_tolerance: default_class_tolerance(),
+            plan_shards: 0,
+            dense_sweep: DenseSweep::default(),
         }
     }
 }
@@ -181,6 +268,23 @@ impl DynamicConfig {
         }
     }
 
+    /// Resolved shard count for a sweep over `rows` planning rows: the
+    /// explicit [`plan_shards`](Self::plan_shards) knob when positive
+    /// (clamped to the row count), otherwise one shard per matrix-build
+    /// worker once the fleet reaches
+    /// [`par_rows_cutoff`](Self::par_rows_cutoff) rows and a single shard
+    /// (the plain sequential sweep) below it.
+    pub fn resolve_shards(&self, rows: usize) -> usize {
+        if self.plan_shards > 0 {
+            return self.plan_shards.min(rows.max(1));
+        }
+        if rows >= self.par_rows_cutoff {
+            crate::matrix::parallel_workers(rows)
+        } else {
+            1
+        }
+    }
+
     /// Validates the configuration, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -197,6 +301,12 @@ impl DynamicConfig {
             return Err(format!(
                 "rebuild_threshold must be within [0.0, 1.0], got {}",
                 self.rebuild_threshold
+            ));
+        }
+        if !(self.class_tolerance.is_finite() && (0.0..=0.5).contains(&self.class_tolerance)) {
+            return Err(format!(
+                "class_tolerance must be within [0.0, 0.5], got {}",
+                self.class_tolerance
             ));
         }
         Ok(())
@@ -271,6 +381,90 @@ mod tests {
         let c: DynamicConfig = serde_json::from_str(&legacy).expect("legacy config parses");
         assert_eq!(c, DynamicConfig::default());
         assert_eq!(c.capacity_basis, CapacityBasis::Virtual);
+    }
+
+    #[test]
+    fn heterogeneity_knobs_default_when_absent_from_serialized_form() {
+        // Configs serialized before the bucketing/sharding/SIMD knobs
+        // existed must still load with the defaults (same pattern as
+        // plan_kernel).
+        let full = serde_json::to_string(&DynamicConfig::default()).unwrap();
+        let legacy = full
+            .replace(",\"class_tolerance\":0.0", "")
+            .replace(",\"plan_shards\":0", "")
+            .replace(",\"dense_sweep\":\"Auto\"", "");
+        assert_ne!(legacy, full, "all three knobs serialize");
+        let c: DynamicConfig = serde_json::from_str(&legacy).expect("legacy config parses");
+        assert_eq!(c, DynamicConfig::default());
+        assert_eq!(c.class_tolerance, 0.0);
+        assert_eq!(c.plan_shards, 0);
+        assert_eq!(c.dense_sweep, DenseSweep::Auto);
+    }
+
+    #[test]
+    fn validation_rejects_bad_class_tolerance() {
+        let mut c = DynamicConfig::default();
+        c.class_tolerance = -0.01;
+        assert!(c.validate().is_err());
+        c.class_tolerance = 0.6;
+        assert!(c.validate().is_err());
+        c.class_tolerance = f64::NAN;
+        assert!(c.validate().is_err());
+        c.class_tolerance = 0.0;
+        assert!(c.validate().is_ok());
+        c.class_tolerance = 0.05;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn quantize_score_is_identity_at_zero_tolerance() {
+        for v in [0.0, 0.913, 1.0, -0.25, f64::NAN, f64::INFINITY] {
+            let q = quantize_score(v, 0.0);
+            assert_eq!(q.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantize_score_buckets_nearby_values_together() {
+        let tol = 0.01;
+        // Values within half a grid step of each other land on one bucket.
+        assert_eq!(
+            quantize_score(0.9496, tol).to_bits(),
+            quantize_score(0.9504, tol).to_bits()
+        );
+        // A jittered spread of ±s around a base produces at most
+        // 2*s/tol + 1 distinct buckets.
+        let spread = 0.05;
+        let mut buckets = std::collections::BTreeSet::new();
+        for i in 0..=1000 {
+            let v = 0.95 - spread + 2.0 * spread * (i as f64) / 1000.0;
+            buckets.insert(quantize_score(v, tol).to_bits());
+        }
+        assert!(
+            buckets.len() <= (2.0 * spread / tol) as usize + 2,
+            "got {} buckets",
+            buckets.len()
+        );
+        // The snap error is bounded by half a grid step.
+        assert!((quantize_score(0.9496, tol) - 0.9496).abs() <= tol / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn quantize_secs_bounds_relative_error() {
+        let tol = 0.05;
+        assert_eq!(quantize_secs(0, tol), 0);
+        assert_eq!(quantize_secs(7, 0.0), 7);
+        for s in [1u64, 5, 60, 95, 100, 105, 3600, 86_400, 1_000_000] {
+            let q = quantize_secs(s, tol);
+            assert!(q >= 1);
+            let rel = (q as f64 - s as f64).abs() / s as f64;
+            // Half a geometric step plus integer rounding slack.
+            assert!(rel <= tol / 2.0 + 1.0 / s as f64 + 1e-9, "s={s} q={q}");
+        }
+        // Nearby overheads collapse onto one bucket (98 and 100 share the
+        // k=94 grid point of the 5% geometric grid); distant ones don't.
+        assert_eq!(quantize_secs(98, tol), quantize_secs(100, tol));
+        assert_ne!(quantize_secs(100, tol), quantize_secs(120, tol));
     }
 
     #[test]

@@ -182,13 +182,15 @@ impl DynamicPlacement {
     /// [`DynamicConfig::validate`]).
     pub fn new(cfg: DynamicConfig) -> Self {
         cfg.validate().expect("invalid DynamicConfig");
+        let mut matrix = ProbabilityMatrix::default();
+        matrix.set_sweep(cfg.dense_sweep);
         DynamicPlacement {
             cfg,
             extras: Vec::new(),
             total_migrations: 0,
             round_cap_hits: 0,
             plan_arena: PlanState::default(),
-            matrix: ProbabilityMatrix::default(),
+            matrix,
             best: Vec::new(),
             pending_delta: None,
             snap: PassSnapshot::default(),
@@ -279,6 +281,13 @@ impl DynamicPlacement {
     /// powered fleet; 0 before the first compressed pass).
     pub fn compressed_active_rows(&self) -> usize {
         self.comp.active_row_count()
+    }
+
+    /// Superclass level buckets currently holding at least one row — how
+    /// evenly the tolerance bucketing spread the fleet (0 before the first
+    /// compressed pass).
+    pub fn compressed_occupied_buckets(&self) -> usize {
+        self.comp.occupied_buckets()
     }
 
     /// Whether the next pass over `view` would run the class-compressed
@@ -404,10 +413,10 @@ impl DynamicPlacement {
             dvmp_obs::note_plan_kernel_fresh(plan.pms.len() as u64, plan.vms.len() as u64);
             // Per-column cache of the best non-host candidate, refilled in
             // one row-major sweep (the incremental update folds this into
-            // its own sweep). The cache itself never carries across
-            // passes: `p^vir` decays every pass, which rescales entries
-            // unevenly.
-            matrix.refill_best(plan, best);
+            // its own sweep), sharded over row ranges on large fleets. The
+            // cache itself never carries across passes: `p^vir` decays
+            // every pass, which rescales entries unevenly.
+            matrix.refill_best_sharded(plan, best, cfg.resolve_shards(plan.pms.len()));
         }
 
         let mut moves = Vec::new();
@@ -506,7 +515,12 @@ impl PlacementPolicy for DynamicPlacement {
             self.comp.desync();
         }
         let mut plan = std::mem::take(&mut self.plan_arena);
-        plan.refill(view, &self.cfg.min_vm, self.cfg.capacity_basis);
+        plan.refill(
+            view,
+            &self.cfg.min_vm,
+            self.cfg.capacity_basis,
+            self.cfg.class_tolerance,
+        );
         let est = vm.estimated_runtime.as_secs();
         let ctx = EvalContext::with_extras(&self.cfg, &self.extras);
 
@@ -549,7 +563,12 @@ impl PlacementPolicy for DynamicPlacement {
             // Poisoned mid-call: this pass (and all later ones) runs dense.
         }
         let mut plan = std::mem::take(&mut self.plan_arena);
-        plan.refill(view, &self.cfg.min_vm, self.cfg.capacity_basis);
+        plan.refill(
+            view,
+            &self.cfg.min_vm,
+            self.cfg.capacity_basis,
+            self.cfg.class_tolerance,
+        );
         let moves = self.plan_on(&mut plan);
         self.plan_arena = plan;
         moves

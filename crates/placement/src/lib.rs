@@ -38,7 +38,9 @@ pub mod threshold;
 pub mod worstfit;
 
 pub use bestfit::BestFit;
-pub use config::{CapacityBasis, DynamicConfig, OverheadMode, PlanKernel, COMPRESSED_ROWS_CUTOFF};
+pub use config::{
+    CapacityBasis, DenseSweep, DynamicConfig, OverheadMode, PlanKernel, COMPRESSED_ROWS_CUTOFF,
+};
 pub use dynamic::DynamicPlacement;
 pub use firstfit::FirstFit;
 pub use matrix::{MatrixKernel, ProbabilityMatrix};

@@ -37,6 +37,7 @@
 //! [`normalized`]: ProbabilityMatrix::normalized
 //! [`best_move_for`]: ProbabilityMatrix::best_move_for
 
+use crate::config::DenseSweep;
 use crate::factors::class_table::{self, ClassTable};
 use crate::factors::{self, EvalContext};
 use crate::plan::PlanState;
@@ -97,6 +98,118 @@ pub struct ProbabilityMatrix {
     /// [`update_incremental`](ProbabilityMatrix::update_incremental).
     eff_complete: bool,
     kernel: MatrixKernel,
+    /// Dense bulk-sweep implementation (see [`DenseSweep`]); `Auto`
+    /// resolves to the lane-chunked screened sweep.
+    sweep: DenseSweep,
+    /// Per-column running numerator maxima, scratch for the screened
+    /// sweeps (kept in the struct so steady-state passes do not allocate).
+    best_pv: Vec<f64>,
+}
+
+/// Lane width of the chunked screened sweep: eight f64s span a cache line
+/// and give the autovectorizer a fixed-trip inner compare loop.
+const LANES: usize = 8;
+
+/// One row of the screened bulk best sweep ([`DenseSweep::Simd`]).
+///
+/// Columns are screened [`LANES`] at a time against the per-column running
+/// numerator maximum `best_pv`: within a column the denominator `host_p`
+/// is constant, and dividing by a positive constant is (non-strictly)
+/// monotone even under rounding, so `pv <= best_pv[c]` proves the strict
+/// `d > bd` update could never fire — the same argument the fused
+/// incremental sweep already relies on. Only chunks containing a potential
+/// winner fall through to the exact scalar update, which runs the same
+/// comparisons in the same column order as the scalar sweep, so the
+/// resulting `best` is bit-identical to [`DenseSweep::Scalar`] for any
+/// input (a host-row lane can trip the screen spuriously; the scalar
+/// fallthrough re-checks it).
+#[inline]
+fn sweep_row_screened(
+    row: usize,
+    prow: &[f64],
+    host_p: &[f64],
+    hosts: &[u32],
+    best: &mut [Option<(usize, f64)>],
+    best_pv: &mut [f64],
+) {
+    #[inline(always)]
+    fn update(
+        c: usize,
+        row: usize,
+        prow: &[f64],
+        host_p: &[f64],
+        hosts: &[u32],
+        best: &mut [Option<(usize, f64)>],
+        best_pv: &mut [f64],
+    ) {
+        let pv = prow[c];
+        if hosts[c] as usize == row || pv <= best_pv[c] {
+            return;
+        }
+        let pc = host_p[c];
+        let d = if pc > 0.0 { pv / pc } else { f64::INFINITY };
+        if d > 0.0 && best[c].map_or(true, |(_, bd)| d > bd) {
+            best[c] = Some((row, d));
+            best_pv[c] = pv;
+        }
+    }
+    let cols = prow.len();
+    let mut c = 0;
+    while c + LANES <= cols {
+        let pv = &prow[c..c + LANES];
+        let bpv = &best_pv[c..c + LANES];
+        let mut any = false;
+        for l in 0..LANES {
+            any |= pv[l] > bpv[l];
+        }
+        if any {
+            for l in 0..LANES {
+                update(c + l, row, prow, host_p, hosts, best, best_pv);
+            }
+        }
+        c += LANES;
+    }
+    for cc in c..cols {
+        update(cc, row, prow, host_p, hosts, best, best_pv);
+    }
+}
+
+/// The bulk best sweep over a contiguous row range — the scalar reference
+/// loop or the screened lane-chunked variant, selected by `simd`. Both
+/// produce bit-identical `best` contents (see [`sweep_row_screened`]);
+/// the scalar loop never reads or writes `best_pv`.
+#[allow(clippy::too_many_arguments)]
+fn sweep_range(
+    p: &[f64],
+    cols: usize,
+    rows: std::ops::Range<usize>,
+    host_p: &[f64],
+    hosts: &[u32],
+    best: &mut [Option<(usize, f64)>],
+    best_pv: &mut [f64],
+    simd: bool,
+) {
+    for row in rows {
+        let prow = &p[row * cols..][..cols];
+        if simd {
+            sweep_row_screened(row, prow, host_p, hosts, best, best_pv);
+            continue;
+        }
+        for (((&pv, &pc), &host), slot) in prow
+            .iter()
+            .zip(host_p.iter())
+            .zip(hosts.iter())
+            .zip(best.iter_mut())
+        {
+            if host as usize == row || pv <= 0.0 {
+                continue;
+            }
+            let d = if pc > 0.0 { pv / pc } else { f64::INFINITY };
+            if d > 0.0 && slot.map_or(true, |(_, bd)| d > bd) {
+                *slot = Some((row, d));
+            }
+        }
+    }
 }
 
 /// Number of worker threads a chunked (re)build uses for a `rows`-row
@@ -316,6 +429,18 @@ impl ProbabilityMatrix {
         self.kernel = kernel;
     }
 
+    /// The dense bulk-sweep implementation this matrix runs.
+    pub fn sweep(&self) -> DenseSweep {
+        self.sweep
+    }
+
+    /// Selects the dense bulk-sweep implementation. Safe to flip at any
+    /// time: both sweeps produce bit-identical best caches (see
+    /// [`DenseSweep`]), this only changes how the work is executed.
+    pub fn set_sweep(&mut self, sweep: DenseSweep) {
+        self.sweep = sweep;
+    }
+
     /// Number of PM rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -532,14 +657,35 @@ impl ProbabilityMatrix {
     /// to date. Element-wise identical to the per-column scan: rows are
     /// visited in ascending order, so the strict `>` update keeps the same
     /// lowest-row tie-break, and skipped entries (`p <= 0`) are exactly
-    /// those the per-column scan rejects with `d == 0`.
+    /// those the per-column scan rejects with `d == 0`. Runs the sweep
+    /// implementation selected by [`set_sweep`](Self::set_sweep) — both
+    /// produce bit-identical caches.
     pub fn refill_best(&mut self, plan: &PlanState, best: &mut Vec<Option<(usize, f64)>>) {
+        self.refill_best_sharded(plan, best, 1);
+    }
+
+    /// [`refill_best`](Self::refill_best) over `shards` contiguous row
+    /// ranges swept in parallel. Each shard fills a private best cache
+    /// over its ascending row range; shard caches are then merged in
+    /// shard order with the same strict-`>` rule the sequential sweep
+    /// applies, so the lowest-row tie-break survives sharding and the
+    /// result is bit-identical for every shard count (the global winner
+    /// lives in exactly one shard, where the in-shard ascending sweep
+    /// already picked its lowest row).
+    pub fn refill_best_sharded(
+        &mut self,
+        plan: &PlanState,
+        best: &mut Vec<Option<(usize, f64)>>,
+        shards: usize,
+    ) {
         let ProbabilityMatrix {
             rows,
             cols,
             p,
             host_p,
             hosts,
+            sweep,
+            best_pv,
             ..
         } = self;
         let (rows, cols) = (*rows, *cols);
@@ -547,20 +693,47 @@ impl ProbabilityMatrix {
         best.resize(cols, None);
         hosts.clear();
         hosts.extend(plan.vms.iter().map(|vm| vm.host as u32));
-        for row in 0..rows {
-            let prow = &p[row * cols..][..cols];
-            for (((&pv, &pc), &host), slot) in prow
-                .iter()
-                .zip(host_p.iter())
-                .zip(hosts.iter())
-                .zip(best.iter_mut())
-            {
-                if host as usize == row || pv <= 0.0 {
-                    continue;
-                }
-                let d = if pc > 0.0 { pv / pc } else { f64::INFINITY };
-                if d > 0.0 && slot.map_or(true, |(_, bd)| d > bd) {
-                    *slot = Some((row, d));
+        let simd = !matches!(*sweep, DenseSweep::Scalar);
+        let shards = shards.clamp(1, rows.max(1));
+        if shards <= 1 {
+            best_pv.clear();
+            best_pv.resize(cols, 0.0);
+            sweep_range(p, cols, 0..rows, host_p, hosts, best, best_pv, simd);
+            return;
+        }
+        let chunk = rows.div_ceil(shards);
+        let mut locals: Vec<Vec<Option<(usize, f64)>>> =
+            (0..shards).map(|_| vec![None; cols]).collect();
+        let (p, host_p, hosts_r) = (&*p, &*host_p, &*hosts);
+        crossbeam::scope(|s| {
+            for (i, local) in locals.iter_mut().enumerate() {
+                let lo = i * chunk;
+                let hi = ((i + 1) * chunk).min(rows);
+                s.spawn(move |_| {
+                    if lo >= hi {
+                        return;
+                    }
+                    let mut pv_scratch = vec![0.0f64; cols];
+                    sweep_range(
+                        p,
+                        cols,
+                        lo..hi,
+                        host_p,
+                        hosts_r,
+                        local,
+                        &mut pv_scratch,
+                        simd,
+                    );
+                });
+            }
+        })
+        .expect("best-sweep shard worker panicked");
+        for local in &locals {
+            for (slot, &cand) in best.iter_mut().zip(local.iter()) {
+                if let Some((row, d)) = cand {
+                    if slot.map_or(true, |(_, bd)| d > bd) {
+                        *slot = Some((row, d));
+                    }
                 }
             }
         }
@@ -679,8 +852,10 @@ impl ProbabilityMatrix {
             vir_cache,
             hosts,
             kernel,
+            sweep,
             ..
         } = self;
+        let screened_sweep = !matches!(*sweep, DenseSweep::Scalar);
         let old_eff = &*eff_scratch;
         let use_vir = ctx.vir_enabled();
         let (use_rel, use_eff) = (ctx.cfg.use_rel, ctx.cfg.use_eff);
@@ -817,6 +992,12 @@ impl ProbabilityMatrix {
         for (row, out) in p.chunks_mut(cols).enumerate() {
             let eff_out = eff_rows.next().expect("eff buffer sized with p");
             if dirty_rows[row] {
+                if screened_sweep {
+                    // Lane-chunked variant of the loop below — identical
+                    // per-entry updates behind a `LANES`-wide screen.
+                    sweep_row_screened(row, out, hp, hosts_s, best, &mut best_pv);
+                    continue;
+                }
                 for ((((&pv, best_slot), &host), &pc), bpv) in out
                     .iter()
                     .zip(best.iter_mut())
@@ -1359,5 +1540,136 @@ mod tests {
         assert_eq!(plan.vms[col].id, dvmp_cluster::vm::VmId(3));
         assert!(d > 1.0);
         let _ = ResourceVector::cpu_mem(1, 1); // keep import used
+    }
+
+    /// 20 PMs with jittered reliabilities and 27 VMs of varied shapes —
+    /// wide enough to exercise full `LANES` chunks plus a scalar tail.
+    fn wide_fixture() -> (PlanState, DynamicConfig) {
+        use dvmp_cluster::datacenter::FleetBuilder;
+        use dvmp_cluster::pm::PmClass;
+        let mut dc = FleetBuilder::new()
+            .add_class(PmClass::paper_fast(), 10, 0.99)
+            .add_class(PmClass::paper_slow(), 10, 0.95)
+            .initially_on(true)
+            .build();
+        for i in 0..dc.len() {
+            dc.pm_mut(PmId(i as u32)).reliability -= 0.0003 * i as f64;
+        }
+        let mut vms = BTreeMap::new();
+        for i in 0..27u32 {
+            install(
+                &mut dc,
+                &mut vms,
+                spec(
+                    i + 1,
+                    256 + 128 * u64::from(i % 5),
+                    10_000 + 7_000 * u64::from(i % 7),
+                ),
+                PmId(i % 20),
+                SimTime::ZERO,
+            );
+        }
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
+        let cfg = DynamicConfig::default();
+        let plan = PlanState::from_view(&view, &cfg.min_vm);
+        (plan, cfg)
+    }
+
+    fn best_bits(best: &[Option<(usize, f64)>]) -> Vec<Option<(usize, u64)>> {
+        best.iter()
+            .map(|b| b.map(|(r, d)| (r, d.to_bits())))
+            .collect()
+    }
+
+    #[test]
+    fn screened_sweep_is_bit_identical_to_scalar() {
+        let (plan, cfg) = wide_fixture();
+        let ctx = EvalContext::new(&cfg);
+        let mut m = ProbabilityMatrix::build(&plan, &ctx);
+        assert_eq!(m.sweep(), DenseSweep::Auto);
+        let mut scalar = Vec::new();
+        m.set_sweep(DenseSweep::Scalar);
+        m.refill_best(&plan, &mut scalar);
+        let mut simd = Vec::new();
+        m.set_sweep(DenseSweep::Simd);
+        m.refill_best(&plan, &mut simd);
+        assert_eq!(best_bits(&scalar), best_bits(&simd));
+        // Both agree with the per-column scan, the ground truth.
+        for (col, b) in simd.iter().enumerate() {
+            assert_eq!(
+                b.map(|(r, d)| (r, d.to_bits())),
+                m.best_move_for(&plan, col).map(|(r, d)| (r, d.to_bits())),
+                "column {col}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_is_shard_count_invariant() {
+        let (plan, cfg) = wide_fixture();
+        let ctx = EvalContext::new(&cfg);
+        let mut m = ProbabilityMatrix::build(&plan, &ctx);
+        for sweep in [DenseSweep::Scalar, DenseSweep::Simd] {
+            m.set_sweep(sweep);
+            let mut reference = Vec::new();
+            m.refill_best_sharded(&plan, &mut reference, 1);
+            // Shard counts above the row count clamp to one row per shard.
+            for shards in [2, 3, 7, 16, 64] {
+                let mut sharded = Vec::new();
+                m.refill_best_sharded(&plan, &mut sharded, shards);
+                assert_eq!(
+                    best_bits(&reference),
+                    best_bits(&sharded),
+                    "{sweep:?} x {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_screened_sweep_matches_scalar() {
+        let (mut plan, cfg) = wide_fixture();
+        let ctx = EvalContext::new(&cfg);
+        let mut scalar_m = ProbabilityMatrix::build(&plan, &ctx);
+        scalar_m.set_sweep(DenseSweep::Scalar);
+        let mut simd_m = ProbabilityMatrix::build(&plan, &ctx);
+        simd_m.set_sweep(DenseSweep::Simd);
+        // Footprint drift plus one migration: dirty endpoints + column.
+        for vm in &mut plan.vms {
+            vm.remaining_secs -= 1_000;
+        }
+        let to = plan.pms.iter().position(|p| p.id == PmId(5)).unwrap();
+        let (from, to) = plan.apply_migration(0, to);
+        let (rows, cols) = (plan.pms.len(), plan.vms.len());
+        let dirty_rows: Vec<bool> = (0..rows).map(|r| r == from || r == to).collect();
+        let row_src: Vec<u32> = (0..rows as u32).collect();
+        let dirty_cols: Vec<bool> = (0..cols).map(|c| c == 0).collect();
+        let col_src: Vec<u32> = (0..cols as u32).collect();
+        let mut scalar_best = Vec::new();
+        let mut simd_best = Vec::new();
+        assert!(scalar_m.update_incremental(
+            &plan,
+            &ctx,
+            &dirty_rows,
+            &row_src,
+            &dirty_cols,
+            &col_src,
+            &mut scalar_best,
+        ));
+        assert!(simd_m.update_incremental(
+            &plan,
+            &ctx,
+            &dirty_rows,
+            &row_src,
+            &dirty_cols,
+            &col_src,
+            &mut simd_best,
+        ));
+        assert_bit_identical(&scalar_m, &simd_m);
+        assert_eq!(best_bits(&scalar_best), best_bits(&simd_best));
     }
 }

@@ -108,7 +108,7 @@ impl PlanState {
     /// demand, which resize events move away from its spec.
     pub fn from_view(view: &PlacementView<'_>, min_vm: &ResourceVector) -> Self {
         let mut plan = PlanState::default();
-        plan.refill(view, min_vm, CapacityBasis::Virtual);
+        plan.refill(view, min_vm, CapacityBasis::Virtual, 0.0);
         plan
     }
 
@@ -116,15 +116,31 @@ impl PlanState {
     /// allocations, with an explicit capacity basis. The planner calls
     /// this once per pass on a plan arena it owns, so steady-state
     /// planning allocates nothing here.
+    ///
+    /// `tolerance` is the superclass-bucketing resolution
+    /// ([`crate::DynamicConfig::class_tolerance`]): every score-side input
+    /// captured here — reliability, relative efficiency, overhead
+    /// durations — is snapped onto the tolerance grid, and `0.0` captures
+    /// exact values. This is the *single* choke point where the dense
+    /// kernel reads those inputs (everything downstream goes through
+    /// [`PlanPm`] and [`PlanState::effs`]); the compressed planner builds
+    /// its rows through the same quantizers, which is what keeps the two
+    /// kernels bit-identical at any tolerance. Capacity and demand are
+    /// never quantized — feasibility stays exact.
     pub fn refill(
         &mut self,
         view: &PlacementView<'_>,
         min_vm: &ResourceVector,
         basis: CapacityBasis,
+        tolerance: f64,
     ) {
+        use crate::config::{quantize_score, quantize_secs};
         self.effs.clear();
-        self.effs
-            .extend(relative_efficiencies(view.dc.classes(), min_vm));
+        self.effs.extend(
+            relative_efficiencies(view.dc.classes(), min_vm)
+                .into_iter()
+                .map(|e| quantize_score(e, tolerance)),
+        );
         self.pms.clear();
         self.vms.clear();
         self.row_lookup.clear();
@@ -143,9 +159,9 @@ impl PlanState {
                         CapacityBasis::Physical => *pm.capacity(),
                     },
                     used: *pm.used(),
-                    reliability: pm.reliability,
-                    creation_secs: pm.class.creation_time.as_secs(),
-                    migration_secs: pm.class.migration_time.as_secs(),
+                    reliability: quantize_score(pm.reliability, tolerance),
+                    creation_secs: quantize_secs(pm.class.creation_time.as_secs(), tolerance),
+                    migration_secs: quantize_secs(pm.class.migration_time.as_secs(), tolerance),
                 });
             }
         }
@@ -406,7 +422,7 @@ mod tests {
             vms: &vms2,
             now: SimTime::from_secs(500),
         };
-        arena.refill(&view2, &min_vm, CapacityBasis::Virtual);
+        arena.refill(&view2, &min_vm, CapacityBasis::Virtual, 0.0);
         let fresh = PlanState::from_view(&view2, &min_vm);
 
         assert_eq!(arena.pms.len(), fresh.pms.len());
@@ -462,8 +478,57 @@ mod tests {
 
         // The Physical ablation ignores the ratios.
         let mut phys = PlanState::default();
-        phys.refill(&view, &min_vm, CapacityBasis::Physical);
+        phys.refill(&view, &min_vm, CapacityBasis::Physical, 0.0);
         assert_eq!(phys.pms[row0].capacity.get(0), 8);
+    }
+
+    #[test]
+    fn refill_quantizes_score_inputs_but_not_capacity() {
+        use crate::config::{quantize_score, quantize_secs};
+        use dvmp_cluster::pm::PmId;
+
+        let mut dc = small_fleet();
+        // Jitter every PM's reliability inside one tolerance bucket.
+        let n = dc.len();
+        for i in 0..n {
+            dc.pm_mut(PmId(i as u32)).reliability = 0.949 + 0.002 * (i as f64) / (n as f64);
+        }
+        let vms = BTreeMap::new();
+        let view = PlacementView {
+            dc: &dc,
+            vms: &vms,
+            now: SimTime::ZERO,
+        };
+        let min_vm = dvmp_cluster::resources::ResourceVector::cpu_mem(1, 256);
+        let exact = PlanState::from_view(&view, &min_vm);
+        let mut quant = PlanState::default();
+        quant.refill(&view, &min_vm, CapacityBasis::Virtual, 0.01);
+
+        for (e, q) in exact.pms.iter().zip(&quant.pms) {
+            // Score-side inputs are snapped through the shared quantizers…
+            assert_eq!(
+                q.reliability.to_bits(),
+                quantize_score(e.reliability, 0.01).to_bits()
+            );
+            assert_eq!(q.creation_secs, quantize_secs(e.creation_secs, 0.01));
+            assert_eq!(q.migration_secs, quantize_secs(e.migration_secs, 0.01));
+            // …while feasibility-side state stays exact.
+            assert_eq!(q.capacity, e.capacity);
+            assert_eq!(q.used, e.used);
+        }
+        for (e, q) in exact.effs.iter().zip(&quant.effs) {
+            assert_eq!(q.to_bits(), quantize_score(*e, 0.01).to_bits());
+        }
+        // The jittered spread collapses into a single reliability bucket.
+        let distinct: std::collections::BTreeSet<u64> =
+            quant.pms.iter().map(|p| p.reliability.to_bits()).collect();
+        assert_eq!(distinct.len(), 1, "0.002 spread fits one 0.01 bucket");
+        let exact_distinct: std::collections::BTreeSet<u64> =
+            exact.pms.iter().map(|p| p.reliability.to_bits()).collect();
+        assert!(
+            exact_distinct.len() > 1,
+            "the jitter really fragments exact keys"
+        );
     }
 
     #[test]

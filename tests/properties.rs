@@ -4,6 +4,7 @@
 
 use dvmp::prelude::*;
 use dvmp_cluster::datacenter::Datacenter;
+use dvmp_cluster::reliability::ReliabilityModel;
 use dvmp_cluster::vm::{Vm, VmState};
 use dvmp_placement::factors::EvalContext;
 use dvmp_placement::plan::PlanState;
@@ -389,6 +390,101 @@ proptest! {
                 "report diverged under kernel {:?}, full_replan {}",
                 kernel,
                 full_replan
+            );
+        }
+    }
+
+    /// Heterogeneous fleets are kernel-, sweep- and shard-invariant: with
+    /// every PM's reliability drawn from a continuum (jittered or
+    /// age-decayed) and a shared `class_tolerance`, a random elastic
+    /// history produces bit-identical reports on the dense scalar sweep,
+    /// the SIMD sweep, the sharded sweep and the class-compressed kernel —
+    /// and the checked-mode oracle stays clean throughout. The quantized
+    /// choke point is the whole contract: every kernel sees the same
+    /// bucketed scores, so heterogeneity cannot open a divergence.
+    #[test]
+    fn heterogeneous_fleets_are_kernel_sweep_and_shard_invariant(
+        seeds in prop::collection::vec(any::<u32>(), 4..14),
+        resize_dials in prop::collection::vec(
+            (any::<u8>(), 1u64..6, 64u64..4_096, 0u32..80_000),
+            0..12,
+        ),
+        hetero_dial in any::<u16>(),
+        fleet_seed in any::<u64>(),
+    ) {
+        let model = if hetero_dial % 2 == 0 {
+            ReliabilityModel::Jittered {
+                spread: 0.001 + f64::from(hetero_dial % 40) * 0.0001,
+            }
+        } else {
+            ReliabilityModel::AgeDecaying {
+                max_age_years: 1.0 + f64::from(hetero_dial % 7),
+                annual_decay: 0.002 + f64::from(hetero_dial % 11) * 0.001,
+            }
+        };
+        let tolerance = [0.0, 0.01, 0.05][usize::from(hetero_dial) % 3];
+        let mut requests = Vec::new();
+        for (i, s) in seeds.iter().enumerate() {
+            requests.push(VmSpec::exact(
+                VmId(i as u32 + 1),
+                SimTime::from_secs((*s as u64) % 40_000),
+                ResourceVector::cpu_mem(1, 128 + (*s as u64 % 1_500)),
+                SimDuration::from_secs(20_000 + (*s as u64 % 40_000)),
+            ));
+        }
+        let n = requests.len() as u32;
+        let resizes: Vec<ResizeRequest> = resize_dials
+            .iter()
+            .map(|&(vm_dial, cores, mem, at)| ResizeRequest {
+                vm: VmId(u32::from(vm_dial) % n + 1),
+                at: SimTime::from_secs(at as u64),
+                new_demand: ResourceVector::cpu_mem(cores, mem),
+            })
+            .collect();
+
+        let run = |kernel: PlanKernel, sweep: DenseSweep, shards: usize| {
+            let fleet = FleetBuilder::new()
+                .add_class(PmClass::paper_fast(), 3, 0.99)
+                .add_class(PmClass::paper_slow(), 3, 0.95)
+                .build();
+            let mut sim = SimConfig::default();
+            sim.horizon = SimTime::from_days(1);
+            sim.checked = true;
+            sim.seed = fleet_seed;
+            let scenario = Scenario::new("hetero-prop", fleet, requests.clone(), sim)
+                .with_reliability(model)
+                .with_resize_requests(resizes.clone());
+            let cfg = DynamicConfig {
+                plan_kernel: kernel,
+                class_tolerance: tolerance,
+                dense_sweep: sweep,
+                plan_shards: shards,
+                ..DynamicConfig::default()
+            };
+            scenario.run(Box::new(DynamicPlacement::new(cfg)))
+        };
+
+        let base = run(PlanKernel::Dense, DenseSweep::Scalar, 0);
+        let oracle = base.oracle.as_ref().expect("checked run attaches a summary");
+        prop_assert!(oracle.is_clean(), "{}", oracle.render());
+        let base_json = serde_json::to_string(&base).expect("report serializes");
+        for (label, kernel, sweep, shards) in [
+            ("simd", PlanKernel::Dense, DenseSweep::Simd, 0),
+            ("sharded", PlanKernel::Dense, DenseSweep::Simd, 3),
+            ("compressed", PlanKernel::Compressed, DenseSweep::Auto, 0),
+            ("compressed-sharded", PlanKernel::Compressed, DenseSweep::Auto, 5),
+        ] {
+            let other = run(kernel, sweep, shards);
+            let other_oracle = other.oracle.as_ref().expect("checked");
+            prop_assert!(other_oracle.is_clean(), "{}", other_oracle.render());
+            let other_json = serde_json::to_string(&other).expect("report serializes");
+            prop_assert_eq!(
+                &base_json,
+                &other_json,
+                "report diverged under {} (tolerance {}, model {:?})",
+                label,
+                tolerance,
+                model
             );
         }
     }
