@@ -21,6 +21,15 @@
 //! - a full `RunReport` equality check between the traced and untraced
 //!   runs — enabling tracing must never change a simulation result.
 //!
+//! On top of the tracing gates it measures `--obs-summary` telemetry
+//! sampling (counter samples + the control-interval time-series store):
+//! its modelled cost — the recorder's self-metered sampling time per
+//! run over the tracing-enabled wall time — must stay under 2 %, the
+//! sampled report must equal the unsampled one once the
+//! attachment-only sections are cleared, and the store's retained
+//! points must stay under the ring bound. Full (non-smoke) mode runs
+//! the whole week and adds a sampled 10k-PM week for the memory bound.
+//!
 //! Results go to stdout and `OBS_overhead.json` (temp file + rename).
 //! Exit code 1 when any gate fails, so CI can run it directly.
 //!
@@ -36,6 +45,18 @@ const ENABLED_OVERHEAD_BUDGET_PERCENT: f64 = 10.0;
 /// The switched-off layer may cost at most this much (cost model, not a
 /// wall-clock diff: two runs of the same binary cannot resolve sub-1 %).
 const DISABLED_OVERHEAD_BUDGET_PERCENT: f64 = 1.0;
+
+/// Control-interval telemetry sampling (`--obs-summary`'s time-series
+/// store) may add at most this much on top of a tracing-enabled run.
+const TELEMETRY_OVERHEAD_BUDGET_PERCENT: f64 = 2.0;
+
+/// Hard ceiling on the telemetry store's retained points under any run
+/// length: 3 tiers × ring capacity, per channel. The sampled-run
+/// assertions check the *reported* store against this — a store past it
+/// would mean ring eviction broke and memory grows with run length.
+fn max_store_points(channels: usize) -> usize {
+    3 * dvmp_obs::DEFAULT_TIER_CAPACITY * channels
+}
 
 /// Keep timing a configuration until one sample takes at least this
 /// long, so short smoke runs still produce a trustworthy minimum.
@@ -64,6 +85,34 @@ struct ObsOverheadReport {
     disabled_overhead_percent: f64,
     /// The traced and untraced runs produced equal `RunReport`s.
     reports_identical: bool,
+    /// Min-of-N wall time of the `--obs-summary` sampled run (context;
+    /// the sampling gate below is modelled, not a wall-clock diff).
+    sampled_seconds: f64,
+    /// Self-metered sampling time per run, in ns: the recorder times its
+    /// own sampling hooks (`dvmp_obs::sampling_ns`), averaged over the
+    /// timed sampled runs.
+    sampling_ns_per_run: f64,
+    /// Modelled sampling cost: per-run sampling time as a percentage of
+    /// the tracing-enabled wall time. Like the disabled-path gate this
+    /// is a cost model — a ~1 % effect sits below the wall-clock noise
+    /// floor of a shared host.
+    sampling_overhead_percent: f64,
+    /// The sampled run's report equals the unsampled one once the
+    /// attachment-only sections (`obs`, `timeseries`, `meta`) are
+    /// cleared — sampling never touches simulation state.
+    sampled_core_identical: bool,
+    /// Channels in the sampled run's time-series store.
+    timeseries_channels: usize,
+    /// Control-interval samples the store saw over the run.
+    timeseries_samples: u64,
+    /// Points retained across all tiers and channels.
+    timeseries_points: usize,
+    /// [`max_store_points`] for that channel count.
+    timeseries_points_bound: usize,
+    /// Full mode only: retained points of a sampled 10k-PM week.
+    week_10k_points: Option<usize>,
+    /// Full mode only: the bound those points must stay under.
+    week_10k_points_bound: Option<usize>,
 }
 
 /// Minimum per-run wall time over several samples, where each sample
@@ -108,8 +157,10 @@ fn main() {
         .unwrap_or(42);
     // The 1k-PM day is ~25 ms per run, cheap enough that smoke keeps the
     // acceptance shape: smaller fleets do so little work per event that
-    // the overhead ratio measures the clock, not the recorder.
-    let (pms, days) = (1_000, 1);
+    // the overhead ratio measures the clock, not the recorder. Full mode
+    // runs the whole dynamic week — the telemetry budget's acceptance
+    // scenario — and adds the 10k-PM memory-bound week.
+    let (pms, days) = (1_000, if smoke { 1 } else { 7 });
 
     eprintln!("# obs_overhead{}", if smoke { " (smoke)" } else { "" });
     let scenario = Scenario::scaled(pms, seed).with_days(days);
@@ -136,6 +187,66 @@ fn main() {
     };
     let (enabled_seconds, batch_on) = min_wall_seconds(&mut run_enabled);
 
+    // Telemetry sampling on top of tracing: `--obs-summary` arms the
+    // recorder's counter samples plus the control-interval time-series
+    // store. Its ~1 % cost sits below the wall-clock noise floor of a
+    // shared host, so like the disabled-path gate it is *modelled*: the
+    // recorder self-meters the nanoseconds spent inside its sampling
+    // hooks, and the gate takes per-run sampling time over the enabled
+    // run's wall time.
+    let mut sampled_scenario = Scenario::scaled(pms, seed).with_days(days);
+    sampled_scenario.sim.obs_summary = true;
+    let (sampled_report, _) =
+        sampled_scenario.run_counting(Box::new(DynamicPlacement::paper_default()));
+    let sampling_ns_before = dvmp_obs::sampling_ns();
+    let mut sampled_runs = 0u64;
+    let mut run_sampled = || {
+        sampled_runs += 1;
+        sampled_scenario.run_counting(Box::new(DynamicPlacement::paper_default()));
+    };
+    let (sampled_seconds, _) = min_wall_seconds(&mut run_sampled);
+    let sampling_ns_per_run =
+        (dvmp_obs::sampling_ns() - sampling_ns_before) as f64 / sampled_runs as f64;
+
+    // Sampling must be attachment-only: clear the sections it is allowed
+    // to fill and the two reports must serialize identically.
+    let strip = |r: &RunReport| {
+        let mut r = r.clone();
+        r.obs = None;
+        r.timeseries = None;
+        r.meta = None;
+        serde_json::to_string(&r).expect("serializes")
+    };
+    let sampled_core_identical = strip(&sampled_report) == strip(&enabled_report);
+    let ts = sampled_report
+        .timeseries
+        .as_ref()
+        .expect("sampled run attaches a time-series section");
+
+    // Full mode only: one untimed sampled 10k-PM week, asserting the
+    // store's retention stays under the ring bound at fleet scale.
+    let week_10k = if smoke {
+        None
+    } else {
+        eprintln!("# 10k-PM sampled week (store memory bound)");
+        let mut week = Scenario::scaled(10_000, seed).with_days(7);
+        week.sim.obs_summary = true;
+        let (r, _) = week.run_counting(Box::new(DynamicPlacement::paper_default()));
+        let ts = r
+            .timeseries
+            .expect("sampled run attaches a time-series section");
+        for tier in &ts.tiers {
+            assert!(
+                tier.t_s.len() <= ts.tier_capacity as usize,
+                "tier at scale {} holds {} points, past its ring capacity {}",
+                tier.scale,
+                tier.t_s.len(),
+                ts.tier_capacity
+            );
+        }
+        Some((ts.point_count(), max_store_points(ts.channels.len())))
+    };
+
     // Disabled-path cost model.
     dvmp_obs::set_enabled(false);
     dvmp_obs::set_profiling(false);
@@ -144,7 +255,7 @@ fn main() {
         100.0 * (records_emitted as f64 * disabled_site_ns * 1e-9) / disabled_seconds;
 
     let report = ObsOverheadReport {
-        schema: "dvmp/obs-overhead/v1",
+        schema: "dvmp/obs-overhead/v2",
         smoke,
         seed,
         pms,
@@ -159,6 +270,16 @@ fn main() {
         disabled_overhead_percent,
         reports_identical: serde_json::to_string(&disabled_report).expect("serializes")
             == serde_json::to_string(&enabled_report).expect("serializes"),
+        sampled_seconds,
+        sampling_ns_per_run,
+        sampling_overhead_percent: 100.0 * (sampling_ns_per_run * 1e-9) / enabled_seconds,
+        sampled_core_identical,
+        timeseries_channels: ts.channels.len(),
+        timeseries_samples: ts.samples_seen,
+        timeseries_points: ts.point_count(),
+        timeseries_points_bound: max_store_points(ts.channels.len()),
+        week_10k_points: week_10k.map(|(p, _)| p),
+        week_10k_points_bound: week_10k.map(|(_, b)| b),
     };
 
     eprintln!(
@@ -174,6 +295,18 @@ fn main() {
         report.disabled_site_ns,
         report.disabled_overhead_percent,
         report.reports_identical
+    );
+    eprintln!(
+        "telemetry: sampled {:.3} s, {:.1} us/run self-metered ({:.3}% modelled), \
+         {} channels × {} samples, {} points retained (bound {}), core identical: {}",
+        report.sampled_seconds,
+        report.sampling_ns_per_run / 1e3,
+        report.sampling_overhead_percent,
+        report.timeseries_channels,
+        report.timeseries_samples,
+        report.timeseries_points,
+        report.timeseries_points_bound,
+        report.sampled_core_identical
     );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -200,6 +333,32 @@ fn main() {
             report.disabled_overhead_percent
         );
         healthy = false;
+    }
+    if !report.sampled_core_identical {
+        eprintln!("FAIL: telemetry sampling changed the simulation result");
+        healthy = false;
+    }
+    if report.sampling_overhead_percent > TELEMETRY_OVERHEAD_BUDGET_PERCENT {
+        eprintln!(
+            "FAIL: telemetry sampling cost {:.3}% exceeds the \
+             {TELEMETRY_OVERHEAD_BUDGET_PERCENT}% budget",
+            report.sampling_overhead_percent
+        );
+        healthy = false;
+    }
+    if report.timeseries_points > report.timeseries_points_bound {
+        eprintln!(
+            "FAIL: time-series store retains {} points, past its {} bound",
+            report.timeseries_points, report.timeseries_points_bound
+        );
+        healthy = false;
+    }
+    if let (Some(points), Some(bound)) = (report.week_10k_points, report.week_10k_points_bound) {
+        eprintln!("10k-PM week: {points} points retained (bound {bound})");
+        if points > bound {
+            eprintln!("FAIL: 10k-PM week store retains {points} points, past its {bound} bound");
+            healthy = false;
+        }
     }
     if !healthy {
         std::process::exit(1);

@@ -51,7 +51,12 @@
 //! directory (schema documented in DESIGN.md §8). `--smoke` shrinks the
 //! workload for CI.
 //!
-//! Usage: `perf_report [--smoke] [seed]`
+//! Usage: `perf_report [--smoke] [--history <file.jsonl>] [seed]`
+//!
+//! `--history` appends one JSONL trajectory entry (headline speedups plus
+//! run provenance: seed, git sha, host threads) to the given file after
+//! the health gates run — the feed for CI's rolling-median regression
+//! gate over `BENCH_history.jsonl`.
 
 use dvmp::prelude::*;
 use dvmp_bench::{fragmented_fixture, fragmented_fixture_scaled};
@@ -285,6 +290,10 @@ struct ScalingBench {
 struct PerfReport {
     schema: &'static str,
     smoke: bool,
+    /// Master workload seed the benches derived their scenarios from.
+    seed: u64,
+    /// Short git sha of the benched tree (`"unknown"` off-repo).
+    git_sha: String,
     host_threads: usize,
     /// Worker threads a chunked matrix (re)build actually fans out to at
     /// the largest benchmarked scale (`matrix::parallel_workers`), as
@@ -301,6 +310,35 @@ struct PerfReport {
     quantization: QuantizationBench,
     scaling: Vec<ScalingBench>,
     profile: ProfiledRunBench,
+}
+
+/// One `BENCH_history.jsonl` line: the report's headline metrics plus
+/// enough provenance to interpret them later. The CI trajectory gate
+/// compares a fresh smoke run against the rolling median of prior
+/// same-mode entries instead of a single frozen baseline, so the gate
+/// tracks genuine drift without chasing single-run noise.
+#[derive(Serialize)]
+struct HistoryEntry {
+    schema: &'static str,
+    smoke: bool,
+    seed: u64,
+    git_sha: String,
+    host_threads: usize,
+    /// Unix seconds at append time (0 if the clock is unreadable).
+    recorded_unix: u64,
+    /// Did this run pass its own health gates?
+    healthy: bool,
+    metrics: HistoryMetrics,
+}
+
+/// The trajectory-tracked scalars (higher is better for all of them).
+#[derive(Serialize)]
+struct HistoryMetrics {
+    fast_speedup: f64,
+    reuse_speedup: f64,
+    delta_speedup: f64,
+    e2e_speedup: f64,
+    peak_events_per_sec: f64,
 }
 
 /// Full-scale acceptance floor: a steady-state delta pass at 1k PMs must
@@ -976,10 +1014,17 @@ fn bench_profiled_run(seed: u64, days: u64) -> ProfiledRunBench {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let history_idx = args.iter().position(|a| a == "--history");
+    let history_path = history_idx.and_then(|i| args.get(i + 1)).cloned();
+    if history_idx.is_some() && history_path.is_none() {
+        eprintln!("error: --history takes a file path");
+        std::process::exit(2);
+    }
     let seed = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .find_map(|a| a.parse().ok())
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && history_idx != Some(i.wrapping_sub(1)))
+        .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(42);
     let (scales, iters, days): (&[u32], usize, u64) = if smoke {
         (&[100], 5, 1)
@@ -1243,8 +1288,10 @@ fn main() {
 
     let max_rows = matrix_build.iter().map(|b| b.pms).max().unwrap_or(2);
     let report = PerfReport {
-        schema: "dvmp/perf-report/v7",
+        schema: "dvmp/perf-report/v8",
         smoke,
+        seed,
+        git_sha: dvmp_obs::git_sha().to_string(),
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         matrix_workers: dvmp_placement::matrix::parallel_workers(max_rows),
         matrix_build,
@@ -1515,6 +1562,48 @@ fn main() {
             }
             Some(_) => {}
         }
+    }
+    // Trajectory tracking: one JSONL line per run, appended even when the
+    // gates fail (an unhealthy entry is data too — the CI gate filters on
+    // the `healthy` flag when building its rolling-median baseline).
+    if let Some(path) = history_path {
+        let entry = HistoryEntry {
+            schema: "dvmp/bench-history/v1",
+            smoke,
+            seed,
+            git_sha: dvmp_obs::git_sha().to_string(),
+            host_threads: report.host_threads,
+            recorded_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+            healthy,
+            metrics: HistoryMetrics {
+                fast_speedup: report
+                    .matrix_build
+                    .last()
+                    .map_or(0.0, |b| b.speedup_fast_vs_reference),
+                reuse_speedup: report.plan_pass.speedup_reuse,
+                delta_speedup: report
+                    .incremental_plan
+                    .last()
+                    .map_or(0.0, |b| b.speedup_delta),
+                e2e_speedup: report.end_to_end.speedup,
+                peak_events_per_sec: report
+                    .scaling
+                    .iter()
+                    .map(|b| b.events_per_sec)
+                    .fold(0.0, f64::max),
+            },
+        };
+        let line = serde_json::to_string(&entry).expect("history entry serializes");
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        writeln!(file, "{line}").unwrap_or_else(|e| panic!("cannot append {path}: {e}"));
+        eprintln!("history: appended 1 entry -> {path}");
     }
     if !healthy {
         std::process::exit(1);

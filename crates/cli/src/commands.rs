@@ -18,6 +18,9 @@ pub struct RunOptions {
     pub obs_summary: bool,
     /// Write a chrome://tracing JSON of every timed span to this path.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Write an OpenMetrics snapshot of the obs state to this path after
+    /// the run (implies arming the obs layer, like `obs_summary`).
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 /// `run <spec.json>` — run the spec's policy and summarize. With
@@ -36,15 +39,22 @@ pub fn run(spec_text: &str, opts: &RunOptions) -> Result<String, String> {
     let spec = ScenarioSpec::from_json(spec_text)?;
     let mut scenario = spec.build()?;
     scenario.sim.checked = opts.checked;
-    scenario.sim.obs_summary = opts.obs_summary;
-    if opts.obs_summary {
+    let obs_armed = opts.obs_summary || opts.metrics_out.is_some();
+    scenario.sim.obs_summary = obs_armed;
+    if obs_armed {
         dvmp_obs::set_profiling(true);
     }
     if opts.trace_out.is_some() {
         dvmp_obs::set_span_capture(true);
     }
     let policy = spec.policy.build(spec.seed, opts.full_replan)?;
-    let report = scenario.run(policy);
+    let started = std::time::Instant::now();
+    let mut report = scenario.run(policy);
+    // Wall clock lives here, not in the library `execute()`: two
+    // same-seed library runs must keep serializing identically.
+    if let Some(meta) = &mut report.meta {
+        meta.wall_seconds = started.elapsed().as_secs_f64();
+    }
 
     // Dump the trace before the oracle verdict: a violating checked run
     // is exactly when the span timeline is most wanted.
@@ -54,6 +64,14 @@ pub fn run(spec_text: &str, opts: &RunOptions) -> Result<String, String> {
         let _ = writeln!(
             obs_trailer,
             "trace: {spans} bytes of chrome://tracing JSON -> {}",
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        let bytes = write_atomic(path, &dvmp_obs::scrape_global())?;
+        let _ = writeln!(
+            obs_trailer,
+            "metrics: {bytes} bytes of OpenMetrics text -> {}",
             path.display()
         );
     }
@@ -100,6 +118,227 @@ pub fn compare(spec_text: &str, json_output: bool) -> Result<String, String> {
     } else {
         let refs: Vec<&RunReport> = reports.iter().collect();
         Ok(render_summary(&refs))
+    }
+}
+
+/// Per-metric relative-change thresholds for RunReport diffs:
+/// `|(b − a) / a|` beyond the threshold flags the metric. Tolerances are
+/// loose where the quantity is workload-noisy (migration counts, queue
+/// waits) and tight where it is the headline result (energy, power).
+const RUN_REPORT_THRESHOLDS: &[(&str, f64)] = &[
+    ("total_energy_kwh", 0.10),
+    ("mean_power_kw", 0.10),
+    ("peak_active_servers", 0.10),
+    ("served_core_hours", 0.10),
+    ("total_migrations", 0.25),
+    ("skipped_migrations", 0.50),
+    ("sla_violation_seconds", 0.25),
+    ("qos.waited_fraction", 0.25),
+    ("qos.mean_wait_secs", 0.50),
+];
+
+/// One diffed metric in a `compare <a> <b>` run.
+#[derive(Debug, Clone, serde::Serialize)]
+struct MetricDiff {
+    metric: String,
+    a: f64,
+    b: f64,
+    /// `(b − a) / a`; infinite when the metric appeared from zero.
+    rel_change: f64,
+    threshold: f64,
+    flagged: bool,
+}
+
+/// The numeric content of a JSON value, across the integer/float variants.
+fn value_as_f64(v: &serde::Value) -> Option<f64> {
+    match *v {
+        serde::Value::U64(n) => Some(n as f64),
+        serde::Value::I64(n) => Some(n as f64),
+        serde::Value::F64(f) => Some(f),
+        _ => None,
+    }
+}
+
+/// Numeric leaf at a dotted path in a JSON document.
+fn json_number(v: &serde::Value, path: &str) -> Option<f64> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    value_as_f64(cur)
+}
+
+/// Every numeric leaf of a JSON document as (dotted path, value), arrays
+/// skipped (series diffs would swamp the table with per-hour noise).
+fn numeric_leaves(v: &serde::Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    if let Some(entries) = v.as_map() {
+        for (k, child) in entries {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            numeric_leaves(child, &path, out);
+        }
+    } else if let Some(f) = value_as_f64(v) {
+        out.push((prefix.to_string(), f));
+    }
+}
+
+fn rel_change(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        if b == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (b - a) / a.abs()
+    }
+}
+
+/// `compare <a.json> <b.json>` — diff two previously written reports.
+///
+/// Two RunReports (`dvmp-cli run --json` output) are diffed over the
+/// curated metric table with per-metric relative-change thresholds; any
+/// metric beyond its threshold flags the comparison and the command exits
+/// nonzero (the table rides along in the error). Identical inputs always
+/// pass. Any other pair of JSON documents (perf reports, obs-overhead
+/// reports) is diffed generically over shared numeric leaves — sorted by
+/// relative change, informational only, except that a boolean health gate
+/// flipping `true → false` between `a` and `b` flags the comparison.
+pub fn compare_reports(a_text: &str, b_text: &str, json_output: bool) -> Result<String, String> {
+    let a = serde_json::parse_str(a_text).map_err(|e| format!("first report: {e}"))?;
+    let b = serde_json::parse_str(b_text).map_err(|e| format!("second report: {e}"))?;
+    let run_reports = a.get("total_energy_kwh").is_some() && b.get("total_energy_kwh").is_some();
+
+    let mut diffs: Vec<MetricDiff> = Vec::new();
+    if run_reports {
+        for &(metric, threshold) in RUN_REPORT_THRESHOLDS {
+            let (Some(va), Some(vb)) = (json_number(&a, metric), json_number(&b, metric)) else {
+                continue;
+            };
+            let rel = rel_change(va, vb);
+            diffs.push(MetricDiff {
+                metric: metric.to_string(),
+                a: va,
+                b: vb,
+                rel_change: rel,
+                threshold,
+                flagged: rel.abs() > threshold,
+            });
+        }
+    } else {
+        let mut la = Vec::new();
+        let mut lb = Vec::new();
+        numeric_leaves(&a, "", &mut la);
+        numeric_leaves(&b, "", &mut lb);
+        let bmap: std::collections::BTreeMap<&str, f64> =
+            lb.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        for (k, va) in &la {
+            if let Some(&vb) = bmap.get(k.as_str()) {
+                let rel = rel_change(*va, vb);
+                if rel != 0.0 {
+                    diffs.push(MetricDiff {
+                        metric: k.clone(),
+                        a: *va,
+                        b: vb,
+                        rel_change: rel,
+                        threshold: f64::INFINITY,
+                        flagged: false,
+                    });
+                }
+            }
+        }
+        diffs.sort_by(|x, y| {
+            y.rel_change
+                .abs()
+                .total_cmp(&x.rel_change.abs())
+                .then_with(|| x.metric.cmp(&y.metric))
+        });
+        diffs.truncate(25);
+        // Boolean health gates regressing is a failure even in generic mode.
+        let mut gates = Vec::new();
+        collect_gate_regressions(&a, &b, "", &mut gates);
+        for gate in gates {
+            diffs.insert(
+                0,
+                MetricDiff {
+                    metric: gate,
+                    a: 1.0,
+                    b: 0.0,
+                    rel_change: -1.0,
+                    threshold: 0.0,
+                    flagged: true,
+                },
+            );
+        }
+    }
+
+    let flagged: Vec<&MetricDiff> = diffs.iter().filter(|d| d.flagged).collect();
+    let body = if json_output {
+        serde_json::to_string_pretty(&diffs).map_err(|e| e.to_string())?
+    } else {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14} {:>9}  verdict",
+            "metric", "a", "b", "change"
+        );
+        for d in &diffs {
+            let change = if d.rel_change.is_infinite() {
+                "new".to_string()
+            } else {
+                format!("{:+.1}%", d.rel_change * 100.0)
+            };
+            let verdict = if d.flagged {
+                "FLAGGED"
+            } else if d.threshold.is_finite() {
+                "ok"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14.4} {:>14.4} {:>9}  {}",
+                d.metric, d.a, d.b, change, verdict
+            );
+        }
+        if diffs.is_empty() {
+            out.push_str("no shared numeric metrics differ\n");
+        }
+        out
+    };
+    if flagged.is_empty() {
+        Ok(body)
+    } else {
+        Err(format!(
+            "{body}\n{} metric(s) changed beyond threshold",
+            flagged.len()
+        ))
+    }
+}
+
+/// Boolean leaves that flipped `true → false` between `a` and `b` —
+/// health gates regressing (e.g. perf_report's `healthy`, `*_identical`).
+fn collect_gate_regressions(
+    a: &serde::Value,
+    b: &serde::Value,
+    prefix: &str,
+    out: &mut Vec<String>,
+) {
+    let Some(entries) = a.as_map() else { return };
+    for (k, va) in entries {
+        let path = if prefix.is_empty() {
+            k.clone()
+        } else {
+            format!("{prefix}.{k}")
+        };
+        match (va, b.get(k)) {
+            (serde::Value::Bool(true), Some(serde::Value::Bool(false))) => out.push(path),
+            (serde::Value::Map(_), Some(vb)) => collect_gate_regressions(va, vb, &path, out),
+            _ => {}
+        }
     }
 }
 
@@ -274,6 +513,7 @@ dvmp-cli — dynamic VM placement experiments (ICPP 2014 reproduction)
 USAGE:
   dvmp-cli run <spec.json> [--json] [--checked] [--full-replan]
                            [--obs-summary] [--trace-out <file>]
+                           [--metrics-out <file>]
                                          run the spec's policy, print summary;
                                          --checked audits every event with the
                                          invariant oracle (DESIGN.md §9);
@@ -287,8 +527,19 @@ USAGE:
                                          --trace-out writes every timed span as
                                          chrome://tracing JSON to <file>
                                          (open via chrome://tracing or
-                                         https://ui.perfetto.dev)
+                                         https://ui.perfetto.dev);
+                                         --metrics-out writes an OpenMetrics
+                                         (Prometheus text) snapshot of the obs
+                                         counters and phase histograms to
+                                         <file> after the run (implies
+                                         --obs-summary arming)
   dvmp-cli compare <spec.json> [--json]  run dynamic/first-fit/best-fit
+  dvmp-cli compare <a.json> <b.json> [--json]
+                                         diff two report files: RunReports over
+                                         a curated per-metric threshold table
+                                         (exit 1 when a metric moves beyond its
+                                         threshold), any other JSON reports
+                                         over shared numeric leaves
   dvmp-cli sweep <spec.json> [--seeds N] [--json]
                                          re-run the spec's policy under N
                                          seeds in parallel (default 5) and
@@ -355,11 +606,33 @@ mod tests {
     fn full_replan_run_is_bit_identical() {
         // The incremental planner must be invisible in the results: a
         // dynamic-policy run with cross-interval reuse disabled produces
-        // the exact same report.
+        // the exact same report — up to the wall clock, the one field that
+        // measures the host rather than the simulation.
         let dyn_spec = SPEC.replace("first-fit", "dynamic");
         let fast = run(&dyn_spec, &opts(true, false, false)).unwrap();
         let fresh = run(&dyn_spec, &opts(true, false, true)).unwrap();
-        assert_eq!(fast, fresh);
+        let scrub = |text: &str| {
+            let mut v = serde_json::parse_str(text).unwrap();
+            set_field(&mut v, &["meta", "wall_seconds"], serde::Value::F64(0.0));
+            v
+        };
+        assert_eq!(scrub(&fast), scrub(&fresh));
+    }
+
+    /// Replaces the leaf at a dotted path in a parsed JSON tree.
+    fn set_field(v: &mut serde::Value, path: &[&str], new: serde::Value) {
+        let mut cur = v;
+        for seg in path {
+            let serde::Value::Map(entries) = cur else {
+                panic!("path segment {seg} not in an object");
+            };
+            cur = &mut entries
+                .iter_mut()
+                .find(|(k, _)| k == seg)
+                .unwrap_or_else(|| panic!("missing field {seg}"))
+                .1;
+        }
+        *cur = new;
     }
 
     #[test]
@@ -409,6 +682,92 @@ mod tests {
             "temp file must be renamed away"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_json_carries_meta_and_timeseries() {
+        let _guard = dvmp_obs::test_lock();
+        let json = run(
+            SPEC,
+            &RunOptions {
+                json: true,
+                obs_summary: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let report: dvmp_metrics::RunReport = serde_json::from_str(&json).unwrap();
+        let meta = report.meta.expect("every run report carries meta");
+        assert_eq!(meta.seed, 42);
+        assert_eq!(meta.schema, dvmp_metrics::RUN_REPORT_SCHEMA);
+        assert!(meta.host_threads >= 1);
+        assert!(!meta.git_sha.is_empty());
+        assert!(meta.wall_seconds > 0.0, "CLI fills the wall clock");
+        let ts = report
+            .timeseries
+            .expect("--obs-summary samples the telemetry store");
+        assert!(ts.samples_seen > 0, "{ts:?}");
+        assert_eq!(ts.tiers.len(), 3);
+        // The satellite channels ride along: SLA series and poison counter.
+        for needle in ["sla_violation_s", "ctr_compressed_poisons", "util_cpu"] {
+            assert!(
+                ts.channels.iter().any(|c| c == needle),
+                "missing channel {needle}: {:?}",
+                ts.channels
+            );
+        }
+        assert!(ts.last_value("powered_pms").is_some());
+    }
+
+    #[test]
+    fn metrics_out_writes_lintable_openmetrics() {
+        let _guard = dvmp_obs::test_lock();
+        let dir = std::env::temp_dir().join("dvmp-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.txt");
+        let run_opts = RunOptions {
+            metrics_out: Some(path.clone()),
+            ..RunOptions::default()
+        };
+        let out = run(SPEC, &run_opts).unwrap();
+        assert!(out.contains("OpenMetrics"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        dvmp_obs::lint_openmetrics(&text).expect("snapshot passes the format lint");
+        assert!(text.contains("dvmp_events_dispatched_total"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_reports_self_comparison_passes() {
+        let a = run(SPEC, &opts(true, false, false)).unwrap();
+        let out = compare_reports(&a, &a, false).expect("identical reports pass");
+        assert!(out.contains("total_energy_kwh"), "{out}");
+        assert!(!out.contains("FLAGGED"), "{out}");
+    }
+
+    #[test]
+    fn compare_reports_flags_injected_regression() {
+        let a = run(SPEC, &opts(true, false, false)).unwrap();
+        let mut v = serde_json::parse_str(&a).unwrap();
+        let kwh = value_as_f64(v.get("total_energy_kwh").unwrap()).unwrap();
+        set_field(&mut v, &["total_energy_kwh"], serde::Value::F64(kwh * 1.2));
+        let b = serde_json::to_string(&v).unwrap();
+        let err = compare_reports(&a, &b, false).expect_err("20% energy jump must flag");
+        assert!(err.contains("FLAGGED"), "{err}");
+        assert!(err.contains("total_energy_kwh"), "{err}");
+        assert!(err.contains("+20.0%"), "{err}");
+    }
+
+    #[test]
+    fn compare_reports_generic_mode_diffs_leaves_and_gates() {
+        let a = r#"{"schema":"x","healthy":true,"timing":{"ns":100.0}}"#;
+        let b = r#"{"schema":"x","healthy":true,"timing":{"ns":250.0}}"#;
+        let out = compare_reports(a, b, false).expect("timing drift is informational");
+        assert!(out.contains("timing.ns"), "{out}");
+        let c = r#"{"schema":"x","healthy":false,"timing":{"ns":100.0}}"#;
+        let err = compare_reports(a, c, false).expect_err("gate flip must flag");
+        assert!(err.contains("healthy"), "{err}");
     }
 
     #[test]
@@ -472,6 +831,8 @@ mod tests {
             "--full-replan",
             "--obs-summary",
             "--trace-out",
+            "--metrics-out",
+            "compare <a.json> <b.json>",
         ] {
             assert!(h.contains(cmd));
         }

@@ -16,12 +16,22 @@ fn main() -> ExitCode {
         eprintln!("error: --trace-out takes a file path");
         return ExitCode::FAILURE;
     }
-    // `--trace-out`'s value is a bare path, so drop it from the
-    // positional view by index rather than by `--` prefix.
+    let metrics_out_idx = args.iter().position(|a| a == "--metrics-out");
+    let metrics_out = metrics_out_idx.and_then(|i| args.get(i + 1)).cloned();
+    if metrics_out_idx.is_some() && metrics_out.is_none() {
+        eprintln!("error: --metrics-out takes a file path");
+        return ExitCode::FAILURE;
+    }
+    // `--trace-out`/`--metrics-out` values are bare paths, so drop them
+    // from the positional view by index rather than by `--` prefix.
     let positional: Vec<&str> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && trace_out_idx != Some(i.wrapping_sub(1)))
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && trace_out_idx != Some(i.wrapping_sub(1))
+                && metrics_out_idx != Some(i.wrapping_sub(1))
+        })
         .map(|(_, a)| a.as_str())
         .collect();
 
@@ -37,10 +47,18 @@ fn main() -> ExitCode {
                         full_replan,
                         obs_summary,
                         trace_out: trace_out.map(Into::into),
+                        metrics_out: metrics_out.map(Into::into),
                     },
                 )
             }),
-        ["compare", path, ..] => std::fs::read_to_string(path)
+        // Two paths: diff two previously written reports. One path: run
+        // the paper trio on the spec's scenario.
+        ["compare", a, b, ..] => {
+            let read =
+                |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+            read(a).and_then(|ta| read(b).and_then(|tb| commands::compare_reports(&ta, &tb, json)))
+        }
+        ["compare", path] => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))
             .and_then(|text| commands::compare(&text, json)),
         ["sweep", path, ..] => {

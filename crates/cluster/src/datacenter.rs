@@ -388,6 +388,37 @@ impl Datacenter {
         }
     }
 
+    /// Per-dimension utilization of the available fleet: summed occupancy
+    /// over summed physical capacity in every resource dimension, across
+    /// PMs currently accepting reservations (all zeros when none are).
+    /// Unlike [`Datacenter::powered_core_utilization`] this is O(n) — it
+    /// exists for control-interval telemetry sampling, where a fleet walk
+    /// per simulated hour is noise, not for planner hot paths.
+    pub fn available_utilization_per_dim(&self) -> Vec<f64> {
+        let k = self
+            .classes
+            .first()
+            .map(|c| c.capacity.k())
+            .unwrap_or_default();
+        let mut used = vec![0u64; k];
+        let mut cap = vec![0u64; k];
+        for pm in self.available_pms() {
+            for d in 0..k {
+                used[d] += pm.used().get(d);
+                cap[d] += pm.capacity().get(d);
+            }
+        }
+        (0..k)
+            .map(|d| {
+                if cap[d] == 0 {
+                    0.0
+                } else {
+                    used[d] as f64 / cap[d] as f64
+                }
+            })
+            .collect()
+    }
+
     /// Ids of powered-off PMs, in id order. O(1) per step.
     pub fn off_pm_ids(&self) -> impl DoubleEndedIterator<Item = PmId> + '_ {
         self.stats.off.iter().copied()

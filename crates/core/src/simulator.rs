@@ -40,7 +40,7 @@ use dvmp_cluster::resources::ResourceVector;
 use dvmp_cluster::vm::{Vm, VmId, VmSpec, VmState};
 use dvmp_forecast::departure::departures_within;
 use dvmp_forecast::spare::SpareServerController;
-use dvmp_metrics::recorder::{RunReport, SimulationRecorder};
+use dvmp_metrics::recorder::{RunMeta, RunReport, SimulationRecorder};
 use dvmp_placement::{Migration, PlacementPolicy, PlacementView};
 use dvmp_simcore::event::EventId;
 use dvmp_simcore::{Engine, Scheduler, SimTime, World};
@@ -526,6 +526,8 @@ impl SimWorld {
 
     fn handle_control_period(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
         self.recorder.sample_obs(now);
+        self.recorder
+            .sample_timeseries(now, &self.dc, self.queue.len());
         let Some(sp) = &mut self.spare else { return };
         let period = sp.config().control_period;
         let _span = dvmp_obs::span!(dvmp_obs::Phase::SpareControl);
@@ -811,6 +813,9 @@ impl Simulation {
             }
         }
         let mut report = recorder.finish(policy_name, self.horizon);
+        // Wall-clock stays out of library runs so same-seed reports
+        // serialize identically; the CLI fills `meta.wall_seconds`.
+        report.meta = Some(RunMeta::for_run(world.cfg.seed));
         if let Some(oracle) = oracle {
             report.oracle = Some(oracle.into_summary(
                 self.horizon,

@@ -86,6 +86,8 @@ mod tests {
             peak_saturated_pms: 0.0,
             oracle: None,
             obs: None,
+            timeseries: None,
+            meta: None,
             served_core_hours: 0.0,
             qos: QosTracker::new().summary(),
             group_names: groups,

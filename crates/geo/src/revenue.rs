@@ -105,6 +105,8 @@ mod tests {
             peak_saturated_pms: 0.0,
             oracle: None,
             obs: None,
+            timeseries: None,
+            meta: None,
             served_core_hours: core_hours,
             qos: qos.summary(),
             group_names: vec!["r".into()],

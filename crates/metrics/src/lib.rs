@@ -25,6 +25,9 @@ pub mod violation;
 
 pub use energy::EnergyMeter;
 pub use qos::{QosSummary, QosTracker};
-pub use recorder::{ObsIntervalSample, ObsReport, PowerGroups, RunReport, SimulationRecorder};
+pub use recorder::{
+    ObsIntervalSample, ObsReport, PowerGroups, RunMeta, RunReport, SimulationRecorder,
+    RUN_REPORT_SCHEMA,
+};
 pub use sla::SaturationMeter;
 pub use violation::{Invariant, OracleSummary, Violation};

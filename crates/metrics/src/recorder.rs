@@ -11,9 +11,14 @@ use crate::sla::SaturationMeter;
 use crate::violation::OracleSummary;
 use dvmp_cluster::datacenter::Datacenter;
 use dvmp_obs::CounterSnapshot as ObsCounters;
+use dvmp_obs::{PhaseHistogram, TimeSeriesReport, TimeSeriesStore, LATENCY_QUANTILES};
 use dvmp_simcore::series::{CountSeries, StepSeries};
 use dvmp_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// Schema version stamped into [`RunMeta`]; bump when the report shape
+/// changes incompatibly. v7 added the `timeseries` and `meta` sections.
+pub const RUN_REPORT_SCHEMA: u32 = 7;
 
 /// A partition of the fleet for per-group power accounting — per region
 /// in the geo extension, or per hardware class for breakdown reports.
@@ -75,6 +80,14 @@ pub struct SimulationRecorder {
     /// so per-run numbers are deltas against this baseline).
     obs_baseline: Option<ObsCounters>,
     obs_intervals: Vec<ObsIntervalSample>,
+    /// Phase-histogram state at arming time (latency channels are deltas).
+    ts_phase_baseline: Vec<PhaseHistogram>,
+    /// Bounded multi-resolution telemetry store; created lazily at the
+    /// first control-interval sample (channel list needs the fleet's
+    /// resource dimension count). `None` until armed + first sample.
+    ts_store: Option<TimeSeriesStore>,
+    /// Scratch row reused across samples (no per-interval allocation).
+    ts_scratch: Vec<f64>,
 }
 
 impl Default for SimulationRecorder {
@@ -106,6 +119,9 @@ impl SimulationRecorder {
             served_core_seconds: 0.0,
             obs_baseline: None,
             obs_intervals: Vec::new(),
+            ts_phase_baseline: Vec::new(),
+            ts_store: None,
+            ts_scratch: Vec::new(),
         }
     }
 
@@ -118,6 +134,7 @@ impl SimulationRecorder {
     pub fn enable_obs_sampling(&mut self) {
         dvmp_obs::set_enabled(true);
         self.obs_baseline = Some(dvmp_obs::counters_snapshot());
+        self.ts_phase_baseline = dvmp_obs::phase_histograms();
     }
 
     /// Samples the live counters (as deltas since arming) at a control
@@ -126,11 +143,99 @@ impl SimulationRecorder {
     /// [`enable_obs_sampling`]: SimulationRecorder::enable_obs_sampling
     pub fn sample_obs(&mut self, now: SimTime) {
         if let Some(base) = &self.obs_baseline {
+            let t = std::time::Instant::now();
             self.obs_intervals.push(ObsIntervalSample {
                 t_s: now.as_secs(),
                 counters: dvmp_obs::counters_snapshot().delta_from(base),
             });
+            dvmp_obs::add_sampling_ns(t.elapsed().as_nanos() as u64);
         }
+    }
+
+    /// Samples fleet gauges, counter deltas and phase-latency quantiles
+    /// into the bounded multi-resolution telemetry store at a control
+    /// interval boundary. No-op unless [`enable_obs_sampling`] was called;
+    /// the store is created at the first sample (its channel list depends
+    /// on the fleet's resource dimension count).
+    ///
+    /// Telemetry only *reads* fleet state and the process-global obs
+    /// layer — it can never influence simulation results (DESIGN.md §13).
+    ///
+    /// [`enable_obs_sampling`]: SimulationRecorder::enable_obs_sampling
+    pub fn sample_timeseries(&mut self, now: SimTime, dc: &Datacenter, queue_depth: usize) {
+        let Some(base) = &self.obs_baseline else {
+            return;
+        };
+        if self.ts_store.is_none() {
+            // One-time channel-list construction (name formatting) is
+            // setup, kept out of the per-interval sampling self-meter.
+            let mut names: Vec<String> = [
+                "powered_pms",
+                "idle_pms",
+                "off_pms",
+                "saturated_pms",
+                "queue_depth",
+                "total_power_w",
+                "sla_violation_s",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect();
+            for d in 0..dc.available_utilization_per_dim().len() {
+                names.push(match d {
+                    0 => "util_cpu".to_string(),
+                    1 => "util_mem".to_string(),
+                    _ => format!("util_dim{d}"),
+                });
+            }
+            for (name, _) in dvmp_obs::counters_snapshot().entries() {
+                names.push(format!("ctr_{name}"));
+            }
+            for hist in dvmp_obs::phase_histograms() {
+                for (q, _) in LATENCY_QUANTILES {
+                    names.push(format!("lat_{}_{q}_ns", hist.phase.replace('-', "_")));
+                }
+            }
+            self.ts_store = Some(TimeSeriesStore::new(names));
+        }
+        // Self-meter the sampling cost (the bench's ≤2 % overhead gate
+        // models from this; the two clock reads never enter the report).
+        let t = std::time::Instant::now();
+        let utils = dc.available_utilization_per_dim();
+        let store = self.ts_store.as_mut().expect("created above");
+        self.ts_scratch.clear();
+        self.ts_scratch.extend([
+            dc.powered_count() as f64,
+            dc.idle_available_count() as f64,
+            (dc.len() - dc.powered_count()) as f64,
+            dc.saturated_count() as f64,
+            queue_depth as f64,
+            dc.total_power_w(),
+            self.saturation.violation_seconds(now),
+        ]);
+        self.ts_scratch.extend(utils);
+        let counters = dvmp_obs::counters_snapshot().delta_from(base);
+        self.ts_scratch.extend(counters.values().map(|v| v as f64));
+        for (hist, earlier) in dvmp_obs::phase_histograms()
+            .iter()
+            .zip(&self.ts_phase_baseline)
+        {
+            let delta = hist.delta_from(earlier);
+            for (_, q) in LATENCY_QUANTILES {
+                self.ts_scratch
+                    .push(dvmp_obs::log2_bucket_quantile(&delta.buckets, q).unwrap_or(0.0));
+            }
+        }
+        store.sample(now.as_secs(), &self.ts_scratch);
+        dvmp_obs::add_sampling_ns(t.elapsed().as_nanos() as u64);
+    }
+
+    /// The telemetry store's current heap footprint in bytes (0 before the
+    /// first sample) — what the bench memory-boundedness gate asserts on.
+    pub fn timeseries_bytes(&self) -> usize {
+        self.ts_store
+            .as_ref()
+            .map_or(0, TimeSeriesStore::approx_bytes)
     }
 
     /// Enables per-group power accounting. Call before the first sample.
@@ -284,6 +389,42 @@ impl SimulationRecorder {
                 totals: dvmp_obs::counters_snapshot().delta_from(base),
                 intervals: self.obs_intervals.clone(),
             }),
+            timeseries: self.ts_store.as_ref().map(TimeSeriesStore::report),
+            meta: None,
+        }
+    }
+}
+
+/// Self-describing run metadata, so trajectory entries and archived
+/// reports carry their own provenance. Filled by the simulator
+/// (deterministic fields) and the CLI (wall clock — kept out of
+/// `execute()` so two same-seed runs still serialize identically).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Workload/scenario RNG seed.
+    pub seed: u64,
+    /// Short git commit sha of the build tree (`"unknown"` off-repo).
+    pub git_sha: String,
+    /// Report schema version ([`RUN_REPORT_SCHEMA`]).
+    pub schema: u32,
+    /// Host hardware threads at run time.
+    pub host_threads: u64,
+    /// Wall-clock duration of the run in seconds (0 when the producer
+    /// did not time it — e.g. library callers of `execute()`).
+    #[serde(default)]
+    pub wall_seconds: f64,
+}
+
+impl RunMeta {
+    /// Metadata for the current process and the given seed (wall clock
+    /// left at 0 for the caller that times the run to fill).
+    pub fn for_run(seed: u64) -> RunMeta {
+        RunMeta {
+            seed,
+            git_sha: dvmp_obs::git_sha().to_string(),
+            schema: RUN_REPORT_SCHEMA,
+            host_threads: dvmp_obs::host_threads() as u64,
+            wall_seconds: 0.0,
         }
     }
 }
@@ -370,6 +511,13 @@ pub struct RunReport {
     /// Observability counters (`None` unless obs sampling was armed).
     #[serde(default)]
     pub obs: Option<ObsReport>,
+    /// Multi-resolution telemetry series (`None` unless obs sampling was
+    /// armed and at least one control interval fired).
+    #[serde(default)]
+    pub timeseries: Option<TimeSeriesReport>,
+    /// Run provenance (`None` on reports from older producers).
+    #[serde(default)]
+    pub meta: Option<RunMeta>,
     /// Names of the power groups (empty unless grouping was enabled).
     pub group_names: Vec<String>,
     /// Per-group energy per hour, kWh (`group_hourly_kwh[g][h]`).
@@ -527,6 +675,8 @@ mod tests {
             qos: QosTracker::new().summary(),
             oracle: None,
             obs: None,
+            timeseries: None,
+            meta: None,
             group_names: vec![],
             group_hourly_kwh: vec![],
         };

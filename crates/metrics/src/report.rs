@@ -198,6 +198,8 @@ mod tests {
             qos: QosTracker::new().summary(),
             oracle: None,
             obs: None,
+            timeseries: None,
+            meta: None,
             group_names: vec![],
             group_hourly_kwh: vec![],
         }

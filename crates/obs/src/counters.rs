@@ -50,6 +50,13 @@ macro_rules! counter_bank {
             pub fn entries(&self) -> Vec<(&'static str, u64)> {
                 vec![$((stringify!($name), self.$name),)+]
             }
+
+            /// Counter values in declaration order, allocation-free —
+            /// for per-control-interval sampling, where `entries()`'s
+            /// heap vector would be pure overhead.
+            pub fn values(&self) -> impl Iterator<Item = u64> {
+                [$(self.$name,)+].into_iter()
+            }
         }
     };
 }

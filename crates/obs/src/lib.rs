@@ -31,16 +31,22 @@ mod dump;
 mod profile;
 mod record;
 mod ring;
+mod timeseries;
 
 pub use counters::{counters, counters_snapshot, CounterSnapshot, Counters};
 pub use dump::{capture_flight_dump, DumpHeader, DumpRecord, FlightDump};
 pub use profile::{
-    chrome_trace_json, profile_report, span_guard, PhaseProfile, ProfileReport, SpanGuard,
-    PROFILE_BUCKETS,
+    chrome_trace_json, phase_histograms, profile_report, span_guard, PhaseHistogram, PhaseProfile,
+    ProfileReport, SpanGuard, PROFILE_BUCKETS,
 };
 pub use record::{Phase, Record, RecordKind, PHASE_COUNT};
 pub use ring::{
     drain_records, records_emitted, ring_capacity, set_ring_capacity, DEFAULT_RING_CAPACITY,
+};
+pub use timeseries::{
+    add_sampling_ns, lint_openmetrics, log2_bucket_quantile, sampling_ns, scrape_global,
+    GlobalMetrics, MetricsSource, OpenMetricsEncoder, TierSeries, TimeSeriesReport,
+    TimeSeriesStore, CONSOLIDATION, DEFAULT_TIER_CAPACITY, LATENCY_QUANTILES,
 };
 
 use std::cell::Cell;
@@ -415,6 +421,43 @@ pub fn note_oracle_violation(seq: u64, count: u64) {
             .fetch_add(count, Ordering::Relaxed);
         emit(RecordKind::OracleViolation, seq, count);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Run metadata: self-describing report stamps (seed and schema come from
+// the callers; git sha and host threads are process facts cached here).
+// ---------------------------------------------------------------------------
+
+/// Short git commit sha of the working tree, for stamping reports and
+/// bench-history entries. Resolution order: `DVMP_GIT_SHA` env override,
+/// then `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. a tarball
+/// build). Cached for the process lifetime.
+pub fn git_sha() -> &'static str {
+    static SHA: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    SHA.get_or_init(|| {
+        if let Ok(sha) = std::env::var("DVMP_GIT_SHA") {
+            let sha = sha.trim().to_string();
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+/// Available host hardware threads (1 if undetectable).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Serializes tests (and downstream integration tests) that flip the

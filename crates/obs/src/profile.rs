@@ -216,6 +216,56 @@ impl ProfileReport {
     }
 }
 
+/// Raw histogram view of one timed phase: untrimmed log2-ns buckets plus
+/// the count/total/max the buckets were accumulated under. Unlike
+/// [`PhaseProfile`] this includes zero-count phases, so consumers that
+/// need a stable channel list (the telemetry store, OpenMetrics export)
+/// can rely on one entry per [`Phase::TIMED`] member in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseHistogram {
+    /// Stable phase name (`Phase::name()`).
+    pub phase: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+    /// `buckets[i]` counts spans with duration in `[2^i, 2^{i+1})` ns.
+    pub buckets: [u64; PROFILE_BUCKETS],
+}
+
+impl PhaseHistogram {
+    /// Spans recorded since `earlier` (same-phase element-wise difference).
+    /// Counters are monotone between resets, so saturating subtraction
+    /// only loses information if a reset happened in between.
+    pub fn delta_from(&self, earlier: &PhaseHistogram) -> PhaseHistogram {
+        debug_assert_eq!(self.phase, earlier.phase, "delta across phases");
+        PhaseHistogram {
+            phase: self.phase,
+            count: self.count.saturating_sub(earlier.count),
+            total_ns: self.total_ns.saturating_sub(earlier.total_ns),
+            max_ns: self.max_ns, // max is not differentiable; keep cumulative
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+        }
+    }
+}
+
+/// Snapshot every timed phase's raw histogram (including zero-count
+/// phases), in [`Phase::TIMED`] order.
+pub fn phase_histograms() -> Vec<PhaseHistogram> {
+    Phase::TIMED
+        .iter()
+        .map(|&phase| {
+            let slot = &slots()[phase as usize];
+            PhaseHistogram {
+                phase: phase.name(),
+                count: slot.count.load(Ordering::Relaxed),
+                total_ns: slot.total_ns.load(Ordering::Relaxed),
+                max_ns: slot.max_ns.load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|i| slot.buckets[i].load(Ordering::Relaxed)),
+            }
+        })
+        .collect()
+}
+
 /// chrome://tracing "complete" events (`ph: "X"`, microsecond units) for
 /// every captured span. Load the written file via chrome://tracing or
 /// https://ui.perfetto.dev.
